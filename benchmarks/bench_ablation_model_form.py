@@ -1,0 +1,105 @@
+"""Ablation — regression form of the power/memory predictors.
+
+The paper chooses models "linear with respect to both the input vector z
+and model weights" and notes that nonlinear formulations "can be
+plugged-in (e.g., see our recent work [10])" but that "these linear
+functions provide sufficient accuracy".  This bench quantifies that
+choice: the paper's pure linear form, the intercept-augmented linear form
+this reproduction defaults to (the platform's constant idle power /
+runtime overhead is huge, so a constant feature matters), and a quadratic
+feature expansion.
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import render_table
+from repro.hwsim.devices import GTX_1070
+from repro.hwsim.profiler import HardwareProfiler
+from repro.models.crossval import cross_validate, rmspe
+from repro.models.linear import LinearModel
+from repro.models.profiling import run_profiling_campaign
+from repro.space.presets import cifar10_space, mnist_space
+
+from _shared import write_artifact
+
+
+class _QuadraticModel:
+    """Linear model over [z, z^2, pairwise products] with intercept."""
+
+    def __init__(self):
+        self._inner = LinearModel(fit_intercept=True)
+
+    @staticmethod
+    def _expand(Z):
+        Z = np.atleast_2d(Z)
+        columns = [Z, Z**2]
+        n = Z.shape[1]
+        for i in range(n):
+            for j in range(i + 1, n):
+                columns.append((Z[:, i] * Z[:, j])[:, None])
+        return np.hstack(columns)
+
+    def fit(self, Z, y):
+        self._inner.fit(self._expand(Z), y)
+        return self
+
+    def predict(self, Z):
+        return self._inner.predict(self._expand(Z))
+
+
+def _campaign(dataset, space, n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    profiler = HardwareProfiler(GTX_1070, rng)
+    return run_profiling_campaign(space, dataset, profiler, n, rng)
+
+
+FORMS = {
+    "linear (paper Eq. 1-2)": lambda: LinearModel(fit_intercept=False),
+    "linear + intercept (default here)": lambda: LinearModel(fit_intercept=True),
+    "quadratic features": _QuadraticModel,
+}
+
+
+def test_ablation_model_form(benchmark):
+    campaigns = {
+        "mnist": _campaign("mnist", mnist_space()),
+        "cifar10": _campaign("cifar10", cifar10_space()),
+    }
+
+    def run():
+        rows = []
+        for form_name, factory in FORMS.items():
+            row = [form_name]
+            for dataset, data in campaigns.items():
+                score, _ = cross_validate(
+                    factory,
+                    data.Z,
+                    data.power_w,
+                    k=10,
+                    rng=np.random.default_rng(1),
+                    metric=rmspe,
+                )
+                row.append(f"{score:.2f}%")
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = render_table(
+        "Ablation: power-model regression form (10-fold CV RMSPE, GTX 1070)",
+        ["Form", "MNIST", "CIFAR-10"],
+        rows,
+    )
+    print()
+    print(table)
+    write_artifact("ablation_model_form.txt", table)
+
+    scores = {
+        row[0]: [float(cell.rstrip("%")) for cell in row[1:]] for row in rows
+    }
+    # The intercept matters (platform constants dominate), after which the
+    # linear form is already inside the paper's <7% regime; quadratic
+    # features buy little on top.
+    plain = scores["linear (paper Eq. 1-2)"]
+    intercept = scores["linear + intercept (default here)"]
+    assert max(intercept) < 7.0
+    assert np.mean(intercept) < np.mean(plain)

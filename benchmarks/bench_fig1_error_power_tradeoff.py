@@ -1,0 +1,58 @@
+"""Figure 1 — test error vs GPU power of CIFAR-10 variants (GTX 1070).
+
+Regenerates the paper's motivating scatter: train random AlexNet variants
+on CIFAR-10 and measure their inference power on the GTX 1070.  The paper
+observes that "for a given accuracy level, power could differ
+significantly by up to 55.01W (i.e., more than a third of the GPU Thermal
+Design Power)".
+"""
+
+import numpy as np
+
+from repro.experiments.ascii_plot import scatter
+from repro.experiments.motivating import run_figure1
+
+from _shared import write_artifact
+
+
+def test_fig1_error_power_tradeoff(benchmark):
+    data = benchmark.pedantic(
+        lambda: run_figure1(n_samples=250, seed=0), rounds=1, iterations=1
+    )
+    spread = data.iso_error_power_spread(band_width=0.01)
+
+    lines = ["Figure 1: test error vs GPU power (CIFAR-10 on GTX 1070)"]
+    lines.append(f"variants plotted: {len(data.errors)}")
+    lines.append(
+        f"power range: {data.power_w.min():.1f} - {data.power_w.max():.1f} W"
+    )
+    lines.append(
+        f"error range: {data.errors.min()*100:.1f} - {data.errors.max()*100:.1f} %"
+    )
+    lines.append(f"max iso-error power spread (1% bands): {spread:.2f} W")
+    plot = scatter(
+        data.power_w,
+        data.errors * 100,
+        title="Figure 1: test error vs power (CIFAR-10 variants, GTX 1070)",
+        x_label="power (W)",
+        y_label="test error (%)",
+    )
+    lines.append("")
+    lines.append(plot)
+    lines.append("")
+    lines.append("error%  power_w")
+    order = np.argsort(data.errors)
+    for index in order:
+        lines.append(f"{data.errors[index]*100:6.2f}  {data.power_w[index]:7.2f}")
+    text = "\n".join(lines)
+    print()
+    print("\n".join(lines[:6]))
+    print(plot)
+    write_artifact("fig1.txt", text)
+
+    # The motivating shape: a wide iso-error power spread — a third of the
+    # 150 W TDP, like the paper's 55 W.
+    assert spread > 150.0 / 3.0 * 0.6
+    # And power is far from a deterministic function of accuracy.
+    correlation = abs(np.corrcoef(data.errors, data.power_w)[0, 1])
+    assert correlation < 0.6

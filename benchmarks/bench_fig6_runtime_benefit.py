@@ -1,0 +1,84 @@
+"""Figure 6 — benefit of the models + early termination (CIFAR-10).
+
+Regenerates the paper's Figure 6: best observed feasible test error
+against total optimization wall time on CIFAR-10/GTX 1070, with each
+solver's HyperPower implementation (solid) against its exhaustive default
+(dotted).  "All four methods reach a high-performance region faster than
+the default (exhaustive) methods, which can be seen with all solid lines
+lying to the left of the dotted ones."
+"""
+
+import numpy as np
+
+from repro.experiments.ascii_plot import step_lines
+from repro.experiments.fixed_runtime import figure6_series
+
+from _shared import get_runtime_study, write_artifact
+
+
+def _time_to_error(times, values, target):
+    for t, v in zip(times, values):
+        if v <= target:
+            return t
+    return float("inf")
+
+
+def test_fig6_runtime_benefit(benchmark):
+    study = get_runtime_study()
+    series = benchmark(lambda: figure6_series(study, "cifar10-gtx1070"))
+
+    lines = ["Figure 6: best feasible error vs wall time (CIFAR-10, GTX 1070)"]
+    for solver, variants in series.items():
+        for variant, (times, values) in variants.items():
+            style = "solid" if variant == "hyperpower" else "dotted"
+            lines.append("")
+            lines.append(f"[{solver} / {variant} ({style})]  t_hours  best_error")
+            # Subsample long step series for the artifact.
+            step = max(1, len(times) // 60)
+            for t, v in zip(times[::step], values[::step]):
+                lines.append(f"  {t/3600.0:8.3f}  {v:6.4f}")
+    plot = step_lines(
+        {
+            f"{solver}/{'hp' if variant == 'hyperpower' else 'def'}": (
+                times / 3600.0,
+                values * 100,
+            )
+            for solver, variants in series.items()
+            for variant, (times, values) in variants.items()
+        },
+        title="Figure 6: best feasible error vs wall time (CIFAR-10, GTX 1070)",
+        x_label="wall time (h)",
+        y_label="best error (%)",
+        width=72,
+    )
+    text = "\n".join(lines) + "\n\n" + plot
+    print()
+    for solver, variants in series.items():
+        for variant, (times, values) in variants.items():
+            print(
+                f"{solver:10s} {variant:10s} final best={values[-1]*100:6.2f}% "
+                f"samples={len(times)}"
+            )
+    print(plot)
+    write_artifact("fig6.txt", text)
+
+    # Solid left of dotted: at a common error level, the HyperPower trace
+    # gets there no later than the default for most solvers.
+    earlier = later = 0
+    for solver, variants in series.items():
+        d_times, d_values = variants["default"]
+        h_times, h_values = variants["hyperpower"]
+        target = min(float(np.min(d_values)), float(np.min(h_values))) + 0.02
+        t_default = _time_to_error(d_times, d_values, target)
+        t_hyper = _time_to_error(h_times, h_values, target)
+        if t_hyper <= t_default:
+            earlier += 1
+        else:
+            later += 1
+    assert earlier >= later
+
+    # Density: HyperPower traces contain far more samples (cheaply
+    # discarded ones included).
+    rand_default = len(series["Rand"]["default"][0])
+    rand_hyper = len(series["Rand"]["hyperpower"][0])
+    assert rand_hyper > 3 * rand_default

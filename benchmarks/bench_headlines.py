@@ -1,0 +1,30 @@
+"""The abstract's headline factors, paper vs measured.
+
+Distils the fixed-runtime study into the four numbers the paper's
+abstract leads with: up to 112.99x faster to the default's sample count,
+up to 30.12x faster to its best error, up to 57.20x more samples queried,
+and accuracy improved by up to 67.6%.
+"""
+
+import math
+
+from repro.experiments.headlines import compute_headlines, format_headlines
+
+from _shared import get_runtime_study, write_artifact
+
+
+def test_headlines(benchmark):
+    study = get_runtime_study()
+    headlines = benchmark(lambda: compute_headlines(study))
+    table = format_headlines(headlines)
+    print()
+    print(table)
+    write_artifact("headlines.txt", table)
+
+    # The orders of magnitude of the paper's abstract: huge sample-count
+    # effects, meaningful accuracy effects.
+    assert headlines.max_speedup_to_sample_count > 10.0
+    assert headlines.max_sample_increase > 10.0
+    assert headlines.max_accuracy_improvement_pct > 20.0
+    if math.isfinite(headlines.max_speedup_to_best_error):
+        assert headlines.max_speedup_to_best_error > 1.0

@@ -1,0 +1,32 @@
+"""Table 1 — RMSPE of the power and memory models.
+
+Regenerates the paper's Table 1: 10-fold cross-validated Root Mean Square
+Percentage Error of the linear power/memory predictors on all four
+device-dataset pairs (no memory column on the Tegra TX1).
+
+Paper values: power 5.70 / 5.98 / 6.62 / 4.17 %, memory 4.43 / 4.67 %,
+headline claim "always less than 7%".
+"""
+
+from repro.experiments.model_accuracy import format_table1, run_model_accuracy
+
+from _shared import get_model_accuracy_study, write_artifact
+
+
+def test_table1_model_rmspe(benchmark):
+    study = benchmark.pedantic(
+        lambda: run_model_accuracy(n_samples=100, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table1(study)
+    print()
+    print(table)
+    write_artifact("table1.txt", table)
+
+    # The paper's headline shape: every model under 7% RMSPE, and no
+    # memory model on the TX1.
+    assert study.max_rmspe < 7.0
+    assert study.pairs["mnist-tx1"].memory_rmspe is None
+    assert study.pairs["cifar10-tx1"].memory_rmspe is None
+    assert study.pairs["mnist-gtx1070"].memory_rmspe is not None

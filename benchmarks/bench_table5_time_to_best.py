@@ -1,0 +1,52 @@
+"""Table 5 — runtime improvement to reach the default's best accuracy.
+
+Regenerates the paper's Table 5: hours until the best feasible error the
+default variant ever achieved is first matched, default vs HyperPower,
+with the geometric-mean speedup.
+
+Paper shapes: HyperPower reaches the default's best accuracy faster in
+the overwhelming majority of cells (up to 30.12x); cells whose default
+never found a feasible solution (Rand-Walk on CIFAR-10) are '--'.
+"""
+
+import math
+
+from repro.experiments.fixed_runtime import format_table5
+
+from _shared import bench_scale, get_runtime_study, write_artifact
+
+
+def test_table5_time_to_best(benchmark):
+    study = get_runtime_study()
+    table = benchmark(lambda: format_table5(study))
+    print()
+    print(table)
+    write_artifact("table5.txt", table)
+
+    # Across all cells, count per-run pairings where HyperPower reached
+    # the default's best error at least as fast.
+    faster = slower = 0
+    for pair in study.pair_keys:
+        for solver in study.solvers:
+            for default_run, hyper_run in zip(
+                study.cell(pair, solver, "default"),
+                study.cell(pair, solver, "hyperpower"),
+            ):
+                if not default_run.found_feasible:
+                    continue
+                target = default_run.best_feasible_error
+                d_time = default_run.time_to_reach_error(target)
+                h_time = hyper_run.time_to_reach_error(target)
+                if not math.isfinite(d_time):
+                    continue
+                if math.isfinite(h_time) and h_time <= d_time:
+                    faster += 1
+                else:
+                    slower += 1
+    # At reduced wall-clock scale this metric is heavily truncated (the
+    # HyperPower run may simply not have had the budget left to match the
+    # default's level), so the majority requirement only applies to the
+    # full protocol.
+    assert faster >= 1
+    if bench_scale() >= 0.9:
+        assert faster >= slower

@@ -1,0 +1,71 @@
+"""Extension: optimize under a latency budget as well.
+
+The paper's related work optimizes NNs "under runtime constraints" [14]
+with the same machinery; this reproduction supports a batch-inference
+latency budget alongside power and memory, through an identically-built
+linear predictor.
+
+Run:  python examples/latency_constrained.py
+"""
+
+import numpy as np
+
+from repro.core.constraints import ConstraintSpec, ModelConstraintChecker
+from repro.core.hyperpower import HyperPower
+from repro.core.methods import RandomSearch
+from repro.core.objective import NNObjective
+from repro.core.clock import SimClock
+from repro.hwsim import GTX_1070, HardwareProfiler
+from repro.models import fit_hardware_models, fit_latency_model, run_profiling_campaign
+from repro.space import mnist_space
+from repro.trainsim import MNIST, ErrorSurface, TrainingSimulator
+
+space = mnist_space()
+rng = np.random.default_rng(0)
+profiler = HardwareProfiler(GTX_1070, rng)
+
+# One campaign feeds all three predictors.
+campaign = run_profiling_campaign(space, "mnist", profiler, 100, rng)
+power_model, memory_model = fit_hardware_models(
+    space, campaign, rng=np.random.default_rng(1), fit_intercept=True
+)
+latency_model = fit_latency_model(space, campaign, rng=np.random.default_rng(2))
+print(
+    f"predictors: power {power_model.cv_rmspe_:.2f}% / memory "
+    f"{memory_model.cv_rmspe_:.2f}% / latency {latency_model.cv_rmspe_:.2f}% RMSPE"
+)
+
+# A three-way budget: watts, bytes AND seconds per inference batch.
+median_latency = float(np.median(campaign.latency_s))
+spec = ConstraintSpec(
+    power_budget_w=90.0,
+    memory_budget_bytes=1.15 * 2**30,
+    latency_budget_s=median_latency,
+)
+print(
+    f"budgets: 90 W, 1.15 GiB, {median_latency * 1000:.2f} ms per "
+    f"{profiler.batch}-image batch"
+)
+
+checker = ModelConstraintChecker(
+    spec, power_model, memory_model, latency_model=latency_model
+)
+objective = NNObjective(
+    space=space,
+    trainer=TrainingSimulator(MNIST, ErrorSurface(MNIST), GTX_1070),
+    profiler=HardwareProfiler(GTX_1070, np.random.default_rng(3)),
+    spec=spec,
+    clock=SimClock(),
+    rng=np.random.default_rng(4),
+)
+driver = HyperPower(objective, RandomSearch(space, checker), "hyperpower")
+result = driver.run(np.random.default_rng(5), max_evaluations=6)
+
+print(f"\nqueried {result.n_samples} samples, trained {result.n_trained}, "
+      f"violations {result.n_violations}")
+best = min(
+    (t for t in result.trials if t.was_trained and t.feasible_meas),
+    key=lambda t: t.error,
+)
+print(f"best feasible error: {best.error * 100:.2f}% "
+      f"({best.power_meas_w:.1f} W, all three budgets satisfied)")

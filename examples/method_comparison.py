@@ -1,0 +1,40 @@
+"""Compare the four search methods under a fixed evaluation budget.
+
+A compact version of the paper's Figure 4 experiment: random search,
+random walk, HW-CWEI and HW-IECI on CIFAR-10 with a power budget, each
+given the same number of function evaluations, reporting the best-error
+trajectory and the violation counts.
+
+Run:  python examples/method_comparison.py
+"""
+
+from repro.experiments import run_fixed_evals, figure4_series
+
+study = run_fixed_evals(
+    pair_key="cifar10-gtx1070",
+    n_repeats=2,
+    n_iterations=12,
+    seed=0,
+    profiling_samples=80,
+)
+series = figure4_series(study)
+
+print(f"CIFAR-10 on GTX 1070, {study.n_iterations} evaluations per run\n")
+print(f"{'method':10s} {'final best error':>18s} {'violations':>12s}")
+for solver, panels in series.items():
+    best = panels["best_error_curve"][-1]
+    violations = panels["violation_curve"][-1]
+    print(f"{solver:10s} {best * 100:17.2f}% {violations:12.1f}")
+
+print("\nbest-error trajectory (mean over repeats):")
+header = "eval:      " + " ".join(f"{i + 1:5d}" for i in range(study.n_iterations))
+print(header)
+for solver, panels in series.items():
+    curve = " ".join(f"{v * 100:5.1f}" for v in panels["best_error_curve"])
+    print(f"{solver:10s} {curve}")
+
+print(
+    "\nreading guide: the Bayesian methods drop into the good-error region "
+    "within a few evaluations; HW-IECI does so without touching the "
+    "infeasible region (violations ~0), exactly Figure 4's story."
+)

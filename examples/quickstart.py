@@ -1,0 +1,52 @@
+"""Quickstart: power-constrained hyper-parameter optimization in ~30 lines.
+
+The Figure 2 workflow: you provide the design space, the target platform,
+the budgets and an iteration count — HyperPower returns the most accurate
+network that satisfies the constraints.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import quick_setup
+
+# 1. Pick the benchmark, the target platform and the budgets.
+#    Behind this call: the design space (6 hyper-parameters for MNIST), an
+#    offline profiling campaign on the target, and the linear power/memory
+#    models of Equations 1-2 fitted with 10-fold cross-validation.
+setup = quick_setup(
+    "mnist",
+    "gtx1070",
+    power_budget_w=85.0,
+    memory_budget_gb=1.15,
+    seed=0,
+    profiling_samples=80,
+)
+print(
+    f"predictive models ready: power RMSPE "
+    f"{setup.power_model.cv_rmspe_:.2f}%, memory RMSPE "
+    f"{setup.memory_model.cv_rmspe_:.2f}%"
+)
+
+# 2. Run the flagship method: Bayesian optimization with the HW-IECI
+#    acquisition (EI gated by the a-priori constraint models) plus early
+#    termination of diverging trainings.
+result = setup.run("HW-IECI", "hyperpower", run_seed=1, max_evaluations=10)
+
+# 3. Inspect the outcome.
+print(f"\nqueried samples : {result.n_samples}")
+print(f"trained networks: {result.n_trained}")
+print(f"violations      : {result.n_violations}")
+print(f"best test error : {result.best_feasible_error * 100:.2f}%")
+print(f"simulated time  : {result.wall_time_s / 3600:.2f} h")
+
+best = min(
+    (t for t in result.trials if t.was_trained and t.feasible_meas),
+    key=lambda t: t.error,
+)
+print("\nbest configuration found:")
+for name, value in sorted(best.config.items()):
+    print(f"  {name:15s} = {value}")
+print(
+    f"  -> measured {best.power_meas_w:.1f} W "
+    f"(budget 85 W), error {best.error * 100:.2f}%"
+)

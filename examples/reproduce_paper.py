@@ -1,0 +1,75 @@
+"""Regenerate the paper's evaluation end to end, at a chosen scale.
+
+Produces every table, the headline factors, and the motivating numbers in
+one pass, writing each artifact under ``paper_artifacts/``.  At the
+default demo scale this takes a couple of minutes; pass ``--scale 1.0
+--repeats 3`` for the full 2 h / 5 h protocol (a few minutes more).
+
+Run:  python examples/reproduce_paper.py [--scale 0.25] [--repeats 2]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.experiments import (
+    compute_headlines,
+    format_headlines,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_table5,
+    run_fixed_runtime,
+    run_intro_comparison,
+    run_model_accuracy,
+)
+
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument("--scale", type=float, default=0.25,
+                    help="fraction of the paper's wall-clock budgets")
+parser.add_argument("--repeats", type=int, default=2,
+                    help="runs per method variant")
+parser.add_argument("--out", default="paper_artifacts",
+                    help="directory for the rendered artifacts")
+args = parser.parse_args()
+
+out_dir = Path(args.out)
+out_dir.mkdir(parents=True, exist_ok=True)
+
+
+def emit(name: str, text: str) -> None:
+    (out_dir / name).write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+# The intro's motivating example.
+intro = run_intro_comparison(n_samples=200, seed=0)
+emit(
+    "intro.txt",
+    "Motivating example (intro): hand-designed baseline at "
+    f"{intro.baseline_error*100:.2f}% / {intro.baseline_power_w:.1f} W\n"
+    f"  iso-error power savings : {intro.power_savings_w:.2f} W\n"
+    f"  iso-power error reduction: {intro.error_reduction*100:.2f} points "
+    f"(to {intro.iso_power_error*100:.2f}%)",
+)
+
+# Table 1 (model accuracy).
+accuracy = run_model_accuracy(n_samples=100, seed=0)
+emit("table1.txt", format_table1(accuracy))
+
+# Tables 2-5 + headlines from one fixed-runtime study.
+print(
+    f"\nrunning the fixed-runtime protocol at scale {args.scale} "
+    f"({args.repeats} repeats) ..."
+)
+study = run_fixed_runtime(
+    n_repeats=args.repeats, time_scale=args.scale, seed=0
+)
+emit("table2.txt", format_table2(study))
+emit("table3.txt", format_table3(study))
+emit("table4.txt", format_table4(study))
+emit("table5.txt", format_table5(study))
+emit("headlines.txt", format_headlines(compute_headlines(study)))
+
+print(f"\nartifacts written to {out_dir}/")

@@ -1,0 +1,58 @@
+"""repro — a reproduction of *HyperPower: Power- and Memory-Constrained
+Hyper-Parameter Optimization for Neural Networks* (Stamoulis et al.,
+DATE 2018).
+
+The package layers:
+
+* :mod:`repro.space` — hyper-parameter design spaces (the paper's MNIST
+  and CIFAR-10 AlexNet-variant spaces);
+* :mod:`repro.nn` — the CNN substrate (layers, topologies, analytic cost
+  metrics);
+* :mod:`repro.hwsim` — the GPU platforms (GTX 1070, Tegra TX1) with
+  power/memory simulation and NVML-style measurement;
+* :mod:`repro.trainsim` — the training substrate (error surface, learning
+  curves, wall-clock costs);
+* :mod:`repro.gp` — Gaussian-process regression (the Spearmint analog);
+* :mod:`repro.models` — the paper's linear power/memory predictors with
+  profiling campaigns and 10-fold CV;
+* :mod:`repro.core` — the HyperPower framework itself: constraint-aware
+  acquisitions (HW-IECI, HW-CWEI), hardware-aware random search and random
+  walk, early termination, and the optimization driver;
+* :mod:`repro.experiments` — harnesses regenerating every table and figure
+  of the paper's evaluation.
+
+Quick start::
+
+    from repro import quick_setup
+
+    setup = quick_setup("mnist", "gtx1070", power_budget_w=85.0, seed=0)
+    result = setup.run("HW-IECI", "hyperpower", max_evaluations=10)
+    print(result.best_feasible_error)
+"""
+
+from .core import (
+    SOLVERS,
+    VARIANTS,
+    ConstraintSpec,
+    HyperPower,
+    RunResult,
+    build_method,
+)
+from .experiments.setup import ExperimentSetup, quick_setup
+from .space import cifar10_space, mnist_space
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "mnist_space",
+    "cifar10_space",
+    "ConstraintSpec",
+    "HyperPower",
+    "RunResult",
+    "build_method",
+    "SOLVERS",
+    "VARIANTS",
+    "ExperimentSetup",
+    "quick_setup",
+]

@@ -1,0 +1,195 @@
+"""Command-line interface: regenerate any of the paper's artifacts.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli table1
+    python -m repro.cli table2 --scale 0.5 --repeats 3
+    python -m repro.cli fig4 --pair cifar10-gtx1070
+    python -m repro.cli run --solver HW-IECI --variant hyperpower \
+        --pair mnist-gtx1070 --evaluations 10 --out run.json
+
+``table2``..``table5`` and ``fig6`` share one fixed-runtime study per
+invocation; requesting several of them at once (``tables``) amortises it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments.fixed_evals import figure4_series, run_fixed_evals
+from .experiments.fixed_runtime import (
+    format_table2,
+    format_table3,
+    format_table4,
+    format_table5,
+    run_fixed_runtime,
+)
+from .experiments.headlines import compute_headlines, format_headlines
+from .experiments.model_accuracy import format_table1, run_model_accuracy
+from .experiments.motivating import run_figure1, run_figure3
+from .experiments.setup import PAPER_PAIRS, paper_setup
+from .io import save_runs
+
+_RUNTIME_TABLES = {
+    "table2": format_table2,
+    "table3": format_table3,
+    "table4": format_table4,
+    "table5": format_table5,
+}
+
+
+def _cmd_table1(args) -> None:
+    study = run_model_accuracy(n_samples=args.samples, seed=args.seed)
+    print(format_table1(study))
+
+
+def _cmd_runtime_tables(args, which: list[str]) -> None:
+    study = run_fixed_runtime(
+        n_repeats=args.repeats,
+        time_scale=args.scale,
+        profiling_samples=args.samples,
+        seed=args.seed,
+    )
+    for name in which:
+        print()
+        print(_RUNTIME_TABLES[name](study))
+
+
+def _cmd_fig1(args) -> None:
+    data = run_figure1(n_samples=args.samples, seed=args.seed)
+    spread = data.iso_error_power_spread()
+    print(
+        f"Figure 1: {len(data.errors)} variants, power "
+        f"{data.power_w.min():.1f}-{data.power_w.max():.1f} W, "
+        f"max iso-error spread {spread:.1f} W"
+    )
+    for error, power in sorted(zip(data.errors, data.power_w)):
+        print(f"  {error * 100:6.2f}%  {power:7.2f} W")
+
+
+def _cmd_fig3(args) -> None:
+    data = run_figure3(seed=args.seed)
+    print(
+        "Figure 3 (left): power-vs-epoch max relative range "
+        f"{data.power_epoch_sensitivity:.3f}"
+    )
+    print("Figure 3 (right): per-epoch error curves")
+    for label, curves in (
+        ("converging", data.converging_curves),
+        ("diverging", data.diverging_curves),
+    ):
+        for curve in curves:
+            cells = " ".join(f"{v:5.3f}" for v in curve)
+            print(f"  {label[:4]} {cells}")
+
+
+def _cmd_fig4(args) -> None:
+    study = run_fixed_evals(
+        pair_key=args.pair,
+        n_repeats=args.repeats,
+        seed=args.seed,
+        profiling_samples=args.samples,
+    )
+    series = figure4_series(study)
+    for solver, panels in series.items():
+        best = panels["best_error_curve"][-1]
+        violations = panels["violation_curve"][-1]
+        print(
+            f"{solver:10s} final best error {best * 100:6.2f}%  "
+            f"violations {violations:5.1f}"
+        )
+
+
+def _cmd_run(args) -> None:
+    setup, pair = paper_setup(
+        args.pair, seed=args.seed, profiling_samples=args.samples
+    )
+    kwargs = {}
+    if args.evaluations is not None:
+        kwargs["max_evaluations"] = args.evaluations
+    if args.hours is not None:
+        kwargs["max_time_s"] = args.hours * 3600.0
+    if not kwargs:
+        kwargs["max_time_s"] = pair.time_budget_s
+    result = setup.run(args.solver, args.variant, run_seed=args.run_seed, **kwargs)
+    print(
+        f"{args.solver}/{args.variant} on {args.pair}: "
+        f"{result.n_samples} samples, {result.n_trained} trained, "
+        f"{result.n_violations} violations, best feasible error "
+        f"{result.best_feasible_error * 100:.2f}%"
+    )
+    if args.out:
+        path = save_runs([result], args.out)
+        print(f"saved run to {path}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HyperPower reproduction harness"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--samples", type=int, default=100, help="profiling-campaign size"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1: model RMSPE")
+
+    for name in ("table2", "table3", "table4", "table5", "tables", "headlines"):
+        p = sub.add_parser(name, help=f"{name}: fixed-runtime protocol")
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument("--repeats", type=int, default=3)
+
+    p = sub.add_parser("fig1", help="Figure 1: error-power scatter")
+    p = sub.add_parser("fig3", help="Figure 3: the two insights")
+    p = sub.add_parser("fig4", help="Figure 4: fixed evaluations")
+    p.add_argument("--pair", default="cifar10-gtx1070", choices=sorted(PAPER_PAIRS))
+    p.add_argument("--repeats", type=int, default=5)
+
+    p = sub.add_parser("run", help="run one method variant")
+    p.add_argument("--pair", default="mnist-gtx1070", choices=sorted(PAPER_PAIRS))
+    p.add_argument("--solver", default="HW-IECI",
+                   choices=["Rand", "Rand-Walk", "HW-CWEI", "HW-IECI"])
+    p.add_argument("--variant", default="hyperpower",
+                   choices=["default", "hyperpower"])
+    p.add_argument("--evaluations", type=int, default=None)
+    p.add_argument("--hours", type=float, default=None)
+    p.add_argument("--run-seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="save the run as JSON")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        _cmd_table1(args)
+    elif args.command in _RUNTIME_TABLES:
+        _cmd_runtime_tables(args, [args.command])
+    elif args.command == "tables":
+        _cmd_runtime_tables(args, list(_RUNTIME_TABLES))
+    elif args.command == "headlines":
+        study = run_fixed_runtime(
+            n_repeats=args.repeats,
+            time_scale=args.scale,
+            profiling_samples=args.samples,
+            seed=args.seed,
+        )
+        print(format_headlines(compute_headlines(study)))
+    elif args.command == "fig1":
+        _cmd_fig1(args)
+    elif args.command == "fig3":
+        _cmd_fig3(args)
+    elif args.command == "fig4":
+        _cmd_fig4(args)
+    elif args.command == "run":
+        _cmd_run(args)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

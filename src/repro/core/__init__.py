@@ -1,0 +1,64 @@
+"""The HyperPower framework core (paper Section 3)."""
+
+from .acquisition import (
+    HWCWEI,
+    HWIECI,
+    Acquisition,
+    ExpectedImprovement,
+    expected_improvement,
+)
+from .clock import DEFAULT_COST_MODEL, CostModel, SimClock
+from .constraints import (
+    GIB,
+    ConstraintSpec,
+    GPConstraintModel,
+    ModelConstraintChecker,
+)
+from .early_term import CurveExtrapolationTermination, EarlyTermination
+from .hyperpower import SOLVERS, VARIANTS, HyperPower, build_method
+from .methods import (
+    BayesianOptimizer,
+    GridSearch,
+    Proposal,
+    RandomSearch,
+    RandomWalk,
+    RejectedProposal,
+    SearchMethod,
+    SearchState,
+)
+from .objective import EvaluationOutcome, NNObjective
+from .result import RunResult, Trial, TrialStatus
+
+__all__ = [
+    "SimClock",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Trial",
+    "TrialStatus",
+    "RunResult",
+    "ConstraintSpec",
+    "ModelConstraintChecker",
+    "GPConstraintModel",
+    "GIB",
+    "EarlyTermination",
+    "CurveExtrapolationTermination",
+    "expected_improvement",
+    "Acquisition",
+    "ExpectedImprovement",
+    "HWIECI",
+    "HWCWEI",
+    "NNObjective",
+    "EvaluationOutcome",
+    "SearchState",
+    "SearchMethod",
+    "Proposal",
+    "RejectedProposal",
+    "RandomSearch",
+    "RandomWalk",
+    "GridSearch",
+    "BayesianOptimizer",
+    "HyperPower",
+    "build_method",
+    "SOLVERS",
+    "VARIANTS",
+]

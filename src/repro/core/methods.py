@@ -1,0 +1,494 @@
+"""Search methods (paper Sections 3.1, 3.5).
+
+Four solvers, each usable in two variants:
+
+* **Rand** — uniform random search [5].  The HyperPower variant screens
+  every proposal through the predictive models and discards violating ones
+  at millisecond cost (each discarded proposal still counts as a queried
+  sample, which is the accounting behind Tables 3-4).
+* **Rand-Walk** — Gaussian random walk around the incumbent [8],
+  ``x_{n+1} ~ N(x+, sigma0^2)``.  The default variant's incumbent is the
+  best *observed* objective regardless of feasibility — which is why it
+  can hover in an infeasible basin forever (the '--' rows of Table 2);
+  the HyperPower variant walks around the best *feasible* point and
+  screens proposals through the models.
+* **HW-CWEI / HW-IECI** — GP-based Bayesian optimization with the
+  constraint-weighted / indicator-gated EI acquisitions.  The HyperPower
+  variants evaluate constraints through the a-priori models; the default
+  variants learn them with constraint GPs from hardware measurements of
+  already-evaluated points [6, 17].
+
+A method never trains anything itself: it returns a :class:`Proposal` and
+the driver (:mod:`repro.core.hyperpower`) evaluates it, charges the clock,
+and records trials.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gp.gp import GaussianProcess
+from ..gp.kernels import Matern52
+from ..space.space import Configuration, SearchSpace
+from .acquisition import Acquisition
+from .constraints import GPConstraintModel, ModelConstraintChecker
+from .result import Trial
+
+__all__ = [
+    "SearchState",
+    "RejectedProposal",
+    "Proposal",
+    "SearchMethod",
+    "RandomSearch",
+    "RandomWalk",
+    "GridSearch",
+    "BayesianOptimizer",
+]
+
+
+@dataclass
+class SearchState:
+    """Everything a method may condition on, maintained by the driver."""
+
+    #: All queried samples so far (including model-rejected ones).
+    trials: list[Trial] = field(default_factory=list)
+    #: Configurations on which training epochs were spent, in order.
+    trained_configs: list[Configuration] = field(default_factory=list)
+    #: Their best observed test errors.
+    trained_errors: list[float] = field(default_factory=list)
+    #: Their measured feasibility.
+    trained_feasible: list[bool] = field(default_factory=list)
+
+    @property
+    def n_trained(self) -> int:
+        """Number of trained evaluations so far."""
+        return len(self.trained_configs)
+
+    def best_feasible(self) -> tuple[Configuration, float] | None:
+        """Best (config, error) among measured-feasible evaluations."""
+        best = None
+        for config, error, feasible in zip(
+            self.trained_configs, self.trained_errors, self.trained_feasible
+        ):
+            if not feasible:
+                continue
+            if best is None or error < best[1]:
+                best = (config, error)
+        return best
+
+    def best_any(self) -> tuple[Configuration, float] | None:
+        """Best (config, error) regardless of feasibility."""
+        best = None
+        for config, error in zip(self.trained_configs, self.trained_errors):
+            if best is None or error < best[1]:
+                best = (config, error)
+        return best
+
+    def incumbent_error(self) -> float | None:
+        """The adaptive EI threshold ``y+``: best feasible error, falling
+        back to the best observed error before anything feasible exists."""
+        feasible = self.best_feasible()
+        if feasible is not None:
+            return feasible[1]
+        any_best = self.best_any()
+        return None if any_best is None else any_best[1]
+
+
+@dataclass(frozen=True)
+class RejectedProposal:
+    """A proposal discarded by the predictive models before training."""
+
+    config: Configuration
+    power_pred_w: float | None
+    memory_pred_bytes: float | None
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """What a method wants evaluated next, plus its bookkeeping."""
+
+    #: The configuration to train and measure.
+    config: Configuration
+    #: Model-rejected proposals to record as queried samples.
+    rejected: tuple[RejectedProposal, ...] = ()
+    #: Model evaluations performed but *not* recorded as samples (e.g. BO
+    #: filtering its initial design or its candidate pool).
+    silent_model_checks: int = 0
+    #: Number of GP fits performed while proposing (clock cost).
+    gp_fits: int = 0
+    #: Predictions for the chosen config (None without models).
+    power_pred_w: float | None = None
+    memory_pred_bytes: float | None = None
+    #: Model feasibility of the chosen config (None when unchecked).
+    feasible_pred: bool | None = None
+
+
+def _predictions(checker, config) -> tuple[float | None, float | None]:
+    if checker is None or not hasattr(checker, "predictions"):
+        return None, None
+    return checker.predictions(config)
+
+
+class SearchMethod(ABC):
+    """Base class for solvers."""
+
+    #: Paper name of the solver (``'Rand'``, ``'HW-IECI'``, ...).
+    name = "method"
+
+    def __init__(self, space: SearchSpace):
+        self.space = space
+
+    @abstractmethod
+    def propose(
+        self, state: SearchState, rng: np.random.Generator
+    ) -> Proposal:
+        """Choose the next configuration to evaluate."""
+
+
+class _ModelScreeningMixin:
+    """Shared screening loop for the model-free HyperPower methods."""
+
+    #: Rejected proposals allowed before giving up and accepting anyway.
+    max_rejects = 5000
+
+    def _screen(
+        self,
+        draw,
+        checker: ModelConstraintChecker | None,
+    ) -> tuple[Configuration, list[RejectedProposal], float | None, float | None, bool | None]:
+        """Draw proposals from ``draw()`` until the models accept one."""
+        rejected: list[RejectedProposal] = []
+        config = None
+        for _ in range(self.max_rejects + 1):
+            config = draw()
+            if checker is None:
+                return config, rejected, None, None, None
+            power, memory = checker.predictions(config)
+            if checker.indicator(config):
+                return config, rejected, power, memory, True
+            rejected.append(RejectedProposal(config, power, memory))
+        # Budget exhausted: evaluate the last draw anyway (flagged invalid).
+        last = rejected.pop()
+        return last.config, rejected, last.power_pred_w, last.memory_pred_bytes, False
+
+
+class RandomSearch(_ModelScreeningMixin, SearchMethod):
+    """Uniform random search; model-screened in the HyperPower variant."""
+
+    name = "Rand"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        checker: ModelConstraintChecker | None = None,
+    ):
+        super().__init__(space)
+        self.checker = checker
+
+    def propose(self, state, rng):
+        config, rejected, power, memory, feasible = self._screen(
+            lambda: self.space.sample(rng), self.checker
+        )
+        return Proposal(
+            config=config,
+            rejected=tuple(rejected),
+            power_pred_w=power,
+            memory_pred_bytes=memory,
+            feasible_pred=feasible,
+        )
+
+
+class RandomWalk(_ModelScreeningMixin, SearchMethod):
+    """Gaussian random walk around the incumbent (paper Section 3.5).
+
+    ``feasible_incumbent`` selects the variant: the HyperPower version
+    recentres on the best *feasible* observation, the default version on
+    the best observation full stop (constraint-unaware, as published [8]).
+    """
+
+    name = "Rand-Walk"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        sigma: float = 0.1,
+        checker: ModelConstraintChecker | None = None,
+        feasible_incumbent: bool | None = None,
+    ):
+        super().__init__(space)
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.sigma = sigma
+        self.checker = checker
+        if feasible_incumbent is None:
+            feasible_incumbent = checker is not None
+        self.feasible_incumbent = feasible_incumbent
+
+    def _incumbent(self, state: SearchState) -> Configuration | None:
+        if self.feasible_incumbent:
+            best = state.best_feasible()
+        else:
+            best = state.best_any()
+        return None if best is None else best[0]
+
+    def propose(self, state, rng):
+        incumbent = self._incumbent(state)
+        if incumbent is None:
+            draw = lambda: self.space.sample(rng)  # noqa: E731
+        else:
+            draw = lambda: self.space.neighbor(incumbent, self.sigma, rng)  # noqa: E731
+        config, rejected, power, memory, feasible = self._screen(
+            draw, self.checker
+        )
+        return Proposal(
+            config=config,
+            rejected=tuple(rejected),
+            power_pred_w=power,
+            memory_pred_bytes=memory,
+            feasible_pred=feasible,
+        )
+
+
+class GridSearch(_ModelScreeningMixin, SearchMethod):
+    """Classic grid search — the traditional technique the paper's intro
+    dismisses ("grid search yields poor results in terms of performance
+    and training time" [2]).
+
+    Enumerates the Cartesian product of per-parameter grids in
+    lexicographic order; once exhausted it restarts with a finer grid.
+    The optional checker gives it the same HyperPower screening as the
+    other model-free methods.  Unlike the other solvers this method is
+    stateful (it carries its enumeration cursor), so use a fresh instance
+    per run.
+    """
+
+    name = "Grid"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        resolution: int = 3,
+        checker: ModelConstraintChecker | None = None,
+    ):
+        super().__init__(space)
+        if resolution < 2:
+            raise ValueError("resolution must be >= 2")
+        self.checker = checker
+        self._resolution = resolution
+        self._reset_grid(resolution)
+
+    def _reset_grid(self, resolution: int) -> None:
+        self._axes = [p.grid(resolution) for p in self.space.parameters]
+        self._cursor = [0] * len(self._axes)
+        self._exhausted = False
+
+    @property
+    def grid_size(self) -> int:
+        """Points in the current grid."""
+        size = 1
+        for axis in self._axes:
+            size *= len(axis)
+        return size
+
+    def _advance(self) -> Configuration:
+        if self._exhausted:
+            # Refine and start over — the only move grid search has left.
+            self._resolution += 1
+            self._reset_grid(self._resolution)
+        config = {
+            p.name: axis[i]
+            for p, axis, i in zip(self.space.parameters, self._axes, self._cursor)
+        }
+        # Lexicographic increment.
+        for dim in reversed(range(len(self._cursor))):
+            self._cursor[dim] += 1
+            if self._cursor[dim] < len(self._axes[dim]):
+                break
+            self._cursor[dim] = 0
+        else:
+            self._exhausted = True
+        return config
+
+    def propose(self, state, rng):
+        config, rejected, power, memory, feasible = self._screen(
+            self._advance, self.checker
+        )
+        return Proposal(
+            config=config,
+            rejected=tuple(rejected),
+            power_pred_w=power,
+            memory_pred_bytes=memory,
+            feasible_pred=feasible,
+        )
+
+
+class BayesianOptimizer(SearchMethod):
+    """GP-based sequential model-based optimization (Figure 2's loop).
+
+    Parameters
+    ----------
+    space:
+        The design space.
+    acquisition:
+        Scoring rule for candidates (HW-IECI, HW-CWEI, or plain EI).
+    model_checker:
+        The a-priori predictive-model checker — present only in HyperPower
+        variants, where it also screens the initial design and provides the
+        predictions recorded on every chosen sample.
+    learned_constraints:
+        The observation-driven constraint GPs — present only in *default*
+        constrained variants; refitted from the state before each proposal.
+    n_init:
+        Random designs evaluated before the surrogate takes over.
+    pool_size:
+        Random candidates scored per iteration ("each sampled grid point of
+        the hyper-parameter space", Section 3.3).
+    n_local:
+        Extra candidates perturbed around the incumbent (exploitation).
+    """
+
+    name = "BO"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        acquisition: Acquisition,
+        model_checker: ModelConstraintChecker | None = None,
+        learned_constraints: GPConstraintModel | None = None,
+        n_init: int = 5,
+        pool_size: int = 1000,
+        n_local: int = 20,
+        local_sigma: float = 0.08,
+        gp_restarts: int = 2,
+    ):
+        super().__init__(space)
+        if model_checker is not None and learned_constraints is not None:
+            raise ValueError(
+                "a variant uses either a-priori models or learned "
+                "constraint GPs, not both"
+            )
+        if n_init < 1 or pool_size < 1:
+            raise ValueError("n_init and pool_size must be >= 1")
+        self.acquisition = acquisition
+        self.model_checker = model_checker
+        self.learned_constraints = learned_constraints
+        self.n_init = n_init
+        self.pool_size = pool_size
+        self.n_local = n_local
+        self.local_sigma = local_sigma
+        self.gp_restarts = gp_restarts
+        self.name = acquisition.name
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _screened_random(
+        self, rng: np.random.Generator, limit: int = 5000
+    ) -> tuple[Configuration, int]:
+        """A uniform config passing the a-priori models, and checks spent."""
+        checks = 0
+        config = self.space.sample(rng)
+        if self.model_checker is None:
+            return config, checks
+        for _ in range(limit):
+            checks += 1
+            if self.model_checker.indicator(config):
+                return config, checks
+            config = self.space.sample(rng)
+        return config, checks
+
+    def _candidate_pool(
+        self, state: SearchState, rng: np.random.Generator
+    ) -> list[Configuration]:
+        pool = self.space.sample_many(self.pool_size, rng)
+        incumbent = state.best_feasible() or state.best_any()
+        if incumbent is not None:
+            pool.extend(
+                self.space.neighbor(incumbent[0], self.local_sigma, rng)
+                for _ in range(self.n_local)
+            )
+        return pool
+
+    def _refit_learned_constraints(self, state: SearchState) -> int:
+        """Refit constraint GPs from measured trials; returns fits done."""
+        model = self.learned_constraints
+        if model is None:
+            return 0
+        model._X.clear()
+        model._power.clear()
+        model._memory.clear()
+        model._latency.clear()
+        for trial in state.trials:
+            if not trial.was_trained:
+                continue
+            model.observe(
+                trial.config,
+                trial.power_meas_w,
+                trial.memory_meas_bytes,
+                trial.latency_meas_s,
+            )
+        model.refit()
+        active = (
+            (model.spec.power_budget_w is not None)
+            + (model.spec.memory_budget_bytes is not None)
+            + (model.spec.latency_budget_s is not None)
+        )
+        return active
+
+    # -- proposal -------------------------------------------------------------------
+
+    def propose(self, state, rng):
+        # Initial design: random (model-screened in HyperPower variants).
+        if state.n_trained < self.n_init:
+            config, checks = self._screened_random(rng)
+            power, memory = _predictions(self.model_checker, config)
+            feasible = (
+                self.model_checker.indicator(config)
+                if self.model_checker is not None
+                else None
+            )
+            return Proposal(
+                config=config,
+                silent_model_checks=checks,
+                power_pred_w=power,
+                memory_pred_bytes=memory,
+                feasible_pred=feasible,
+            )
+
+        gp_fits = 1
+        gp_fits += self._refit_learned_constraints(state)
+
+        X = self.space.encode_many(state.trained_configs)
+        y = np.asarray(state.trained_errors, dtype=float)
+        gp = GaussianProcess(kernel=Matern52(self.space.dimension))
+        gp.fit(X, y, restarts=self.gp_restarts, rng=rng)
+
+        incumbent = state.incumbent_error()
+        candidates = self._candidate_pool(state, rng)
+        X_cand = self.space.encode_many(candidates)
+        scores = self.acquisition.score(candidates, X_cand, gp, incumbent)
+
+        if np.max(scores) > 0:
+            config = candidates[int(np.argmax(scores))]
+            checks = 0
+        else:
+            # Acquisition saturated (all candidates gated out or EI = 0):
+            # fall back to a screened random draw to keep exploring.
+            config, checks = self._screened_random(rng)
+
+        power, memory = _predictions(self.model_checker, config)
+        feasible = (
+            self.model_checker.indicator(config)
+            if self.model_checker is not None
+            else None
+        )
+        return Proposal(
+            config=config,
+            silent_model_checks=checks,
+            gp_fits=gp_fits,
+            power_pred_w=power,
+            memory_pred_bytes=memory,
+            feasible_pred=feasible,
+        )

@@ -1,0 +1,121 @@
+"""The expensive objective: train a candidate network, measure the target.
+
+:class:`NNObjective` is step (2) of the Bayesian-optimization loop in
+Figure 2 — "the candidate NN design x_{n+1} is trained and tested" — plus
+the deployment/measurement step on the target platform.  It owns the
+simulated clock accounting for those actions:
+
+* a full training run costs minutes (dataset- and size-dependent);
+* an early-terminated run costs only the epochs before the divergence
+  detector fired;
+* deploying and profiling on the target costs seconds.
+
+Both costs are what separate the paper's HyperPower and default variants;
+nothing here depends on which search method asked for the evaluation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hwsim.profiler import HardwareMeasurement, HardwareProfiler
+from ..nn.builder import build_network
+from ..space.space import SearchSpace
+from ..trainsim.trainer import TrainingSimulator
+from .clock import SimClock
+from .constraints import ConstraintSpec
+from .early_term import EarlyTermination
+
+__all__ = ["EvaluationOutcome", "NNObjective"]
+
+
+@dataclass(frozen=True)
+class EvaluationOutcome:
+    """Everything observed from one objective evaluation."""
+
+    #: Best test error observed during the run.
+    error: float
+    #: Error at the last trained epoch.
+    final_error: float
+    #: Epochs actually trained.
+    epochs_run: int
+    #: Whether the early-termination policy truncated the run.
+    stopped_early: bool
+    #: Ground truth: did the run diverge?
+    diverged: bool
+    #: Hardware measurement on the target platform.
+    measurement: HardwareMeasurement
+    #: Ground-truth feasibility of the measured power/memory.
+    feasible_meas: bool
+    #: Total wall-clock cost charged to the clock, s.
+    cost_s: float
+
+
+class NNObjective:
+    """Train-and-measure evaluation of candidate configurations."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        trainer: TrainingSimulator,
+        profiler: HardwareProfiler,
+        spec: ConstraintSpec,
+        clock: SimClock,
+        rng: np.random.Generator,
+        early_termination: EarlyTermination | None = None,
+    ):
+        self.space = space
+        self.trainer = trainer
+        self.profiler = profiler
+        self.spec = spec
+        self.clock = clock
+        self._rng = rng
+        if early_termination is None:
+            early_termination = EarlyTermination(
+                chance_error=trainer.dataset.chance_error
+            )
+        self.early_termination = early_termination
+
+    @property
+    def dataset_name(self) -> str:
+        """Benchmark this objective trains on."""
+        return self.trainer.dataset.name
+
+    @property
+    def device_name(self) -> str:
+        """Target platform this objective measures on."""
+        return self.profiler.device.name
+
+    def evaluate(
+        self, config: Mapping, early_term: bool = False
+    ) -> EvaluationOutcome:
+        """Train ``config`` (optionally with early termination), then deploy
+        and measure it on the target platform.  Advances the clock."""
+        self.space.validate(config)
+        stop_callback = (
+            self.early_termination.should_stop if early_term else None
+        )
+        run_rng = np.random.default_rng(self._rng.integers(2**63))
+        result = self.trainer.train(config, run_rng, stop_callback=stop_callback)
+
+        network = build_network(self.dataset_name, config)
+        measurement = self.profiler.profile(network)
+        feasible = self.spec.measured_feasible(
+            measurement.power_w, measurement.memory_bytes, measurement.latency_s
+        )
+
+        cost = result.wall_time_s + measurement.duration_s
+        self.clock.advance(cost)
+        return EvaluationOutcome(
+            error=result.best_error,
+            final_error=result.final_error,
+            epochs_run=result.epochs_run,
+            stopped_early=result.stopped_early,
+            diverged=result.diverged,
+            measurement=measurement,
+            feasible_meas=feasible,
+            cost_s=cost,
+        )

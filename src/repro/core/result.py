@@ -1,0 +1,214 @@
+"""Trial and run records, plus the derived series the tables/figures need.
+
+A :class:`Trial` is one *sample queried* by a search method.  Following the
+paper's accounting (Tables 3-4 count model-rejected proposals as queried
+samples — that is how HyperPower random search reaches hundreds of samples
+per hour), a trial can be:
+
+* ``REJECTED_MODEL`` — discarded by the predictive power/memory models
+  before any training (HyperPower variants only; costs milliseconds);
+* ``EARLY_TERMINATED`` — training started but stopped after a few epochs by
+  the divergence detector (Section 3.2);
+* ``COMPLETED`` — trained to the full schedule.
+
+:class:`RunResult` wraps one optimization run and computes everything the
+evaluation section reports: best-feasible-error trajectories over samples
+and over time (Figures 4, 6), violation counts (Figure 4 center), time to
+reach a sample count (Table 3) or an error level (Table 5).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TrialStatus", "Trial", "RunResult"]
+
+
+class TrialStatus(enum.Enum):
+    """How a queried sample was handled."""
+
+    REJECTED_MODEL = "rejected-by-model"
+    EARLY_TERMINATED = "early-terminated"
+    COMPLETED = "completed"
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One queried sample of an optimization run."""
+
+    #: 0-based query order.
+    index: int
+    #: The queried configuration.
+    config: dict
+    #: How the sample was handled.
+    status: TrialStatus
+    #: Simulated time when the sample finished processing, s.
+    timestamp_s: float
+    #: Wall-clock cost of this sample, s.
+    cost_s: float
+    #: Best observed test error of the training run (NaN when rejected).
+    error: float = math.nan
+    #: Epochs actually trained (0 when rejected).
+    epochs_run: int = 0
+    #: Ground truth: did training diverge (None when rejected/unknown)?
+    diverged: bool | None = None
+    #: Model-predicted power, W (None when the method has no models).
+    power_pred_w: float | None = None
+    #: Model-predicted memory, bytes (None when unavailable).
+    memory_pred_bytes: float | None = None
+    #: Measured power, W (None when the sample was never deployed).
+    power_meas_w: float | None = None
+    #: Measured memory, bytes (None when unavailable).
+    memory_meas_bytes: float | None = None
+    #: Measured batch latency, s (None when the sample was never deployed).
+    latency_meas_s: float | None = None
+    #: Feasibility according to the predictive models (None when unchecked).
+    feasible_pred: bool | None = None
+    #: Feasibility according to hardware measurements (None when unmeasured).
+    feasible_meas: bool | None = None
+
+    @property
+    def was_trained(self) -> bool:
+        """Whether any training epochs were spent on this sample."""
+        return self.status is not TrialStatus.REJECTED_MODEL
+
+    @property
+    def is_violation(self) -> bool:
+        """Whether the sample was deployed and violated measured constraints."""
+        return self.feasible_meas is False
+
+
+@dataclass
+class RunResult:
+    """One optimization run of one method variant."""
+
+    #: Solver name (``'Rand'``, ``'Rand-Walk'``, ``'HW-CWEI'``, ``'HW-IECI'``).
+    method: str
+    #: ``'default'`` (constraint-unaware/exhaustive) or ``'hyperpower'``.
+    variant: str
+    #: Benchmark and platform identifiers.
+    dataset: str
+    device: str
+    #: All queried samples, in order.
+    trials: list[Trial] = field(default_factory=list)
+    #: Total simulated wall time of the run, s.
+    wall_time_s: float = 0.0
+    #: Chance-level error used when a run finds no feasible point.
+    chance_error: float = 0.9
+
+    # -- counting ----------------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        """Samples queried, counting model-rejected proposals (Table 4)."""
+        return len(self.trials)
+
+    @property
+    def n_trained(self) -> int:
+        """Samples on which training epochs were spent."""
+        return sum(1 for t in self.trials if t.was_trained)
+
+    @property
+    def n_completed(self) -> int:
+        """Samples trained to the full schedule."""
+        return sum(1 for t in self.trials if t.status is TrialStatus.COMPLETED)
+
+    @property
+    def n_violations(self) -> int:
+        """Deployed samples that violated the measured constraints."""
+        return sum(1 for t in self.trials if t.is_violation)
+
+    def violation_counts(self) -> np.ndarray:
+        """Cumulative violations after each queried sample (Figure 4 center)."""
+        return np.cumsum([1 if t.is_violation else 0 for t in self.trials])
+
+    # -- best-error trajectories ----------------------------------------------
+
+    def _feasible_errors(self) -> list[tuple[int, float, float]]:
+        """(index, timestamp, error) of feasible, trained samples."""
+        rows = []
+        for t in self.trials:
+            if not t.was_trained or math.isnan(t.error):
+                continue
+            if t.feasible_meas is False:
+                continue
+            rows.append((t.index, t.timestamp_s, t.error))
+        return rows
+
+    @property
+    def best_feasible_error(self) -> float:
+        """Lowest feasible error found; chance error when none was found."""
+        rows = self._feasible_errors()
+        if not rows:
+            return self.chance_error
+        return min(error for _, _, error in rows)
+
+    def best_error_vs_samples(self) -> np.ndarray:
+        """Best feasible error after each queried sample (Figure 4 left).
+
+        Entries before the first feasible observation hold the chance error.
+        """
+        best = self.chance_error
+        out = np.empty(len(self.trials))
+        for i, t in enumerate(self.trials):
+            if (
+                t.was_trained
+                and not math.isnan(t.error)
+                and t.feasible_meas is not False
+            ):
+                best = min(best, t.error)
+            out[i] = best
+        return out
+
+    def best_error_vs_time(self) -> tuple[np.ndarray, np.ndarray]:
+        """Step series ``(timestamps_s, best_feasible_error)`` (Figure 6)."""
+        times, values = [], []
+        best = self.chance_error
+        for t in self.trials:
+            if (
+                t.was_trained
+                and not math.isnan(t.error)
+                and t.feasible_meas is not False
+            ):
+                best = min(best, t.error)
+            times.append(t.timestamp_s)
+            values.append(best)
+        return np.asarray(times), np.asarray(values)
+
+    # -- table queries -------------------------------------------------------------
+
+    def time_to_reach_samples(self, n: int) -> float:
+        """Simulated time at which the ``n``-th sample finished, s (Table 3).
+
+        ``inf`` when the run queried fewer than ``n`` samples.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if n > len(self.trials):
+            return math.inf
+        return self.trials[n - 1].timestamp_s
+
+    def time_to_reach_error(self, target_error: float) -> float:
+        """Simulated time at which the best feasible error first reached
+        ``target_error``, s (Table 5).  ``inf`` when never reached."""
+        best = math.inf
+        for t in self.trials:
+            if (
+                t.was_trained
+                and not math.isnan(t.error)
+                and t.feasible_meas is not False
+            ):
+                best = min(best, t.error)
+                if best <= target_error:
+                    return t.timestamp_s
+        return math.inf
+
+    @property
+    def found_feasible(self) -> bool:
+        """Whether any feasible trained sample was found (Table 2's '--'
+        entries are runs where default Rand-Walk never did)."""
+        return bool(self._feasible_errors())

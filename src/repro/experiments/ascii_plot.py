@@ -1,0 +1,135 @@
+"""Minimal ASCII plotting for figure artifacts.
+
+The benchmark harness regenerates the paper's figures as data series; this
+module renders them as terminal-friendly plots so the artifacts under
+``benchmarks/out/`` are eyeballable without any plotting dependency.
+
+Two primitives cover every figure in the paper:
+
+* :func:`scatter` — Figures 1 and 5 (point clouds);
+* :func:`step_lines` — Figures 4 and 6 (best-so-far trajectories, one
+  glyph per series).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["scatter", "step_lines"]
+
+#: Glyphs assigned to successive series in multi-line plots.
+_GLYPHS = "ox+*#@%&"
+
+
+def _prepare_canvas(width: int, height: int) -> list[list[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _render(
+    canvas: list[list[str]],
+    title: str,
+    x_label: str,
+    y_label: str,
+    x_range: tuple[float, float],
+    y_range: tuple[float, float],
+    legend: str = "",
+) -> str:
+    lines = [title]
+    if legend:
+        lines.append(legend)
+    lines.append(f"{y_label}  [{y_range[0]:.4g} .. {y_range[1]:.4g}]")
+    border = "+" + "-" * len(canvas[0]) + "+"
+    lines.append(border)
+    for row in canvas:
+        lines.append("|" + "".join(row) + "|")
+    lines.append(border)
+    lines.append(f"{x_label}  [{x_range[0]:.4g} .. {x_range[1]:.4g}]")
+    return "\n".join(lines)
+
+
+def _scale(values: np.ndarray, low: float, high: float, cells: int) -> np.ndarray:
+    span = high - low
+    if span <= 0:
+        return np.zeros(len(values), dtype=int)
+    positions = (values - low) / span * (cells - 1)
+    return np.clip(np.round(positions).astype(int), 0, cells - 1)
+
+
+def scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 64,
+    height: int = 20,
+    glyph: str = "o",
+) -> str:
+    """Render a point cloud (Figures 1 and 5)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same shape")
+    if x.size == 0:
+        raise ValueError("nothing to plot")
+    if width < 2 or height < 2:
+        raise ValueError("canvas too small")
+    x_range = (float(np.min(x)), float(np.max(x)))
+    y_range = (float(np.min(y)), float(np.max(y)))
+    canvas = _prepare_canvas(width, height)
+    columns = _scale(x, *x_range, width)
+    rows = _scale(y, *y_range, height)
+    for column, row in zip(columns, rows):
+        canvas[height - 1 - row][column] = glyph
+    return _render(canvas, title, x_label, y_label, x_range, y_range)
+
+
+def step_lines(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 64,
+    height: int = 20,
+) -> str:
+    """Render best-so-far step trajectories (Figures 4 and 6).
+
+    ``series`` maps a label to ``(x, y)`` arrays; each series draws with
+    its own glyph, held constant between steps (a right-continuous step
+    function, the natural shape for best-so-far curves).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 2 or height < 2:
+        raise ValueError("canvas too small")
+    all_x = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if all_x.size == 0:
+        raise ValueError("nothing to plot")
+    x_range = (float(np.min(all_x)), float(np.max(all_x)))
+    y_range = (float(np.min(all_y)), float(np.max(all_y)))
+    canvas = _prepare_canvas(width, height)
+
+    legend_parts = []
+    for glyph, (label, (x, y)) in zip(_GLYPHS, series.items()):
+        legend_parts.append(f"{glyph}={label}")
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.shape != y.shape:
+            raise ValueError(f"series {label!r}: x and y must match")
+        if x.size == 0:
+            continue
+        # Evaluate the step function at every column for a continuous look.
+        span = x_range[1] - x_range[0]
+        for column in range(width):
+            t = x_range[0] + (span * column / max(1, width - 1))
+            index = int(np.searchsorted(x, t, side="right")) - 1
+            if index < 0:
+                continue
+            row = _scale(np.array([y[index]]), *y_range, height)[0]
+            cell = canvas[height - 1 - row][column]
+            canvas[height - 1 - row][column] = glyph if cell == " " else "*"
+    legend = "legend: " + "  ".join(legend_parts)
+    return _render(canvas, title, x_label, y_label, x_range, y_range, legend)

@@ -1,0 +1,95 @@
+"""Where does the wall-clock go? — per-run time breakdown.
+
+Figure 6's "density of the samples along the solid lines" and Tables 3-4
+are consequences of how each variant *spends* its budget: full trainings,
+early-terminated trainings, model-rejected proposals, and framework
+overhead (GP fits, proposal bookkeeping).  This module attributes a
+:class:`~repro.core.result.RunResult`'s simulated time to those buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.result import RunResult, TrialStatus
+from .reporting import render_table
+
+__all__ = ["TimeBreakdown", "time_breakdown", "format_breakdown"]
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Simulated seconds spent per activity in one run."""
+
+    #: Completed (full-schedule) trainings, incl. their profiling.
+    full_training_s: float
+    #: Early-terminated trainings, incl. their profiling.
+    early_terminated_s: float
+    #: Model-rejected proposals (wrapper + constraint check).
+    rejected_s: float
+    #: Everything else: GP fits, pool scoring, proposal bookkeeping.
+    overhead_s: float
+    #: The run's total wall time.
+    total_s: float
+
+    @property
+    def accounted_s(self) -> float:
+        """Sum of the attributed buckets (== total up to rounding)."""
+        return (
+            self.full_training_s
+            + self.early_terminated_s
+            + self.rejected_s
+            + self.overhead_s
+        )
+
+    def fraction(self, bucket_s: float) -> float:
+        """A bucket's share of the total."""
+        if self.total_s <= 0:
+            return 0.0
+        return bucket_s / self.total_s
+
+
+def time_breakdown(run: RunResult) -> TimeBreakdown:
+    """Attribute ``run``'s wall time to activity buckets."""
+    full = sum(
+        t.cost_s for t in run.trials if t.status is TrialStatus.COMPLETED
+    )
+    early = sum(
+        t.cost_s for t in run.trials if t.status is TrialStatus.EARLY_TERMINATED
+    )
+    rejected = sum(
+        t.cost_s for t in run.trials if t.status is TrialStatus.REJECTED_MODEL
+    )
+    overhead = max(0.0, run.wall_time_s - full - early - rejected)
+    return TimeBreakdown(
+        full_training_s=full,
+        early_terminated_s=early,
+        rejected_s=rejected,
+        overhead_s=overhead,
+        total_s=run.wall_time_s,
+    )
+
+
+def format_breakdown(runs: dict[str, RunResult]) -> str:
+    """Render one breakdown row per labelled run."""
+    rows = []
+    for label, run in runs.items():
+        breakdown = time_breakdown(run)
+        rows.append(
+            [
+                label,
+                f"{breakdown.full_training_s / 3600:.2f} h "
+                f"({breakdown.fraction(breakdown.full_training_s) * 100:.0f}%)",
+                f"{breakdown.early_terminated_s / 3600:.2f} h "
+                f"({breakdown.fraction(breakdown.early_terminated_s) * 100:.0f}%)",
+                f"{breakdown.rejected_s / 3600:.2f} h "
+                f"({breakdown.fraction(breakdown.rejected_s) * 100:.0f}%)",
+                f"{breakdown.overhead_s / 3600:.2f} h "
+                f"({breakdown.fraction(breakdown.overhead_s) * 100:.0f}%)",
+            ]
+        )
+    return render_table(
+        "Wall-clock breakdown per run",
+        ["Run", "Full trainings", "Early-terminated", "Rejections", "Overhead"],
+        rows,
+    )

@@ -1,0 +1,145 @@
+"""Figure 4: the four methods under a fixed function-evaluation budget.
+
+"We apply each algorithm on the MNIST and CIFAR-10 NNs with power
+constraints ... we select a maximum number of 50 iterations per run (30
+for MNIST); we execute each method five times."
+
+Method forms in this protocol (before the runtime enhancements of
+Figure 6): random search and random walk are the vanilla, published
+algorithms (every sampled point is trained — that is what a fixed number
+of function evaluations means for them), HW-CWEI weights EI by the
+predictive models' satisfaction probability, and HW-IECI gates EI with the
+models' hard indicators — which is why Figure 4 (center) shows HW-IECI at
+zero constraint-violating samples while the others accumulate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.result import RunResult
+from .setup import ExperimentSetup, PAPER_PAIRS, paper_setup
+
+__all__ = [
+    "FIXED_EVAL_FORMS",
+    "FixedEvalsStudy",
+    "run_fixed_evals",
+    "figure4_series",
+]
+
+#: (solver, variant) forms compared in Figure 4.
+FIXED_EVAL_FORMS = (
+    ("Rand", "default"),
+    ("Rand-Walk", "default"),
+    ("HW-CWEI", "hyperpower"),
+    ("HW-IECI", "hyperpower"),
+)
+
+
+@dataclass(frozen=True)
+class FixedEvalsStudy:
+    """Figure 4 raw results: repeated runs per method."""
+
+    pair_key: str
+    n_iterations: int
+    #: solver name -> one RunResult per repeat.
+    runs: dict[str, tuple[RunResult, ...]]
+
+    def mean_best_error_curve(self, solver: str) -> np.ndarray:
+        """Mean best-feasible-error after each trained evaluation."""
+        curves = []
+        for run in self.runs[solver]:
+            trained = [
+                t for t in run.trials if t.was_trained
+            ]
+            best = run.chance_error
+            curve = []
+            for trial in trained:
+                if (
+                    not np.isnan(trial.error)
+                    and trial.feasible_meas is not False
+                ):
+                    best = min(best, trial.error)
+                curve.append(best)
+            curves.append(curve)
+        length = min(len(c) for c in curves)
+        return np.mean([c[:length] for c in curves], axis=0)
+
+    def mean_violation_curve(self, solver: str) -> np.ndarray:
+        """Mean cumulative violations after each trained evaluation."""
+        curves = []
+        for run in self.runs[solver]:
+            counts = np.cumsum(
+                [1 if t.is_violation else 0 for t in run.trials if t.was_trained]
+            )
+            curves.append(counts)
+        length = min(len(c) for c in curves)
+        return np.mean([c[:length] for c in curves], axis=0)
+
+    def error_scatter(self, solver: str) -> tuple[np.ndarray, np.ndarray]:
+        """(evaluation index, observed error) pairs (Figure 4 right)."""
+        xs, ys = [], []
+        for run in self.runs[solver]:
+            for position, trial in enumerate(
+                t for t in run.trials if t.was_trained
+            ):
+                if not np.isnan(trial.error):
+                    xs.append(position)
+                    ys.append(trial.error)
+        return np.asarray(xs), np.asarray(ys)
+
+
+def run_fixed_evals(
+    pair_key: str = "cifar10-gtx1070",
+    n_repeats: int = 5,
+    n_iterations: int | None = None,
+    seed: int = 0,
+    profiling_samples: int = 100,
+    setup: ExperimentSetup | None = None,
+) -> FixedEvalsStudy:
+    """Run the Figure 4 protocol on one device-dataset pair."""
+    if pair_key not in PAPER_PAIRS:
+        raise ValueError(f"unknown pair {pair_key!r}")
+    if setup is None:
+        setup, pair = paper_setup(
+            pair_key,
+            seed=seed,
+            fixed_eval=True,
+            profiling_samples=profiling_samples,
+        )
+    else:
+        pair = PAPER_PAIRS[pair_key]
+    if n_iterations is None:
+        n_iterations = pair.fixed_eval_iterations
+
+    runs: dict[str, tuple[RunResult, ...]] = {}
+    for solver, variant in FIXED_EVAL_FORMS:
+        repeats = []
+        for repeat in range(n_repeats):
+            result = setup.run(
+                solver,
+                variant,
+                run_seed=1000 * repeat + 7,
+                max_evaluations=n_iterations,
+            )
+            repeats.append(result)
+        runs[solver] = tuple(repeats)
+    return FixedEvalsStudy(
+        pair_key=pair_key, n_iterations=n_iterations, runs=runs
+    )
+
+
+def figure4_series(study: FixedEvalsStudy) -> dict[str, dict[str, object]]:
+    """All three Figure 4 panels as plain arrays, per solver."""
+    out = {}
+    for solver in study.runs:
+        xs, ys = study.error_scatter(solver)
+        out[solver] = {
+            "best_error_curve": study.mean_best_error_curve(solver),
+            "violation_curve": study.mean_violation_curve(solver),
+            "scatter_index": xs,
+            "scatter_error": ys,
+        }
+    return out

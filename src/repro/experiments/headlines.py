@@ -1,0 +1,137 @@
+"""The abstract's headline factors, computed from a runtime study.
+
+The paper's abstract distils its evaluation into four numbers: the maximum
+speedups to reach a default method's sample count (112.99x) and best error
+(30.12x), the maximum increase in queried samples (57.20x), and the
+maximum accuracy improvement (67.6%).  This module extracts the same
+factors from a :class:`~repro.experiments.fixed_runtime.RuntimeStudy` and
+renders them next to the paper's values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import paper_values
+from .fixed_runtime import RuntimeStudy
+from .reporting import geometric_mean, render_table
+
+__all__ = ["Headlines", "compute_headlines", "format_headlines"]
+
+
+@dataclass(frozen=True)
+class Headlines:
+    """The four abstract factors, measured."""
+
+    #: Max geometric-mean speedup to reach the default's sample count.
+    max_speedup_to_sample_count: float
+    #: Max geometric-mean speedup to reach the default's best error.
+    max_speedup_to_best_error: float
+    #: Max increase in queried samples within the budget.
+    max_sample_increase: float
+    #: Max relative accuracy improvement over the default, %.
+    max_accuracy_improvement_pct: float
+
+
+def _cell_ratios(study: RuntimeStudy, pair: str, solver: str, metric) -> list[float]:
+    ratios = []
+    for default_run, hyper_run in zip(
+        study.cell(pair, solver, "default"),
+        study.cell(pair, solver, "hyperpower"),
+    ):
+        value = metric(default_run, hyper_run)
+        if value is not None and math.isfinite(value) and value > 0:
+            ratios.append(value)
+    return ratios
+
+
+def compute_headlines(study: RuntimeStudy) -> Headlines:
+    """Extract the abstract's four factors from a runtime study."""
+
+    def time_to_samples(default_run, hyper_run):
+        t = hyper_run.time_to_reach_samples(default_run.n_samples)
+        if not math.isfinite(t) or t <= 0:
+            return None
+        return default_run.wall_time_s / t
+
+    def time_to_error(default_run, hyper_run):
+        if not default_run.found_feasible:
+            return None
+        target = default_run.best_feasible_error
+        d = default_run.time_to_reach_error(target)
+        h = hyper_run.time_to_reach_error(target)
+        if not (math.isfinite(d) and math.isfinite(h)) or h <= 0:
+            return None
+        return d / h
+
+    def sample_increase(default_run, hyper_run):
+        if default_run.n_samples == 0:
+            return None
+        return hyper_run.n_samples / default_run.n_samples
+
+    speedup_samples, speedup_error, increase, accuracy = [], [], [], []
+    for pair in study.pair_keys:
+        for solver in study.solvers:
+            for metric, bucket in (
+                (time_to_samples, speedup_samples),
+                (time_to_error, speedup_error),
+                (sample_increase, increase),
+            ):
+                ratios = _cell_ratios(study, pair, solver, metric)
+                if ratios:
+                    bucket.append(geometric_mean(ratios))
+            default_error = np.mean(
+                [r.best_feasible_error for r in study.cell(pair, solver, "default")]
+            )
+            hyper_error = np.mean(
+                [
+                    r.best_feasible_error
+                    for r in study.cell(pair, solver, "hyperpower")
+                ]
+            )
+            if default_error > 0:
+                accuracy.append(
+                    (default_error - hyper_error) / default_error * 100.0
+                )
+
+    return Headlines(
+        max_speedup_to_sample_count=max(speedup_samples, default=math.nan),
+        max_speedup_to_best_error=max(speedup_error, default=math.nan),
+        max_sample_increase=max(increase, default=math.nan),
+        max_accuracy_improvement_pct=max(accuracy, default=math.nan),
+    )
+
+
+def format_headlines(headlines: Headlines) -> str:
+    """Render the measured factors next to the paper's."""
+    paper = paper_values.HEADLINES
+    rows = [
+        [
+            "speedup to default's sample count",
+            f"{paper['max_speedup_to_sample_count']:.2f}x",
+            f"{headlines.max_speedup_to_sample_count:.2f}x",
+        ],
+        [
+            "speedup to default's best error",
+            f"{paper['max_speedup_to_best_error']:.2f}x",
+            f"{headlines.max_speedup_to_best_error:.2f}x",
+        ],
+        [
+            "increase in queried samples",
+            f"{paper['max_sample_increase']:.2f}x",
+            f"{headlines.max_sample_increase:.2f}x",
+        ],
+        [
+            "accuracy improvement",
+            f"{paper['max_accuracy_improvement_pct']:.1f}%",
+            f"{headlines.max_accuracy_improvement_pct:.1f}%",
+        ],
+    ]
+    return render_table(
+        "Headline factors (maximum over methods and pairs)",
+        ["Factor", "Paper", "Measured"],
+        rows,
+    )

@@ -1,0 +1,182 @@
+"""Table 1 + Figure 5: accuracy of the power and memory models.
+
+For each device-dataset pair, run the offline profiling campaign of
+Section 3.3, fit the linear models with 10-fold cross-validation, and
+report the pooled out-of-fold RMSPE (Table 1) plus the actual-vs-predicted
+scatter series (Figure 5).  The Tegra TX1 rows have no memory entry —
+``tegrastats`` exposes no memory-consumption counter (footnote 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hwsim.devices import get_device
+from ..hwsim.profiler import HardwareProfiler
+from ..models.crossval import cross_validate, rmspe
+from ..models.linear import LinearModel
+from ..models.profiling import ProfilingDataset, run_profiling_campaign
+from ..space.presets import cifar10_space, mnist_space
+from .reporting import render_table
+from .setup import PAPER_PAIRS
+
+__all__ = [
+    "PairModelAccuracy",
+    "ModelAccuracyStudy",
+    "run_model_accuracy",
+    "format_table1",
+    "figure5_series",
+]
+
+_SPACES = {"mnist": mnist_space, "cifar10": cifar10_space}
+
+
+@dataclass(frozen=True)
+class PairModelAccuracy:
+    """Cross-validated model accuracy for one device-dataset pair."""
+
+    pair_key: str
+    dataset: str
+    device_name: str
+    #: Pooled 10-fold out-of-fold RMSPE of the power model, %.
+    power_rmspe: float
+    #: Same for the memory model; ``None`` on platforms without memory API.
+    memory_rmspe: float | None
+    #: Measured power values, W (Figure 5 x-axis).
+    power_actual: np.ndarray
+    #: Out-of-fold predicted power values, W (Figure 5 y-axis).
+    power_predicted: np.ndarray
+    #: The underlying profiling campaign.
+    profiled: ProfilingDataset
+
+
+@dataclass(frozen=True)
+class ModelAccuracyStudy:
+    """Table 1 / Figure 5 data for all pairs."""
+
+    pairs: dict[str, PairModelAccuracy]
+
+    @property
+    def max_rmspe(self) -> float:
+        """Worst RMSPE across all models — the paper's '< 7%' claim."""
+        worst = 0.0
+        for pair in self.pairs.values():
+            worst = max(worst, pair.power_rmspe)
+            if pair.memory_rmspe is not None:
+                worst = max(worst, pair.memory_rmspe)
+        return worst
+
+
+def _evaluate_pair(
+    pair_key: str,
+    n_samples: int,
+    seed: int,
+    cv_folds: int,
+    fit_intercept: bool,
+) -> PairModelAccuracy:
+    pair = PAPER_PAIRS[pair_key]
+    space = _SPACES[pair.dataset]()
+    device = get_device(pair.device_key)
+    rng = np.random.default_rng(np.random.SeedSequence([seed, hash_key(pair_key)]))
+    profiler = HardwareProfiler(device, rng)
+    profiled = run_profiling_campaign(space, pair.dataset, profiler, n_samples, rng)
+
+    cv_rng = np.random.default_rng(np.random.SeedSequence([seed, 99]))
+    power_rmspe, power_pred = cross_validate(
+        lambda: LinearModel(fit_intercept=fit_intercept),
+        profiled.Z,
+        profiled.power_w,
+        k=cv_folds,
+        rng=cv_rng,
+        metric=rmspe,
+    )
+    memory_rmspe = None
+    if profiled.has_memory:
+        memory_rmspe, _ = cross_validate(
+            lambda: LinearModel(fit_intercept=fit_intercept),
+            profiled.Z,
+            profiled.memory_bytes,
+            k=cv_folds,
+            rng=cv_rng,
+            metric=rmspe,
+        )
+    return PairModelAccuracy(
+        pair_key=pair_key,
+        dataset=pair.dataset,
+        device_name=device.name,
+        power_rmspe=power_rmspe,
+        memory_rmspe=memory_rmspe,
+        power_actual=profiled.power_w.copy(),
+        power_predicted=power_pred,
+        profiled=profiled,
+    )
+
+
+def hash_key(key: str) -> int:
+    """Stable small integer derived from a pair key (seed material)."""
+    import zlib
+
+    return zlib.crc32(key.encode("utf-8")) & 0xFFFF
+
+
+def run_model_accuracy(
+    n_samples: int = 100,
+    seed: int = 0,
+    cv_folds: int = 10,
+    fit_intercept: bool = True,
+    pair_keys: tuple[str, ...] | None = None,
+) -> ModelAccuracyStudy:
+    """Run the Table 1 / Figure 5 study over the paper's pairs."""
+    if pair_keys is None:
+        pair_keys = tuple(PAPER_PAIRS)
+    pairs = {
+        key: _evaluate_pair(key, n_samples, seed, cv_folds, fit_intercept)
+        for key in pair_keys
+    }
+    return ModelAccuracyStudy(pairs=pairs)
+
+
+_TABLE1_ORDER = ("mnist-gtx1070", "cifar10-gtx1070", "mnist-tx1", "cifar10-tx1")
+_TABLE1_LABELS = {
+    "mnist-gtx1070": "MNIST GTX 1070",
+    "cifar10-gtx1070": "CIFAR-10 GTX 1070",
+    "mnist-tx1": "MNIST Tegra TX1",
+    "cifar10-tx1": "CIFAR-10 Tegra TX1",
+}
+
+
+def format_table1(study: ModelAccuracyStudy) -> str:
+    """Render Table 1: RMSPE of the power and memory models."""
+    headers = ["Model"] + [
+        _TABLE1_LABELS[k] for k in _TABLE1_ORDER if k in study.pairs
+    ]
+    power_row = ["Power"]
+    memory_row = ["Memory"]
+    for key in _TABLE1_ORDER:
+        if key not in study.pairs:
+            continue
+        pair = study.pairs[key]
+        power_row.append(f"{pair.power_rmspe:.2f}%")
+        memory_row.append(
+            "--" if pair.memory_rmspe is None else f"{pair.memory_rmspe:.2f}%"
+        )
+    return render_table(
+        "Table 1: RMSPE of the proposed power and memory models",
+        headers,
+        [power_row, memory_row],
+    )
+
+
+def figure5_series(
+    study: ModelAccuracyStudy,
+) -> dict[str, dict[str, np.ndarray]]:
+    """Figure 5 scatter data: actual vs predicted power per pair."""
+    return {
+        key: {
+            "actual_w": pair.power_actual,
+            "predicted_w": pair.power_predicted,
+        }
+        for key, pair in study.pairs.items()
+    }

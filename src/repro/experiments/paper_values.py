@@ -1,0 +1,191 @@
+"""The paper's reported numbers, as data.
+
+Tables 1-5 of the paper, transcribed so harnesses can print side-by-side
+paper-vs-measured comparisons and tests can check that the reproduced
+*shapes* (orderings, failure modes, rough factors) match.
+
+Cell conventions follow the paper: ``None`` marks its '--' entries
+(measurements that do not exist — no memory API on the Tegra TX1, runs
+that never found a feasible solution).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAIRS",
+    "SOLVERS",
+    "TABLE1_POWER_RMSPE",
+    "TABLE1_MEMORY_RMSPE",
+    "TABLE2_BEST_ERROR",
+    "TABLE3_SPEEDUP",
+    "TABLE4_DEFAULT_SAMPLES",
+    "TABLE4_HYPERPOWER_SAMPLES",
+    "TABLE4_INCREASE",
+    "TABLE5_SPEEDUP",
+    "FIG1_MAX_ISO_ERROR_SPREAD_W",
+    "HEADLINES",
+]
+
+#: Column order used by every table below.
+PAIRS = ("mnist-gtx1070", "cifar10-gtx1070", "mnist-tx1", "cifar10-tx1")
+#: Row order used by Tables 2-5.
+SOLVERS = ("Rand", "Rand-Walk", "HW-CWEI", "HW-IECI")
+
+#: Table 1 — RMSPE (%) of the power model per pair.
+TABLE1_POWER_RMSPE = {
+    "mnist-gtx1070": 5.70,
+    "cifar10-gtx1070": 5.98,
+    "mnist-tx1": 6.62,
+    "cifar10-tx1": 4.17,
+}
+
+#: Table 1 — RMSPE (%) of the memory model (None where unmeasurable).
+TABLE1_MEMORY_RMSPE = {
+    "mnist-gtx1070": 4.43,
+    "cifar10-gtx1070": 4.67,
+    "mnist-tx1": None,
+    "cifar10-tx1": None,
+}
+
+#: Table 2 — mean best test error (%), as (default, hyperpower) per cell.
+#: ``None`` reproduces the paper's '--' (all runs failed to find a
+#: feasible solution).
+TABLE2_BEST_ERROR = {
+    "Rand": {
+        "mnist-gtx1070": (60.59, 1.01),
+        "cifar10-gtx1070": (69.60, 24.39),
+        "mnist-tx1": (1.06, 0.97),
+        "cifar10-tx1": (74.35, 24.09),
+    },
+    "Rand-Walk": {
+        "mnist-gtx1070": (31.16, 0.84),
+        "cifar10-gtx1070": (None, 22.88),
+        "mnist-tx1": (1.04, 0.90),
+        "cifar10-tx1": (None, 21.90),
+    },
+    "HW-CWEI": {
+        "mnist-gtx1070": (0.97, 0.85),
+        "cifar10-gtx1070": (22.09, 22.09),
+        "mnist-tx1": (0.98, 0.91),
+        "cifar10-tx1": (24.28, 22.99),
+    },
+    "HW-IECI": {
+        "mnist-gtx1070": (0.81, 0.81),
+        "cifar10-gtx1070": (22.35, 21.81),
+        "mnist-tx1": (0.81, 0.79),
+        "cifar10-tx1": (23.35, 21.95),
+    },
+}
+
+#: Table 3 — speedup (x) for HyperPower to reach the default sample count.
+TABLE3_SPEEDUP = {
+    "Rand": {
+        "mnist-gtx1070": 101.46, "cifar10-gtx1070": 30.31,
+        "mnist-tx1": 4.31, "cifar10-tx1": 11.78,
+    },
+    "Rand-Walk": {
+        "mnist-gtx1070": 112.99, "cifar10-gtx1070": 17.45,
+        "mnist-tx1": 2.15, "cifar10-tx1": 21.00,
+    },
+    "HW-CWEI": {
+        "mnist-gtx1070": 10.22, "cifar10-gtx1070": 2.07,
+        "mnist-tx1": 1.65, "cifar10-tx1": 8.06,
+    },
+    "HW-IECI": {
+        "mnist-gtx1070": 1.13, "cifar10-gtx1070": 1.74,
+        "mnist-tx1": 1.22, "cifar10-tx1": 3.48,
+    },
+}
+
+#: Table 4 — mean samples queried by the default variants.
+TABLE4_DEFAULT_SAMPLES = {
+    "Rand": {
+        "mnist-gtx1070": 14.00, "cifar10-gtx1070": 14.67,
+        "mnist-tx1": 13.00, "cifar10-tx1": 13.33,
+    },
+    "Rand-Walk": {
+        "mnist-gtx1070": 15.00, "cifar10-gtx1070": 13.33,
+        "mnist-tx1": 14.00, "cifar10-tx1": 14.33,
+    },
+    "HW-CWEI": {
+        "mnist-gtx1070": 21.67, "cifar10-gtx1070": 28.00,
+        "mnist-tx1": 11.00, "cifar10-tx1": 13.00,
+    },
+    "HW-IECI": {
+        "mnist-gtx1070": 53.00, "cifar10-gtx1070": 29.00,
+        "mnist-tx1": 46.33, "cifar10-tx1": 11.00,
+    },
+}
+
+#: Table 4 — mean samples queried by the HyperPower variants.
+TABLE4_HYPERPOWER_SAMPLES = {
+    "Rand": {
+        "mnist-gtx1070": 796.33, "cifar10-gtx1070": 405.33,
+        "mnist-tx1": 35.67, "cifar10-tx1": 262.33,
+    },
+    "Rand-Walk": {
+        "mnist-gtx1070": 316.67, "cifar10-gtx1070": 118.33,
+        "mnist-tx1": 30.67, "cifar10-tx1": 88.67,
+    },
+    "HW-CWEI": {
+        "mnist-gtx1070": 62.67, "cifar10-gtx1070": 38.67,
+        "mnist-tx1": 14.67, "cifar10-tx1": 27.33,
+    },
+    "HW-IECI": {
+        "mnist-gtx1070": 60.33, "cifar10-gtx1070": 43.33,
+        "mnist-tx1": 54.67, "cifar10-tx1": 20.00,
+    },
+}
+
+#: Table 4 — the increase factors (x).
+TABLE4_INCREASE = {
+    "Rand": {
+        "mnist-gtx1070": 57.20, "cifar10-gtx1070": 27.88,
+        "mnist-tx1": 2.77, "cifar10-tx1": 20.00,
+    },
+    "Rand-Walk": {
+        "mnist-gtx1070": 19.16, "cifar10-gtx1070": 8.86,
+        "mnist-tx1": 2.12, "cifar10-tx1": 5.46,
+    },
+    "HW-CWEI": {
+        "mnist-gtx1070": 2.79, "cifar10-gtx1070": 1.38,
+        "mnist-tx1": 1.35, "cifar10-tx1": 1.97,
+    },
+    "HW-IECI": {
+        "mnist-gtx1070": 1.14, "cifar10-gtx1070": 1.49,
+        "mnist-tx1": 1.18, "cifar10-tx1": 1.75,
+    },
+}
+
+#: Table 5 — speedup (x) to reach the default's best accuracy.
+#: ``None`` where the default never found a feasible solution.
+TABLE5_SPEEDUP = {
+    "Rand": {
+        "mnist-gtx1070": 1.56, "cifar10-gtx1070": 3.97,
+        "mnist-tx1": 3.64, "cifar10-tx1": 4.54,
+    },
+    "Rand-Walk": {
+        "mnist-gtx1070": 4.72, "cifar10-gtx1070": None,
+        "mnist-tx1": 6.18, "cifar10-tx1": None,
+    },
+    "HW-CWEI": {
+        "mnist-gtx1070": 6.11, "cifar10-gtx1070": 2.08,
+        "mnist-tx1": 7.39, "cifar10-tx1": 4.80,
+    },
+    "HW-IECI": {
+        "mnist-gtx1070": 30.12, "cifar10-gtx1070": 2.13,
+        "mnist-tx1": 11.30, "cifar10-tx1": 2.69,
+    },
+}
+
+#: Figure 1 — maximum iso-error power spread the paper reports, W.
+FIG1_MAX_ISO_ERROR_SPREAD_W = 55.01
+
+#: The abstract's headline factors.
+HEADLINES = {
+    "max_speedup_to_sample_count": 112.99,   # Table 3
+    "max_speedup_to_best_error": 30.12,      # Table 5
+    "max_sample_increase": 57.20,            # Table 4
+    "max_accuracy_improvement_pct": 67.6,    # Table 2 (Rand, CIFAR-10/TX1)
+    "model_rmspe_bound_pct": 7.0,            # Table 1
+}

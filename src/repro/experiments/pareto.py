@@ -1,0 +1,116 @@
+"""Error-power Pareto analysis of optimization runs.
+
+The paper's related work frames hardware-aware HPO as multi-objective
+(Smithson et al. [8] optimize accuracy against implementation cost;
+Hernández-Lobato et al. [14] support constrained multi-objective
+formulations that HyperPower's models "can be flexibly incorporated
+into").  Single-budget runs still produce the raw material: every trained
+trial is an (error, power) point.  This module extracts the
+non-dominated front from one or more runs — the menu of best achievable
+trade-offs a designer would actually pick from.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..core.result import RunResult
+from .reporting import render_table
+
+__all__ = ["ParetoPoint", "pareto_front", "hypervolume_2d", "format_front"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated (error, power) trade-off."""
+
+    #: Best observed test error of the trial.
+    error: float
+    #: Measured power, W.
+    power_w: float
+    #: The configuration achieving it.
+    config: dict
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weak domination: no worse on both axes, better on one."""
+        no_worse = self.error <= other.error and self.power_w <= other.power_w
+        better = self.error < other.error or self.power_w < other.power_w
+        return no_worse and better
+
+
+def _candidate_points(runs: Iterable[RunResult]) -> list[ParetoPoint]:
+    points = []
+    for run in runs:
+        for trial in run.trials:
+            if not trial.was_trained or math.isnan(trial.error):
+                continue
+            if trial.power_meas_w is None:
+                continue
+            points.append(
+                ParetoPoint(
+                    error=trial.error,
+                    power_w=trial.power_meas_w,
+                    config=dict(trial.config),
+                )
+            )
+    return points
+
+
+def pareto_front(runs: Iterable[RunResult] | RunResult) -> list[ParetoPoint]:
+    """The non-dominated (error, power) points across ``runs``.
+
+    Returned sorted by increasing power (hence decreasing error).
+    """
+    if isinstance(runs, RunResult):
+        runs = [runs]
+    points = _candidate_points(runs)
+    # Sweep by power, keeping strictly improving error.
+    points.sort(key=lambda p: (p.power_w, p.error))
+    front: list[ParetoPoint] = []
+    best_error = math.inf
+    for point in points:
+        if point.error < best_error:
+            front.append(point)
+            best_error = point.error
+    return front
+
+
+def hypervolume_2d(
+    front: Iterable[ParetoPoint],
+    error_ref: float,
+    power_ref_w: float,
+) -> float:
+    """Dominated hypervolume against a reference (error, power) corner.
+
+    The standard 2-D quality indicator: the area between the front and the
+    reference point; larger is better.  Points outside the reference box
+    contribute nothing.
+    """
+    points = sorted(front, key=lambda p: p.power_w)
+    volume = 0.0
+    previous_power = None
+    best_error = error_ref
+    for point in points:
+        if point.power_w >= power_ref_w or point.error >= error_ref:
+            continue
+        if previous_power is None:
+            previous_power = point.power_w
+        if point.error < best_error:
+            volume += (power_ref_w - point.power_w) * (best_error - point.error)
+            best_error = point.error
+    return volume
+
+
+def format_front(front: Iterable[ParetoPoint]) -> str:
+    """Render the front as a table (low-power end first)."""
+    rows = [
+        [f"{p.power_w:.1f} W", f"{p.error * 100:.2f}%"]
+        for p in sorted(front, key=lambda q: q.power_w)
+    ]
+    return render_table(
+        "Error-power Pareto front (non-dominated trained samples)",
+        ["Power", "Test error"],
+        rows,
+    )

@@ -1,0 +1,91 @@
+"""Table rendering and summary statistics for the evaluation harnesses.
+
+The paper reports per-method means with standard deviations (Table 2) and
+"average speedup values ... computed as the geometric mean across all runs
+per case" (Tables 3-5); these helpers implement that arithmetic plus plain
+ASCII table rendering for the benchmark output.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "geometric_mean",
+    "mean_std_text",
+    "speedup_text",
+    "hours_text",
+    "render_table",
+]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; NaN for an empty input."""
+    values = [float(v) for v in values]
+    if not values:
+        return math.nan
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def mean_std_text(values: Sequence[float], scale: float = 1.0, unit: str = "%") -> str:
+    """``'12.34% (0.56%)'``-style cell text; ``'--'`` for empty input."""
+    values = [float(v) for v in values if not math.isnan(v)]
+    if not values:
+        return "--"
+    mean = np.mean(values) * scale
+    std = np.std(values) * scale
+    return f"{mean:.2f}{unit} ({std:.2f}{unit})"
+
+
+def speedup_text(ratios: Sequence[float]) -> str:
+    """Geometric-mean speedup cell, ``'--'`` when no finite ratios exist."""
+    finite = [r for r in ratios if math.isfinite(r) and r > 0]
+    if not finite:
+        return "--"
+    return f"{geometric_mean(finite):.2f}x"
+
+
+def hours_text(values: Sequence[float]) -> str:
+    """Mean hours cell, ``'--'`` when empty or all-infinite.
+
+    Sub-minute means get extra decimals so HyperPower's near-instant
+    screening phases don't render as ``0.00``.
+    """
+    finite = [float(v) for v in values if math.isfinite(v)]
+    if not finite:
+        return "--"
+    mean = float(np.mean(finite))
+    if 0 < mean < 0.01:
+        return f"{mean:.4f}"
+    return f"{mean:.2f}"
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Render an ASCII table with right-padded columns."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows), 2)
+        if rows
+        else len(str(headers[i]))
+        for i in range(columns)
+    ]
+    lines = [title]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

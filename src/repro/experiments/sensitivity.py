@@ -1,0 +1,80 @@
+"""Which hyper-parameter drives power? — a model-based sensitivity report.
+
+The paper motivates HyperPower with the observation that exploiting the
+hardware-constrained design space "necessitat[es] a significant, yet often
+unavailable, familiarity of the researcher with the hardware architecture".
+The fitted linear models make that familiarity explicit: each structural
+hyper-parameter's weight times its range is the watts (or bytes) it can
+swing across the design space.  This module turns a fitted
+:class:`~repro.models.hw_models.HardwareModel` into that ranked report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.hw_models import HardwareModel
+from ..space.params import IntegerParameter
+from .reporting import render_table
+
+__all__ = ["ParameterSensitivity", "sensitivity_report", "format_sensitivity"]
+
+
+@dataclass(frozen=True)
+class ParameterSensitivity:
+    """One structural hyper-parameter's leverage on a hardware quantity."""
+
+    #: Hyper-parameter name.
+    name: str
+    #: Fitted weight (quantity units per parameter unit).
+    weight: float
+    #: Width of the parameter's range, in its native units.
+    range_width: float
+
+    @property
+    def swing(self) -> float:
+        """Quantity change across the full range (weight x width)."""
+        return self.weight * self.range_width
+
+
+def sensitivity_report(model: HardwareModel) -> list[ParameterSensitivity]:
+    """Per-parameter swings, sorted by absolute magnitude (largest first)."""
+    if not model.is_fitted:
+        raise ValueError("model must be fitted")
+    rows = []
+    for name, weight in zip(model.space.structural_names, model.weights_):
+        parameter = model.space[name]
+        if isinstance(parameter, IntegerParameter):
+            width = float(parameter.high - parameter.low)
+        else:  # pragma: no cover - structural params are integer in practice
+            width = float(parameter.high - parameter.low)
+        rows.append(
+            ParameterSensitivity(name=name, weight=float(weight), range_width=width)
+        )
+    return sorted(rows, key=lambda r: abs(r.swing), reverse=True)
+
+
+def format_sensitivity(
+    model: HardwareModel, unit_scale: float = 1.0, unit_label: str | None = None
+) -> str:
+    """Render the ranked sensitivity table.
+
+    ``unit_scale``/``unit_label`` re-express the quantity (e.g. pass
+    ``1 / 2**20, "MiB"`` for a memory model fitted in bytes).
+    """
+    label = unit_label if unit_label is not None else model.unit
+    rows = [
+        [
+            entry.name,
+            f"{entry.weight * unit_scale:+.4f}",
+            f"{entry.range_width:.0f}",
+            f"{entry.swing * unit_scale:+.2f} {label}",
+        ]
+        for entry in sensitivity_report(model)
+    ]
+    return render_table(
+        f"{model.quantity.capitalize()}-model sensitivity "
+        f"(swing = weight x range width)",
+        ["Hyper-parameter", f"Weight ({label}/unit)", "Range", "Full-range swing"],
+        rows,
+    )

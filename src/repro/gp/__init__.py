@@ -1,0 +1,7 @@
+"""Gaussian-process substrate (Spearmint analog)."""
+
+from .gp import GaussianProcess
+from .kernels import RBF, Kernel, Matern52
+from .normalize import Standardizer
+
+__all__ = ["GaussianProcess", "Kernel", "Matern52", "RBF", "Standardizer"]

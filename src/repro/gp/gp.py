@@ -1,0 +1,220 @@
+"""Gaussian-process regression (paper Section 3.1).
+
+Implements the surrogate model ``M``: a GP prior ``f | X ~ N(m, K)`` with
+noisy observations ``y | f, sigma^2 ~ N(f, sigma^2 I)``, refined by exact
+Bayesian posterior updating after each new observation.  Hyper-parameters
+(kernel variance, ARD length scales, noise variance) are point-estimated by
+maximising the log marginal likelihood with multi-restart L-BFGS-B, the
+standard Spearmint-style treatment.
+
+Inputs are expected in the unit hyper-cube; targets are standardised
+internally and predictions returned in original units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg, optimize
+
+from .kernels import Kernel, Matern52
+from .normalize import Standardizer
+
+__all__ = ["GaussianProcess"]
+
+#: Diagonal jitter added to keep Cholesky factorisations stable.
+_JITTER = 1e-8
+
+#: Log-space bounds on the observation-noise variance (standardised units).
+_NOISE_LOG_BOUNDS = (np.log(1e-8), np.log(1.0))
+
+
+class GaussianProcess:
+    """Exact GP regression with marginal-likelihood hyper-parameter fitting.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance function; defaults to an ARD Matérn-5/2 when first
+        fitted (built to match the data dimensionality).
+    noise_variance:
+        Initial observation-noise variance in *standardised* target units.
+    normalize_y:
+        Standardise targets before fitting (recommended).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        noise_variance: float = 1e-2,
+        normalize_y: bool = True,
+    ):
+        if noise_variance <= 0:
+            raise ValueError("noise variance must be positive")
+        self.kernel = kernel
+        self.noise_variance = float(noise_variance)
+        self.normalize_y = normalize_y
+        self._standardizer = Standardizer()
+        self._X: np.ndarray | None = None
+        self._y_std: np.ndarray | None = None
+        self._chol: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+
+    # -- fitting -------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the model holds a posterior."""
+        return self._chol is not None
+
+    @property
+    def n_observations(self) -> int:
+        """Number of training observations."""
+        return 0 if self._X is None else self._X.shape[0]
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        optimize_hypers: bool = True,
+        restarts: int = 3,
+        rng: np.random.Generator | None = None,
+    ) -> "GaussianProcess":
+        """Condition on data, optionally re-fitting hyper-parameters.
+
+        Parameters
+        ----------
+        X:
+            ``(n, d)`` inputs in the unit hyper-cube.
+        y:
+            ``(n,)`` targets.
+        optimize_hypers:
+            Maximise the log marginal likelihood over kernel and noise
+            hyper-parameters.
+        restarts:
+            Extra random restarts of the optimiser (the first start is the
+            current hyper-parameter setting).
+        rng:
+            Source of restart starting points.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]} entries"
+            )
+        if X.shape[0] == 0:
+            raise ValueError("need at least one observation")
+        if self.kernel is None:
+            self.kernel = Matern52(X.shape[1])
+        if self.kernel.input_dim != X.shape[1]:
+            raise ValueError(
+                f"kernel dimension {self.kernel.input_dim} != data "
+                f"dimension {X.shape[1]}"
+            )
+
+        self._X = X
+        if self.normalize_y:
+            self._standardizer.fit(y)
+            self._y_std = self._standardizer.transform(y)
+        else:
+            self._standardizer.mean_ = 0.0
+            self._standardizer.std_ = 1.0
+            self._standardizer._fitted = True
+            self._y_std = y.copy()
+
+        if optimize_hypers and X.shape[0] >= 3:
+            self._optimize_hypers(restarts, rng or np.random.default_rng(0))
+        self._recompute_posterior()
+        return self
+
+    def _pack(self) -> np.ndarray:
+        return np.concatenate(
+            (self.kernel.get_theta(), [np.log(self.noise_variance)])
+        )
+
+    def _unpack(self, packed: np.ndarray) -> None:
+        self.kernel.set_theta(packed[:-1])
+        self.noise_variance = float(np.exp(packed[-1]))
+
+    def _neg_log_marginal_likelihood(self, packed: np.ndarray) -> float:
+        self._unpack(packed)
+        n = self._X.shape[0]
+        K = self.kernel(self._X, self._X)
+        K[np.diag_indices_from(K)] += self.noise_variance + _JITTER
+        try:
+            chol = linalg.cholesky(K, lower=True)
+        except linalg.LinAlgError:
+            return 1e25
+        alpha = linalg.cho_solve((chol, True), self._y_std)
+        lml = (
+            -0.5 * float(self._y_std @ alpha)
+            - float(np.sum(np.log(np.diag(chol))))
+            - 0.5 * n * np.log(2.0 * np.pi)
+        )
+        if not np.isfinite(lml):
+            return 1e25
+        return -lml
+
+    def _optimize_hypers(self, restarts: int, rng: np.random.Generator) -> None:
+        bounds = self.kernel.theta_bounds() + [_NOISE_LOG_BOUNDS]
+        lows = np.array([b[0] for b in bounds])
+        highs = np.array([b[1] for b in bounds])
+
+        starts = [self._pack()]
+        for _ in range(max(0, restarts)):
+            starts.append(rng.uniform(lows, highs))
+
+        best_packed = None
+        best_value = np.inf
+        for start in starts:
+            start = np.clip(start, lows, highs)
+            result = optimize.minimize(
+                self._neg_log_marginal_likelihood,
+                start,
+                method="L-BFGS-B",
+                bounds=bounds,
+            )
+            if result.fun < best_value:
+                best_value = float(result.fun)
+                best_packed = result.x
+        if best_packed is not None:
+            self._unpack(best_packed)
+
+    def _recompute_posterior(self) -> None:
+        K = self.kernel(self._X, self._X)
+        K[np.diag_indices_from(K)] += self.noise_variance + _JITTER
+        self._chol = linalg.cholesky(K, lower=True)
+        self._alpha = linalg.cho_solve((self._chol, True), self._y_std)
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(self, Xs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance of the *latent* function at ``Xs``.
+
+        Returns a ``(mean, variance)`` pair in original target units.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("predict() before fit()")
+        Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
+        Ks = self.kernel(self._X, Xs)
+        mean_std = Ks.T @ self._alpha
+        v = linalg.solve_triangular(self._chol, Ks, lower=True)
+        var_std = self.kernel.diag(Xs) - np.sum(v**2, axis=0)
+        var_std = np.maximum(var_std, 1e-12)
+        mean = self._standardizer.inverse_mean(mean_std)
+        var = self._standardizer.inverse_variance(var_std)
+        return mean, var
+
+    def predict_noisy(self, Xs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance of a new *observation* at ``Xs``."""
+        mean, var = self.predict(Xs)
+        noise = self._standardizer.inverse_variance(
+            np.full(var.shape, self.noise_variance)
+        )
+        return mean, var + noise
+
+    def log_marginal_likelihood(self) -> float:
+        """Log marginal likelihood at the current hyper-parameters."""
+        if not self.is_fitted:
+            raise RuntimeError("log_marginal_likelihood() before fit()")
+        return -self._neg_log_marginal_likelihood(self._pack())

@@ -1,0 +1,152 @@
+"""Covariance kernels for Gaussian-process regression.
+
+The paper's tool (Spearmint [4]) models the objective with a Gaussian
+process; its default covariance is the ARD Matérn-5/2, which we implement
+along with the squared-exponential (RBF) alternative.
+
+Kernels expose their hyper-parameters as a flat log-space vector ``theta``
+(signal variance first, then one length scale per input dimension), which
+is what the marginal-likelihood optimiser in :mod:`repro.gp.gp` tunes.
+Inputs are expected in the unit hyper-cube (see
+:meth:`repro.space.SearchSpace.encode`), so length scales of order one are
+sensible defaults.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Kernel", "Matern52", "RBF"]
+
+
+def _validate_inputs(X1: np.ndarray, X2: np.ndarray, dim: int) -> None:
+    if X1.ndim != 2 or X2.ndim != 2:
+        raise ValueError("kernel inputs must be 2-D arrays")
+    if X1.shape[1] != dim or X2.shape[1] != dim:
+        raise ValueError(
+            f"kernel is {dim}-dimensional, got inputs with "
+            f"{X1.shape[1]} and {X2.shape[1]} columns"
+        )
+
+
+class Kernel(ABC):
+    """A stationary covariance function with ARD length scales."""
+
+    def __init__(self, input_dim: int, variance: float, lengthscales):
+        if input_dim < 1:
+            raise ValueError("input_dim must be >= 1")
+        if variance <= 0:
+            raise ValueError("variance must be positive")
+        scales = np.asarray(lengthscales, dtype=float)
+        if scales.ndim == 0:
+            scales = np.full(input_dim, float(scales))
+        if scales.shape != (input_dim,):
+            raise ValueError(
+                f"need {input_dim} length scales, got shape {scales.shape}"
+            )
+        if np.any(scales <= 0):
+            raise ValueError("length scales must be positive")
+        self.input_dim = input_dim
+        self.variance = float(variance)
+        self.lengthscales = scales
+
+    # -- hyper-parameter vector (log space) ------------------------------------
+
+    @property
+    def n_params(self) -> int:
+        """Size of the flat hyper-parameter vector."""
+        return 1 + self.input_dim
+
+    def get_theta(self) -> np.ndarray:
+        """Hyper-parameters as ``[log variance, log lengthscales...]``."""
+        return np.concatenate(
+            ([np.log(self.variance)], np.log(self.lengthscales))
+        )
+
+    def set_theta(self, theta: np.ndarray) -> None:
+        """Set hyper-parameters from a log-space vector."""
+        theta = np.asarray(theta, dtype=float)
+        if theta.shape != (self.n_params,):
+            raise ValueError(
+                f"expected {self.n_params} parameters, got shape {theta.shape}"
+            )
+        self.variance = float(np.exp(theta[0]))
+        self.lengthscales = np.exp(theta[1:])
+
+    def theta_bounds(self) -> list[tuple[float, float]]:
+        """Log-space box bounds keeping the optimiser in a sane region."""
+        variance_bounds = (np.log(1e-4), np.log(1e3))
+        # Length scales between ~1% and ~30x the unit cube's edge.
+        scale_bounds = (np.log(0.01), np.log(30.0))
+        return [variance_bounds] + [scale_bounds] * self.input_dim
+
+    # -- covariance --------------------------------------------------------------
+
+    def _scaled_sqdist(self, X1: np.ndarray, X2: np.ndarray) -> np.ndarray:
+        """Pairwise squared distances after dividing by the length scales."""
+        A = X1 / self.lengthscales
+        B = X2 / self.lengthscales
+        sq = (
+            np.sum(A**2, axis=1)[:, None]
+            + np.sum(B**2, axis=1)[None, :]
+            - 2.0 * A @ B.T
+        )
+        return np.maximum(sq, 0.0)
+
+    @abstractmethod
+    def __call__(self, X1: np.ndarray, X2: np.ndarray) -> np.ndarray:
+        """Covariance matrix between two point sets."""
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        """Prior variances at each point (the matrix diagonal, cheaply)."""
+        X = np.asarray(X, dtype=float)
+        _validate_inputs(X, X, self.input_dim)
+        return np.full(X.shape[0], self.variance)
+
+    def copy(self) -> "Kernel":
+        """An independent kernel with the same hyper-parameters."""
+        return type(self)(
+            self.input_dim, self.variance, self.lengthscales.copy()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(dim={self.input_dim}, "
+            f"variance={self.variance:.4g}, "
+            f"lengthscales={np.array2string(self.lengthscales, precision=3)})"
+        )
+
+
+class Matern52(Kernel):
+    """ARD Matérn-5/2 kernel — Spearmint's default for hyper-parameter
+    surfaces (twice-differentiable, not implausibly smooth)."""
+
+    def __init__(self, input_dim: int, variance: float = 1.0, lengthscales=0.3):
+        super().__init__(input_dim, variance, lengthscales)
+
+    def __call__(self, X1: np.ndarray, X2: np.ndarray) -> np.ndarray:
+        X1 = np.atleast_2d(np.asarray(X1, dtype=float))
+        X2 = np.atleast_2d(np.asarray(X2, dtype=float))
+        _validate_inputs(X1, X2, self.input_dim)
+        r = np.sqrt(self._scaled_sqdist(X1, X2))
+        sqrt5_r = np.sqrt(5.0) * r
+        return (
+            self.variance
+            * (1.0 + sqrt5_r + (5.0 / 3.0) * r**2)
+            * np.exp(-sqrt5_r)
+        )
+
+
+class RBF(Kernel):
+    """ARD squared-exponential kernel (infinitely smooth)."""
+
+    def __init__(self, input_dim: int, variance: float = 1.0, lengthscales=0.3):
+        super().__init__(input_dim, variance, lengthscales)
+
+    def __call__(self, X1: np.ndarray, X2: np.ndarray) -> np.ndarray:
+        X1 = np.atleast_2d(np.asarray(X1, dtype=float))
+        X2 = np.atleast_2d(np.asarray(X2, dtype=float))
+        _validate_inputs(X1, X2, self.input_dim)
+        return self.variance * np.exp(-0.5 * self._scaled_sqdist(X1, X2))

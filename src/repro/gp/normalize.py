@@ -1,0 +1,52 @@
+"""Target standardisation for GP regression.
+
+The GP operates on zero-mean, unit-variance targets; this helper owns the
+forward/backward transform so posterior means and variances come back in
+the original units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Standardizer"]
+
+
+class Standardizer:
+    """Affine map ``y -> (y - mean) / std`` fitted on training targets."""
+
+    def __init__(self) -> None:
+        self.mean_ = 0.0
+        self.std_ = 1.0
+        self._fitted = False
+
+    def fit(self, y: np.ndarray) -> "Standardizer":
+        """Estimate the transform from targets ``y``."""
+        y = np.asarray(y, dtype=float)
+        if y.ndim != 1 or y.size == 0:
+            raise ValueError("y must be a non-empty 1-D array")
+        self.mean_ = float(np.mean(y))
+        std = float(np.std(y))
+        # A constant target vector would make the transform degenerate.
+        self.std_ = std if std > 1e-12 else 1.0
+        self._fitted = True
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("Standardizer used before fit()")
+
+    def transform(self, y: np.ndarray) -> np.ndarray:
+        """Map targets to standardised space."""
+        self._require_fitted()
+        return (np.asarray(y, dtype=float) - self.mean_) / self.std_
+
+    def inverse_mean(self, y_std: np.ndarray) -> np.ndarray:
+        """Map standardised means back to original units."""
+        self._require_fitted()
+        return np.asarray(y_std, dtype=float) * self.std_ + self.mean_
+
+    def inverse_variance(self, var_std: np.ndarray) -> np.ndarray:
+        """Map standardised variances back to original units."""
+        self._require_fitted()
+        return np.asarray(var_std, dtype=float) * self.std_**2

@@ -1,0 +1,154 @@
+"""GPU device models.
+
+A :class:`DeviceModel` captures the handful of platform constants the
+simulator needs to turn a network's analytic cost profile
+(:class:`~repro.nn.metrics.NetworkProfile`) into inference latency, power
+and memory numbers:
+
+* a roofline (peak FLOP/s and DRAM bandwidth) plus a per-kernel launch
+  overhead, which together determine achieved compute/memory rates;
+* an energy model (idle watts, joules per FLOP, joules per DRAM byte, and a
+  saturation ceiling), which maps achieved rates to power draw;
+* memory constants (runtime/framework overhead, VRAM size, allocator
+  slack) for the memory footprint model;
+* measurement characteristics (power-sensor noise, whether a memory query
+  API exists at all — the Tegra TX1 does not, paper footnote 1).
+
+All values are plain floats with SI units (seconds, watts, bytes, FLOP/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceModel"]
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Constants describing one GPU platform."""
+
+    #: Human-readable platform name (e.g. ``"GTX 1070"``).
+    name: str
+
+    #: Peak single-precision throughput actually reachable by dense layers,
+    #: FLOP/s.  This is the roofline's flat roof.
+    peak_flops: float
+
+    #: Sustained DRAM bandwidth, bytes/s.  The roofline's slanted roof.
+    mem_bandwidth: float
+
+    #: Fixed cost of dispatching one kernel (driver + launch latency), s.
+    #: Small layers are dominated by this, which is what makes tiny networks
+    #: draw close to idle power.
+    launch_overhead_s: float
+
+    #: Per-kernel DRAM latency expressed in equivalent bytes: a layer moving
+    #: ``b`` bytes takes ``(b + mem_latency_bytes) / mem_bandwidth`` seconds,
+    #: so small transfers achieve only a fraction of peak bandwidth.  This is
+    #: the knob that makes power grow with layer width.
+    mem_latency_bytes: float
+
+    #: Per-kernel pipeline ramp-up expressed in equivalent FLOPs: a layer of
+    #: ``f`` FLOPs takes ``(f + compute_latency_flops) / peak_flops`` seconds
+    #: of compute time, so small kernels achieve only a fraction of peak.
+    compute_latency_flops: float
+
+    #: Power drawn with the GPU context up but no kernels running, W.
+    idle_power_w: float
+
+    #: Hard ceiling on sustained board power (TDP / SoC power limit), W.
+    max_power_w: float
+
+    #: Dynamic energy per floating-point operation, J.
+    energy_per_flop: float
+
+    #: Dynamic energy per DRAM byte moved, J.
+    energy_per_byte: float
+
+    #: DVFS superlinearity: dynamic power is scaled by
+    #: ``1 + utilization_boost * (achieved FLOP/s / peak)``.  Sustained high
+    #: occupancy drives clocks and voltage up, so energy per operation grows
+    #: with utilization; 0 disables the effect.
+    utilization_boost: float
+
+    #: Concave occupancy-efficiency exponent: the linear dynamic power ``d``
+    #: is mapped through ``R * (d / R) ** gamma`` (with ``R`` the device's
+    #: dynamic range) before the board ceiling applies.  ``gamma < 1``
+    #: models the efficiency gain of high occupancy (fixed clock/scheduling
+    #: overheads amortise), which counteracts the convexity of the raw
+    #: workload terms and keeps measured power near-affine in the structural
+    #: hyper-parameters — the property the paper's linear models rely on.
+    #: ``1.0`` disables the effect.
+    power_gamma: float
+
+    #: Total device memory, bytes.
+    vram_bytes: float
+
+    #: Memory claimed by the CUDA context, cuDNN and the framework before
+    #: any network buffer is allocated, bytes.
+    runtime_overhead_bytes: float
+
+    #: Multiplicative allocator slack (fragmentation, rounding), >= 1.
+    allocator_slack: float
+
+    #: Inference batch size used when profiling on this platform.
+    profile_batch: int
+
+    #: Relative standard deviation of one power-sensor sample (NVML-style).
+    power_noise_rel: float
+
+    #: Relative std of the *systematic* per-network power variation
+    #: (cuDNN algorithm selection, clock residency quirks).  Deterministic
+    #: per topology — re-measuring the same network reproduces it — which
+    #: is what keeps the paper's linear models at 4-7% RMSPE rather than
+    #: at the sensor-noise floor.
+    power_variation_rel: float
+
+    #: Relative std of the systematic per-network memory variation
+    #: (workspace-algorithm selection, allocator pooling).  Deterministic
+    #: per topology, like ``power_variation_rel``.
+    memory_variation_rel: float = 0.0
+
+    #: Whether the platform exposes a memory-usage query.  ``False`` for the
+    #: Tegra TX1, whose ``tegrastats`` reports utilization, not consumption.
+    supports_memory_query: bool = True
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError(f"{self.name}: roofline constants must be positive")
+        if self.launch_overhead_s < 0:
+            raise ValueError(f"{self.name}: negative launch overhead")
+        if self.mem_latency_bytes < 0 or self.compute_latency_flops < 0:
+            raise ValueError(f"{self.name}: negative per-kernel latency")
+        if not (0 < self.idle_power_w < self.max_power_w):
+            raise ValueError(
+                f"{self.name}: need 0 < idle ({self.idle_power_w}) "
+                f"< max ({self.max_power_w})"
+            )
+        if self.energy_per_flop < 0 or self.energy_per_byte < 0:
+            raise ValueError(f"{self.name}: negative energy coefficient")
+        if self.utilization_boost < 0:
+            raise ValueError(f"{self.name}: negative utilization boost")
+        if not (0.0 < self.power_gamma <= 1.0):
+            raise ValueError(f"{self.name}: power_gamma must be in (0, 1]")
+        if self.vram_bytes <= self.runtime_overhead_bytes:
+            raise ValueError(f"{self.name}: overhead exceeds VRAM")
+        if self.allocator_slack < 1.0:
+            raise ValueError(f"{self.name}: allocator slack must be >= 1")
+        if self.profile_batch < 1:
+            raise ValueError(f"{self.name}: batch must be >= 1")
+        if not (0 <= self.power_noise_rel < 0.5):
+            raise ValueError(f"{self.name}: implausible power noise")
+        if not (0 <= self.power_variation_rel < 0.5):
+            raise ValueError(f"{self.name}: implausible power variation")
+
+    @property
+    def dynamic_range_w(self) -> float:
+        """Watts between idle and the saturation ceiling."""
+        return self.max_power_w - self.idle_power_w
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Roofline ridge point, FLOP/byte: layers below it are memory-bound."""
+        return self.peak_flops / self.mem_bandwidth

@@ -1,0 +1,89 @@
+"""The two platforms evaluated in the paper (Section 4).
+
+Constants are taken from public specifications where available (peak FLOP/s,
+bandwidth, TDP, VRAM) and otherwise set to representative values for the
+platform class:
+
+* **NVIDIA GTX 1070** — the server GPU: 6.5 TFLOP/s FP32, 256 GB/s GDDR5,
+  150 W TDP, 8 GB VRAM.  Idle-with-context is around 38 W; CUDA context
+  plus cuDNN plus framework buffers claim on the order of 0.8 GB.
+* **NVIDIA Tegra TX1** — the embedded board: ~0.51 TFLOP/s FP32 (1 TFLOP
+  FP16), 25.6 GB/s LPDDR4, ~15 W module power, 4 GB shared memory.
+  ``tegrastats`` exposes no memory-consumption counter, so
+  ``supports_memory_query`` is ``False`` (paper footnote 1: "for
+  representative comparison, we do not consider memory on Tegra").
+
+Energy coefficients are calibrated so that uniformly sampled networks from
+the paper's two design spaces land in the power ranges Figure 5 shows
+(roughly 60-130 W on the GTX 1070, 5-15 W on the TX1) and so that the
+paper's budgets (85/90 W GTX, 10/12 W TX1) cut the distributions at the
+depths its Tables 2-4 imply.
+"""
+
+from __future__ import annotations
+
+from .device import DeviceModel
+
+__all__ = ["GTX_1070", "TEGRA_TX1", "DEVICES", "get_device"]
+
+GTX_1070 = DeviceModel(
+    name="GTX 1070",
+    peak_flops=6.5e12,
+    mem_bandwidth=256e9,
+    launch_overhead_s=6e-6,
+    mem_latency_bytes=7.25e4,
+    compute_latency_flops=1.73e8,
+    idle_power_w=38.0,
+    max_power_w=150.0,
+    energy_per_flop=1.923e-11,
+    energy_per_byte=2.886e-11,
+    utilization_boost=0.0,
+    power_gamma=0.639,
+    vram_bytes=8.0 * 2**30,
+    runtime_overhead_bytes=1000.0 * 2**20,
+    allocator_slack=1.04,
+    profile_batch=256,
+    power_noise_rel=0.015,
+    power_variation_rel=0.035,
+    memory_variation_rel=0.04,
+    supports_memory_query=True,
+)
+
+TEGRA_TX1 = DeviceModel(
+    name="Tegra TX1",
+    peak_flops=0.512e12,
+    mem_bandwidth=25.6e9,
+    launch_overhead_s=25e-6,
+    mem_latency_bytes=2.31e4,
+    compute_latency_flops=5.29e5,
+    idle_power_w=3.4,
+    max_power_w=15.0,
+    energy_per_flop=1.289e-11,
+    energy_per_byte=8.41e-12,
+    utilization_boost=7.69,
+    power_gamma=0.98,
+    vram_bytes=4.0 * 2**30,
+    runtime_overhead_bytes=340.0 * 2**20,
+    allocator_slack=1.04,
+    profile_batch=32,
+    power_noise_rel=0.02,
+    power_variation_rel=0.027,
+    memory_variation_rel=0.04,
+    supports_memory_query=False,
+)
+
+#: Registry of the paper's platforms by canonical key.
+DEVICES = {
+    "gtx1070": GTX_1070,
+    "tx1": TEGRA_TX1,
+}
+
+
+def get_device(key: str) -> DeviceModel:
+    """Look up a platform by key (``'gtx1070'`` or ``'tx1'``)."""
+    try:
+        return DEVICES[key.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {key!r}; expected one of {sorted(DEVICES)}"
+        ) from None

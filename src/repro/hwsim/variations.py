@@ -1,0 +1,146 @@
+"""Device-instance variations: process, thermal and aging effects.
+
+The paper notes its models "could be flexibly extended to account for
+process variations [11], thermal effects [12], and aging [13]".  This
+module provides those extensions as *device transformations*: each returns
+a new :class:`~repro.hwsim.device.DeviceModel` whose constants reflect the
+physical effect, so every downstream consumer (power model, profiler,
+predictive models, the whole HPO loop) works unchanged.
+
+* :func:`sample_process_variation` — die-to-die fabrication spread: a
+  correlated lognormal scaling of the dynamic-energy coefficients plus a
+  leakage (idle-power) component.  Two boards of the same SKU draw
+  measurably different power for the same network.
+* :func:`thermal_derating` — steady-state temperature raises leakage
+  exponentially (the classic positive feedback, linearised here): idle
+  power grows with ambient temperature and with sustained load.
+* :func:`aged_device` — BTI-style degradation: threshold-voltage drift
+  over operating hours raises both leakage and dynamic energy, and
+  slightly reduces attainable peak throughput.
+
+These are deliberately first-order models — enough to study how much
+instance variation the paper's linear predictors absorb (see
+``examples/device_variation.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+
+from .device import DeviceModel
+
+__all__ = [
+    "sample_process_variation",
+    "thermal_derating",
+    "aged_device",
+]
+
+#: Reference junction temperature for the thermal model, degC.
+_NOMINAL_TEMPERATURE_C = 45.0
+
+#: Leakage doubles roughly every this many degC (exponential rule of thumb).
+_LEAKAGE_DOUBLING_C = 25.0
+
+
+def sample_process_variation(
+    device: DeviceModel,
+    rng: np.random.Generator,
+    dynamic_sigma: float = 0.05,
+    leakage_sigma: float = 0.10,
+    correlation: float = 0.6,
+) -> DeviceModel:
+    """One fabricated instance of ``device``.
+
+    Parameters
+    ----------
+    dynamic_sigma:
+        Lognormal sigma of the dynamic-energy spread (affects both the
+        per-FLOP and per-byte coefficients, correlated across the two).
+    leakage_sigma:
+        Lognormal sigma of the idle-power (leakage) spread.
+    correlation:
+        Correlation between the dynamic and leakage draws — fast corners
+        leak more.
+    """
+    if not (0.0 <= correlation <= 1.0):
+        raise ValueError("correlation must be in [0, 1]")
+    if dynamic_sigma < 0 or leakage_sigma < 0:
+        raise ValueError("sigmas must be non-negative")
+    shared = rng.normal()
+    dynamic_z = correlation * shared + math.sqrt(1 - correlation**2) * rng.normal()
+    leakage_z = correlation * shared + math.sqrt(1 - correlation**2) * rng.normal()
+    dynamic_scale = math.exp(dynamic_sigma * dynamic_z)
+    leakage_scale = math.exp(leakage_sigma * leakage_z)
+    idle = min(
+        device.idle_power_w * leakage_scale, device.max_power_w * 0.9
+    )
+    return replace(
+        device,
+        energy_per_flop=device.energy_per_flop * dynamic_scale,
+        energy_per_byte=device.energy_per_byte * dynamic_scale,
+        idle_power_w=idle,
+    )
+
+
+def thermal_derating(
+    device: DeviceModel,
+    ambient_c: float = 25.0,
+    sustained_load_fraction: float = 0.5,
+    thermal_resistance_c_per_w: float = 0.18,
+) -> DeviceModel:
+    """``device`` at a steady-state operating temperature.
+
+    Junction temperature is ambient plus thermal resistance times the
+    sustained dissipation; leakage (idle power) scales exponentially with
+    the temperature rise above the nominal point.
+    """
+    if not (0.0 <= sustained_load_fraction <= 1.0):
+        raise ValueError("load fraction must be in [0, 1]")
+    if thermal_resistance_c_per_w < 0:
+        raise ValueError("thermal resistance must be non-negative")
+    dissipation = (
+        device.idle_power_w
+        + sustained_load_fraction * device.dynamic_range_w
+    )
+    junction_c = ambient_c + thermal_resistance_c_per_w * dissipation
+    rise = junction_c - _NOMINAL_TEMPERATURE_C
+    leakage_scale = 2.0 ** (rise / _LEAKAGE_DOUBLING_C)
+    idle = min(device.idle_power_w * leakage_scale, device.max_power_w * 0.9)
+    return replace(device, idle_power_w=idle)
+
+
+def aged_device(
+    device: DeviceModel,
+    operating_hours: float,
+    reference_hours: float = 30_000.0,
+    max_energy_penalty: float = 0.12,
+    max_throughput_penalty: float = 0.05,
+) -> DeviceModel:
+    """``device`` after ``operating_hours`` of use (BTI-style drift).
+
+    Degradation follows the classic sub-linear power law
+    ``penalty(t) = max_penalty * (t / t_ref)^0.2``: energy per operation
+    and leakage creep up, peak throughput creeps down.
+    """
+    if operating_hours < 0:
+        raise ValueError("operating hours must be non-negative")
+    if reference_hours <= 0:
+        raise ValueError("reference hours must be positive")
+    fraction = (operating_hours / reference_hours) ** 0.2
+    energy_scale = 1.0 + max_energy_penalty * fraction
+    throughput_scale = 1.0 - max_throughput_penalty * fraction
+    if throughput_scale <= 0:
+        raise ValueError("throughput penalty too large")
+    idle = min(
+        device.idle_power_w * energy_scale, device.max_power_w * 0.9
+    )
+    return replace(
+        device,
+        energy_per_flop=device.energy_per_flop * energy_scale,
+        energy_per_byte=device.energy_per_byte * energy_scale,
+        idle_power_w=idle,
+        peak_flops=device.peak_flops * throughput_scale,
+    )

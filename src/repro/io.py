@@ -1,0 +1,119 @@
+"""JSON serialization of runs and studies.
+
+Optimization runs are the expensive artifact of this package; these
+helpers persist them (and reload them) so tables and figures can be
+re-rendered — or re-analysed — without re-running anything.  The format is
+plain JSON: one object per :class:`~repro.core.result.RunResult` with its
+trials inlined, NaNs encoded as ``null``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from .core.result import RunResult, Trial, TrialStatus
+
+__all__ = [
+    "trial_to_dict",
+    "trial_from_dict",
+    "run_to_dict",
+    "run_from_dict",
+    "save_runs",
+    "load_runs",
+]
+
+
+def _none_if_nan(value):
+    if value is None:
+        return None
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value
+
+
+def trial_to_dict(trial: Trial) -> dict:
+    """JSON-ready dictionary for one trial."""
+    return {
+        "index": trial.index,
+        "config": trial.config,
+        "status": trial.status.value,
+        "timestamp_s": trial.timestamp_s,
+        "cost_s": trial.cost_s,
+        "error": _none_if_nan(trial.error),
+        "epochs_run": trial.epochs_run,
+        "diverged": trial.diverged,
+        "power_pred_w": _none_if_nan(trial.power_pred_w),
+        "memory_pred_bytes": _none_if_nan(trial.memory_pred_bytes),
+        "power_meas_w": _none_if_nan(trial.power_meas_w),
+        "memory_meas_bytes": _none_if_nan(trial.memory_meas_bytes),
+        "latency_meas_s": _none_if_nan(trial.latency_meas_s),
+        "feasible_pred": trial.feasible_pred,
+        "feasible_meas": trial.feasible_meas,
+    }
+
+
+def trial_from_dict(data: dict) -> Trial:
+    """Inverse of :func:`trial_to_dict`."""
+    error = data.get("error")
+    return Trial(
+        index=int(data["index"]),
+        config=dict(data["config"]),
+        status=TrialStatus(data["status"]),
+        timestamp_s=float(data["timestamp_s"]),
+        cost_s=float(data["cost_s"]),
+        error=math.nan if error is None else float(error),
+        epochs_run=int(data.get("epochs_run", 0)),
+        diverged=data.get("diverged"),
+        power_pred_w=data.get("power_pred_w"),
+        memory_pred_bytes=data.get("memory_pred_bytes"),
+        power_meas_w=data.get("power_meas_w"),
+        memory_meas_bytes=data.get("memory_meas_bytes"),
+        latency_meas_s=data.get("latency_meas_s"),
+        feasible_pred=data.get("feasible_pred"),
+        feasible_meas=data.get("feasible_meas"),
+    )
+
+
+def run_to_dict(run: RunResult) -> dict:
+    """JSON-ready dictionary for one run."""
+    return {
+        "method": run.method,
+        "variant": run.variant,
+        "dataset": run.dataset,
+        "device": run.device,
+        "wall_time_s": run.wall_time_s,
+        "chance_error": run.chance_error,
+        "trials": [trial_to_dict(t) for t in run.trials],
+    }
+
+
+def run_from_dict(data: dict) -> RunResult:
+    """Inverse of :func:`run_to_dict`."""
+    run = RunResult(
+        method=data["method"],
+        variant=data["variant"],
+        dataset=data["dataset"],
+        device=data["device"],
+        wall_time_s=float(data.get("wall_time_s", 0.0)),
+        chance_error=float(data.get("chance_error", 0.9)),
+    )
+    run.trials = [trial_from_dict(t) for t in data.get("trials", [])]
+    return run
+
+
+def save_runs(runs: list[RunResult], path: str | Path) -> Path:
+    """Write runs to a JSON file; returns the path."""
+    path = Path(path)
+    payload = {"format": "repro-runs/1", "runs": [run_to_dict(r) for r in runs]}
+    path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    return path
+
+
+def load_runs(path: str | Path) -> list[RunResult]:
+    """Load runs written by :func:`save_runs`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != "repro-runs/1":
+        raise ValueError(f"{path}: not a repro runs file")
+    return [run_from_dict(r) for r in payload["runs"]]

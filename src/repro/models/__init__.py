@@ -1,0 +1,52 @@
+"""Predictive power/memory models (paper Section 3.3, Equations 1-2)."""
+
+from .crossval import cross_validate, kfold_indices, mape, rmse, rmspe
+from .hw_models import (
+    HardwareModel,
+    LatencyModel,
+    MemoryModel,
+    PowerModel,
+    fit_hardware_models,
+    fit_latency_model,
+)
+from .layerwise import (
+    LayerwiseEnergyModel,
+    LayerwiseRuntimeModel,
+    collect_layer_profiles,
+    layer_features,
+)
+from .linear import LinearModel
+from .selection import (
+    DEFAULT_FORMS,
+    CandidateForm,
+    FormSelection,
+    QuadraticFeatureModel,
+    select_model_form,
+)
+from .profiling import ProfilingDataset, run_profiling_campaign
+
+__all__ = [
+    "LinearModel",
+    "rmspe",
+    "rmse",
+    "mape",
+    "kfold_indices",
+    "cross_validate",
+    "ProfilingDataset",
+    "run_profiling_campaign",
+    "HardwareModel",
+    "PowerModel",
+    "MemoryModel",
+    "fit_hardware_models",
+    "LatencyModel",
+    "fit_latency_model",
+    "LayerwiseRuntimeModel",
+    "LayerwiseEnergyModel",
+    "collect_layer_profiles",
+    "layer_features",
+    "CandidateForm",
+    "QuadraticFeatureModel",
+    "DEFAULT_FORMS",
+    "FormSelection",
+    "select_model_form",
+]

@@ -1,0 +1,228 @@
+"""Layer-wise runtime and energy predictors (NeuralPower-style, ref. [10]).
+
+The paper's related-work section positions its network-level linear models
+against "more elaborate (layer-wise) predictive models for runtime and
+energy, which can be incorporated into HyperPower [10]".  This module
+implements that refinement:
+
+* one regression per *layer kind* maps per-layer workload features (FLOPs,
+  bytes moved) to the layer's measured runtime;
+* the network's **runtime** is the sum of its layers' predicted runtimes;
+* the network's **energy** per batch follows NeuralPower's decomposition
+  ``E = sum_i P_i * T_i`` with per-layer power modeled from the layer's
+  achieved compute/byte rates, and the network's **average power** is the
+  runtime-weighted mean ``E / T``.
+
+Training data comes from per-layer profiles
+(:meth:`repro.hwsim.profiler.HardwareProfiler.profile_layers` — the
+nvprof-granularity measurement), so the models never peek at the
+simulator's internals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hwsim.power import LayerTiming
+from ..hwsim.profiler import HardwareProfiler
+from ..nn.builder import build_network
+from ..nn.network import NetworkSpec
+from ..space.space import SearchSpace
+from .crossval import mape
+from .linear import LinearModel
+
+__all__ = [
+    "layer_features",
+    "LayerwiseRuntimeModel",
+    "LayerwiseEnergyModel",
+    "collect_layer_profiles",
+]
+
+
+def layer_features(timing: LayerTiming) -> np.ndarray:
+    """Workload features of one profiled layer.
+
+    ``[flops, bytes, sqrt(flops * bytes), 1-ish]`` — the linear terms give
+    the roofline's two asymptotes, the geometric-mean term lets the fit
+    bend around the ridge.  (The constant comes from the regressor's
+    intercept.)
+    """
+    flops = float(timing.flops)
+    moved = float(timing.bytes_moved)
+    return np.array([flops, moved, np.sqrt(flops * moved)])
+
+
+def collect_layer_profiles(
+    space: SearchSpace,
+    dataset_name: str,
+    profiler: HardwareProfiler,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> list[list[LayerTiming]]:
+    """Per-layer runtime profiles of ``n_samples`` random configurations."""
+    if n_samples < 1:
+        raise ValueError("need at least one sample")
+    profiles = []
+    for config in space.sample_many(n_samples, rng):
+        network = build_network(dataset_name, config)
+        profiles.append(profiler.profile_layers(network))
+    return profiles
+
+
+class LayerwiseRuntimeModel:
+    """Per-layer-kind runtime regression; network runtime is the sum.
+
+    Kinds never seen during fitting fall back to the mean runtime of all
+    training layers (a conservative constant).
+    """
+
+    def __init__(self) -> None:
+        self._models: dict[str, LinearModel] = {}
+        self._fallback_s: float | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has run."""
+        return self._fallback_s is not None
+
+    @property
+    def kinds(self) -> tuple[str, ...]:
+        """Layer kinds with a dedicated regression."""
+        return tuple(sorted(self._models))
+
+    def fit(
+        self, profiles: Iterable[Sequence[LayerTiming]]
+    ) -> "LayerwiseRuntimeModel":
+        """Fit one regression per layer kind from per-layer profiles."""
+        by_kind: dict[str, list[LayerTiming]] = {}
+        all_times = []
+        for profile in profiles:
+            for timing in profile:
+                by_kind.setdefault(timing.kind, []).append(timing)
+                all_times.append(timing.time_s)
+        if not all_times:
+            raise ValueError("no layer profiles given")
+        self._fallback_s = float(np.mean(all_times))
+        self._models.clear()
+        for kind, records in by_kind.items():
+            X = np.vstack([layer_features(r) for r in records])
+            y = np.array([r.time_s for r in records])
+            # A kind needs enough records to support the regression;
+            # otherwise its mean runtime serves as the model.
+            if len(records) > X.shape[1] + 1:
+                self._models[kind] = LinearModel(fit_intercept=True).fit(X, y)
+        return self
+
+    def predict_layer(self, timing: LayerTiming) -> float:
+        """Predicted runtime of one layer, s (non-negative)."""
+        if not self.is_fitted:
+            raise RuntimeError("predict before fit()")
+        model = self._models.get(timing.kind)
+        if model is None:
+            return self._fallback_s
+        return float(max(0.0, model.predict_one(layer_features(timing))))
+
+    def predict_network(
+        self, timings: Sequence[LayerTiming]
+    ) -> float:
+        """Predicted batch runtime of a network, s."""
+        return float(sum(self.predict_layer(t) for t in timings))
+
+    def evaluate(
+        self, profiles: Iterable[Sequence[LayerTiming]]
+    ) -> float:
+        """Network-level runtime MAPE (%) on held-out profiles."""
+        actual, predicted = [], []
+        for profile in profiles:
+            actual.append(sum(t.time_s for t in profile))
+            predicted.append(self.predict_network(profile))
+        return mape(np.asarray(actual), np.asarray(predicted))
+
+
+@dataclass(frozen=True)
+class _PowerCoefficients:
+    """Per-layer power model ``P_i = p0 + pf * rate_f + pb * rate_b``."""
+
+    p0: float
+    per_flop_rate: float
+    per_byte_rate: float
+
+    def power(self, timing: LayerTiming) -> float:
+        return max(
+            0.0,
+            self.p0
+            + self.per_flop_rate * timing.achieved_flops_rate
+            + self.per_byte_rate * timing.achieved_byte_rate,
+        )
+
+
+class LayerwiseEnergyModel:
+    """NeuralPower's energy decomposition ``E = sum_i P_i * T_i``.
+
+    Fitted from (per-layer profiles, measured network power) pairs: the
+    per-layer power coefficients are regressed so that the runtime-
+    weighted per-layer powers reproduce the measured board power.
+    """
+
+    def __init__(self, runtime_model: LayerwiseRuntimeModel):
+        if not runtime_model.is_fitted:
+            raise ValueError("runtime model must be fitted first")
+        self.runtime_model = runtime_model
+        self._coefficients: _PowerCoefficients | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has run."""
+        return self._coefficients is not None
+
+    def fit(
+        self,
+        profiles: Sequence[Sequence[LayerTiming]],
+        measured_power_w: Sequence[float],
+    ) -> "LayerwiseEnergyModel":
+        """Regress the per-layer power coefficients.
+
+        For each network, board power is the runtime-weighted mean of the
+        per-layer powers, which is linear in the coefficients — so the fit
+        is ordinary least squares on runtime-weighted rate averages.
+        """
+        measured = np.asarray(measured_power_w, dtype=float)
+        if len(profiles) != measured.shape[0]:
+            raise ValueError("profiles and measurements disagree in length")
+        if len(profiles) < 4:
+            raise ValueError("need at least 4 networks to fit")
+        rows = []
+        for profile in profiles:
+            total = sum(t.time_s for t in profile)
+            rate_f = sum(t.achieved_flops_rate * t.time_s for t in profile) / total
+            rate_b = sum(t.achieved_byte_rate * t.time_s for t in profile) / total
+            rows.append([1.0, rate_f, rate_b])
+        coef, *_ = np.linalg.lstsq(np.asarray(rows), measured, rcond=None)
+        self._coefficients = _PowerCoefficients(*map(float, coef))
+        return self
+
+    def layer_power(self, timing: LayerTiming) -> float:
+        """Predicted power while this layer executes, W."""
+        if not self.is_fitted:
+            raise RuntimeError("predict before fit()")
+        return self._coefficients.power(timing)
+
+    def predict_energy(self, timings: Sequence[LayerTiming]) -> float:
+        """Predicted energy of one inference batch, J."""
+        if not self.is_fitted:
+            raise RuntimeError("predict before fit()")
+        energy = 0.0
+        for timing in timings:
+            runtime = self.runtime_model.predict_layer(timing)
+            energy += self._coefficients.power(timing) * runtime
+        return float(energy)
+
+    def predict_average_power(self, timings: Sequence[LayerTiming]) -> float:
+        """Predicted board power (runtime-weighted mean), W."""
+        runtime = self.runtime_model.predict_network(timings)
+        if runtime <= 0:
+            raise ValueError("predicted runtime is non-positive")
+        return self.predict_energy(timings) / runtime

@@ -1,0 +1,124 @@
+"""Offline random-sampling profiling campaign (paper Section 3.3).
+
+"We employ offline random sampling by generating different configurations
+based on the ranges of the considered hyper-parameters z ... for each
+candidate design z_l we measure the hardware platform's power P_l and
+memory M_l values during inference" — this module is that campaign: draw
+``L`` configurations uniformly, build each network, deploy it on the
+target's :class:`~repro.hwsim.profiler.HardwareProfiler`, and collect the
+dataset ``{(z_l, P_l, M_l)}`` the predictive models are trained on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hwsim.profiler import HardwareProfiler
+from ..nn.builder import build_network
+from ..space.space import Configuration, SearchSpace
+
+__all__ = ["ProfilingDataset", "run_profiling_campaign"]
+
+
+@dataclass(frozen=True)
+class ProfilingDataset:
+    """The profiled dataset ``{(z_l, P_l, M_l)}_{l=1..L}``."""
+
+    #: Benchmark the networks were built for (``'mnist'``/``'cifar10'``).
+    dataset_name: str
+    #: Target platform the measurements were taken on.
+    device_name: str
+    #: The sampled configurations, in measurement order.
+    configs: tuple[Configuration, ...]
+    #: ``(L, J)`` structural design matrix.
+    Z: np.ndarray
+    #: ``(L,)`` measured inference power, W.
+    power_w: np.ndarray
+    #: ``(L,)`` measured memory footprint, bytes — ``None`` on platforms
+    #: without a memory API (Tegra TX1).
+    memory_bytes: np.ndarray | None
+    #: Total wall-clock cost of the campaign, s.
+    total_time_s: float
+    #: ``(L,)`` measured batch inference latency, s.
+    latency_s: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        L = len(self.configs)
+        if self.Z.shape[0] != L or self.power_w.shape[0] != L:
+            raise ValueError("inconsistent profiling dataset sizes")
+        if self.memory_bytes is not None and self.memory_bytes.shape[0] != L:
+            raise ValueError("inconsistent memory column size")
+        if self.latency_s is not None and self.latency_s.shape[0] != L:
+            raise ValueError("inconsistent latency column size")
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    @property
+    def has_memory(self) -> bool:
+        """Whether memory measurements are available."""
+        return self.memory_bytes is not None
+
+
+def run_profiling_campaign(
+    space: SearchSpace,
+    dataset_name: str,
+    profiler: HardwareProfiler,
+    n_samples: int,
+    rng: np.random.Generator,
+    method: str = "random",
+) -> ProfilingDataset:
+    """Profile ``n_samples`` sampled configurations.
+
+    Parameters
+    ----------
+    space:
+        The hyper-parameter space whose structural sub-vector defines ``z``.
+    dataset_name:
+        Benchmark whose AlexNet variant is built (``'mnist'``/``'cifar10'``).
+    profiler:
+        Target-platform profiler providing measurements (and their cost).
+    n_samples:
+        ``L``, the campaign size.
+    rng:
+        Sampling randomness (measurement noise comes from the profiler).
+    method:
+        ``'random'`` — the paper's i.i.d. offline random sampling;
+        ``'lhs'`` — Latin-hypercube, better space-filling per sample.
+    """
+    if n_samples < 1:
+        raise ValueError("need at least one sample")
+    if method == "random":
+        configs = space.sample_many(n_samples, rng)
+    elif method == "lhs":
+        configs = space.sample_lhs(n_samples, rng)
+    else:
+        raise ValueError(
+            f"unknown sampling method {method!r}; expected 'random' or 'lhs'"
+        )
+    Z = space.structural_matrix(configs)
+    power = np.empty(n_samples)
+    latency = np.empty(n_samples)
+    supports_memory = profiler.device.supports_memory_query
+    memory = np.empty(n_samples) if supports_memory else None
+    total_time = 0.0
+    for index, config in enumerate(configs):
+        network = build_network(dataset_name, config)
+        measurement = profiler.profile(network)
+        power[index] = measurement.power_w
+        latency[index] = measurement.latency_s
+        if supports_memory:
+            memory[index] = measurement.memory_bytes
+        total_time += measurement.duration_s
+    return ProfilingDataset(
+        dataset_name=dataset_name,
+        device_name=profiler.device.name,
+        configs=tuple(configs),
+        Z=Z,
+        power_w=power,
+        memory_bytes=memory,
+        total_time_s=total_time,
+        latency_s=latency,
+    )

@@ -1,0 +1,127 @@
+"""Cross-validation-driven choice of the predictor's regression form.
+
+The paper states it "experimented with nonlinear regression formulations
+which can be plugged-in to the models ... these linear functions provide
+sufficient accuracy".  This module automates that experiment: evaluate a
+set of candidate forms by k-fold CV and keep the simplest one within a
+tolerance of the best score (a parsimony tie-break, so the linear form
+wins whenever it is genuinely sufficient — the paper's conclusion).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .crossval import cross_validate, rmspe
+from .linear import LinearModel
+
+__all__ = [
+    "CandidateForm",
+    "QuadraticFeatureModel",
+    "DEFAULT_FORMS",
+    "FormSelection",
+    "select_model_form",
+]
+
+
+class QuadraticFeatureModel:
+    """Linear regression over ``[z, z^2, pairwise products]`` + intercept."""
+
+    def __init__(self) -> None:
+        self._inner = LinearModel(fit_intercept=True)
+
+    @staticmethod
+    def expand(Z: np.ndarray) -> np.ndarray:
+        """The quadratic feature map."""
+        Z = np.atleast_2d(np.asarray(Z, dtype=float))
+        columns = [Z, Z**2]
+        for i in range(Z.shape[1]):
+            for j in range(i + 1, Z.shape[1]):
+                columns.append((Z[:, i] * Z[:, j])[:, None])
+        return np.hstack(columns)
+
+    def fit(self, Z: np.ndarray, y: np.ndarray) -> "QuadraticFeatureModel":
+        self._inner.fit(self.expand(Z), y)
+        return self
+
+    def predict(self, Z: np.ndarray) -> np.ndarray:
+        return self._inner.predict(self.expand(Z))
+
+
+@dataclass(frozen=True)
+class CandidateForm:
+    """One regression form under consideration."""
+
+    #: Human-readable name.
+    name: str
+    #: Zero-argument factory producing a fresh fit/predict model.
+    factory: Callable[[], object]
+    #: Complexity rank — lower is simpler (used by the parsimony rule).
+    complexity: int
+
+
+#: The forms the paper's discussion spans: its pure-linear Eq. 1-2, the
+#: intercept-augmented linear this reproduction defaults to, and a
+#: quadratic expansion standing in for "nonlinear formulations".
+DEFAULT_FORMS = (
+    CandidateForm(
+        "linear", lambda: LinearModel(fit_intercept=False), complexity=0
+    ),
+    CandidateForm(
+        "linear+intercept", lambda: LinearModel(fit_intercept=True), complexity=1
+    ),
+    CandidateForm("quadratic", QuadraticFeatureModel, complexity=2),
+)
+
+
+@dataclass(frozen=True)
+class FormSelection:
+    """Outcome of a form-selection experiment."""
+
+    #: The selected form.
+    chosen: CandidateForm
+    #: CV score (RMSPE, %) per form name.
+    scores: dict[str, float]
+
+    @property
+    def chosen_score(self) -> float:
+        """CV score of the selected form."""
+        return self.scores[self.chosen.name]
+
+
+def select_model_form(
+    Z: np.ndarray,
+    y: np.ndarray,
+    forms: Sequence[CandidateForm] = DEFAULT_FORMS,
+    k: int = 10,
+    rng: np.random.Generator | None = None,
+    tolerance_rel: float = 0.10,
+) -> FormSelection:
+    """Pick the simplest form within ``tolerance_rel`` of the best CV score.
+
+    With the default 10% tolerance, a linear model scoring 4.4% RMSPE
+    beats a quadratic scoring 4.1% — the paper's "sufficient accuracy"
+    judgement, made reproducible.
+    """
+    if not forms:
+        raise ValueError("need at least one candidate form")
+    if tolerance_rel < 0:
+        raise ValueError("tolerance must be non-negative")
+    rng = rng or np.random.default_rng(0)
+    scores: dict[str, float] = {}
+    for form in forms:
+        # Same fold split for every form (fair comparison).
+        fold_rng = np.random.default_rng(rng.integers(2**63))
+        score, _ = cross_validate(form.factory, Z, y, k=k, rng=fold_rng, metric=rmspe)
+        scores[form.name] = score
+    best_score = min(scores.values())
+    admissible = [
+        form
+        for form in forms
+        if scores[form.name] <= best_score * (1.0 + tolerance_rel)
+    ]
+    chosen = min(admissible, key=lambda form: form.complexity)
+    return FormSelection(chosen=chosen, scores=scores)

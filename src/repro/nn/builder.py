@@ -1,0 +1,217 @@
+"""AlexNet-variant builders (paper Section 4).
+
+Translate a configuration drawn from :func:`repro.space.mnist_space` or
+:func:`repro.space.cifar10_space` into a concrete :class:`NetworkSpec`, the
+way the paper's wrapper scripts "automate the generation of Caffe
+simulations" from Spearmint's suggestions.
+
+The fixed parts of each topology (pool sizes on MNIST, the second conv
+kernel, dropout before the classifier) follow the classic Caffe AlexNet/
+LeNet examples the paper varies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from .layers import Conv2D, Dense, Dropout, Flatten, Pooling, ReLU, Softmax
+from .network import NetworkSpec
+
+__all__ = [
+    "MNIST_INPUT_SHAPE",
+    "CIFAR10_INPUT_SHAPE",
+    "IMAGENET_INPUT_SHAPE",
+    "NUM_CLASSES",
+    "IMAGENET_NUM_CLASSES",
+    "build_mnist_network",
+    "build_cifar10_network",
+    "build_imagenet_network",
+    "build_network",
+]
+
+#: MNIST images are 28x28 grayscale.
+MNIST_INPUT_SHAPE = (1, 28, 28)
+#: CIFAR-10 images are 32x32 RGB.
+CIFAR10_INPUT_SHAPE = (3, 32, 32)
+#: Both benchmarks are 10-way classification.
+NUM_CLASSES = 10
+
+#: Fixed kernel size of the MNIST variant's second convolution.
+_MNIST_CONV2_KERNEL = 3
+#: Fixed pooling kernel of the MNIST variant (classic LeNet-style 2x2).
+_MNIST_POOL_KERNEL = 2
+
+
+def _require(config: Mapping, keys: tuple[str, ...], dataset: str) -> None:
+    missing = [key for key in keys if key not in config]
+    if missing:
+        raise ValueError(
+            f"{dataset} configuration missing hyper-parameters {missing}"
+        )
+
+
+def build_mnist_network(config: Mapping) -> NetworkSpec:
+    """Build the 6-hyper-parameter MNIST AlexNet variant.
+
+    Topology: ``conv1 - relu - pool - conv2 - relu - pool - fc1 - relu -
+    dropout - fc(10) - softmax`` with tunable conv feature counts, first
+    conv kernel size and hidden FC width.
+    """
+    _require(
+        config,
+        ("conv1_features", "conv1_kernel", "conv2_features", "fc1_units"),
+        "MNIST",
+    )
+    layers = [
+        Conv2D(int(config["conv1_features"]), int(config["conv1_kernel"])),
+        ReLU(),
+        Pooling(_MNIST_POOL_KERNEL),
+        Conv2D(int(config["conv2_features"]), _MNIST_CONV2_KERNEL),
+        ReLU(),
+        Pooling(_MNIST_POOL_KERNEL),
+        Flatten(),
+        Dense(int(config["fc1_units"])),
+        ReLU(),
+        Dropout(0.5),
+        Dense(NUM_CLASSES),
+        Softmax(),
+    ]
+    return NetworkSpec(
+        name="alexnet-mnist",
+        input_shape=MNIST_INPUT_SHAPE,
+        layers=layers,
+        num_classes=NUM_CLASSES,
+    )
+
+
+def build_cifar10_network(config: Mapping) -> NetworkSpec:
+    """Build the 13-hyper-parameter CIFAR-10 AlexNet variant.
+
+    Topology: three ``conv - relu - pool`` blocks with tunable feature
+    counts, conv kernels and pool kernels, then ``fc1 - relu - dropout -
+    fc(10) - softmax`` with a tunable hidden width.
+    """
+    _require(
+        config,
+        (
+            "conv1_features",
+            "conv1_kernel",
+            "pool1_kernel",
+            "conv2_features",
+            "conv2_kernel",
+            "pool2_kernel",
+            "conv3_features",
+            "conv3_kernel",
+            "pool3_kernel",
+            "fc1_units",
+        ),
+        "CIFAR-10",
+    )
+    layers = []
+    for block in (1, 2, 3):
+        layers.extend(
+            [
+                Conv2D(
+                    int(config[f"conv{block}_features"]),
+                    int(config[f"conv{block}_kernel"]),
+                ),
+                ReLU(),
+                # Fixed downsampling stride of 2 (Caffe CIFAR-10 style);
+                # the tuned kernel controls window overlap.
+                Pooling(int(config[f"pool{block}_kernel"]), stride=2),
+            ]
+        )
+    layers.extend(
+        [
+            Flatten(),
+            Dense(int(config["fc1_units"])),
+            ReLU(),
+            Dropout(0.5),
+            Dense(NUM_CLASSES),
+            Softmax(),
+        ]
+    )
+    return NetworkSpec(
+        name="alexnet-cifar10",
+        input_shape=CIFAR10_INPUT_SHAPE,
+        layers=layers,
+        num_classes=NUM_CLASSES,
+    )
+
+
+#: ImageNet images enter at the classic AlexNet crop size.
+IMAGENET_INPUT_SHAPE = (3, 224, 224)
+#: ImageNet is 1000-way classification.
+IMAGENET_NUM_CLASSES = 1000
+
+
+def build_imagenet_network(config: Mapping) -> NetworkSpec:
+    """Build the full-size ImageNet AlexNet with tunable widths.
+
+    Krizhevsky's topology (stride-4 11x11 conv1, 5x5 conv2, three 3x3
+    convs, three 3x3/stride-2 max-pools, two hidden FCs) with the feature
+    counts and FC widths taken from the configuration — the paper's
+    "larger networks on the state-of-the-art ImageNet dataset" future
+    work, runnable on the simulated substrate.
+    """
+    _require(
+        config,
+        (
+            "conv1_features",
+            "conv2_features",
+            "conv3_features",
+            "conv4_features",
+            "conv5_features",
+            "fc6_units",
+            "fc7_units",
+        ),
+        "ImageNet",
+    )
+    layers = [
+        Conv2D(int(config["conv1_features"]), 11, stride=4),
+        ReLU(),
+        Pooling(3, stride=2),
+        Conv2D(int(config["conv2_features"]), 5),
+        ReLU(),
+        Pooling(3, stride=2),
+        Conv2D(int(config["conv3_features"]), 3),
+        ReLU(),
+        Conv2D(int(config["conv4_features"]), 3),
+        ReLU(),
+        Conv2D(int(config["conv5_features"]), 3),
+        ReLU(),
+        Pooling(3, stride=2),
+        Flatten(),
+        Dense(int(config["fc6_units"])),
+        ReLU(),
+        Dropout(0.5),
+        Dense(int(config["fc7_units"])),
+        ReLU(),
+        Dropout(0.5),
+        Dense(IMAGENET_NUM_CLASSES),
+        Softmax(),
+    ]
+    return NetworkSpec(
+        name="alexnet-imagenet",
+        input_shape=IMAGENET_INPUT_SHAPE,
+        layers=layers,
+        num_classes=IMAGENET_NUM_CLASSES,
+    )
+
+
+_BUILDERS = {
+    "mnist": build_mnist_network,
+    "cifar10": build_cifar10_network,
+    "imagenet": build_imagenet_network,
+}
+
+
+def build_network(dataset: str, config: Mapping) -> NetworkSpec:
+    """Build the AlexNet variant for ``dataset`` (``'mnist'``/``'cifar10'``)."""
+    try:
+        builder = _BUILDERS[dataset.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {dataset!r}; expected one of {sorted(_BUILDERS)}"
+        ) from None
+    return builder(config)

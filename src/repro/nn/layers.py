@@ -1,0 +1,288 @@
+"""Layer specifications for the CNN substrate.
+
+The paper generates Caffe network definitions for each candidate
+configuration.  We replace Caffe with a lightweight *specification* layer:
+each class below describes one layer's topology and knows how to
+
+* infer its output shape from an input shape,
+* count its learnable parameters,
+* count its inference FLOPs (multiply-accumulate counted as two FLOPs), and
+* account for the bytes its weights and output activations occupy.
+
+No tensors are ever materialised — the hardware simulator (:mod:`repro.hwsim`)
+and the training simulator (:mod:`repro.trainsim`) only need these analytic
+quantities.
+
+Shapes are ``(channels, height, width)`` tuples for spatial tensors and
+``(features,)`` tuples after flattening, mirroring Caffe's NCHW layout with
+the batch dimension left implicit.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = [
+    "Shape",
+    "Layer",
+    "Conv2D",
+    "Pooling",
+    "ReLU",
+    "Flatten",
+    "Dense",
+    "Dropout",
+    "Softmax",
+    "DTYPE_BYTES",
+]
+
+#: A tensor shape without the batch dimension.
+Shape = tuple[int, ...]
+
+#: All simulated tensors are FP32, matching the paper's Caffe setup.
+DTYPE_BYTES = 4
+
+
+def _shape_elements(shape: Shape) -> int:
+    count = 1
+    for dim in shape:
+        count *= dim
+    return count
+
+
+class Layer(ABC):
+    """Base class for layer specifications."""
+
+    @abstractmethod
+    def output_shape(self, input_shape: Shape) -> Shape:
+        """Shape produced when the layer consumes ``input_shape``.
+
+        Raises ``ValueError`` if the input shape is incompatible (wrong rank
+        or spatially too small).
+        """
+
+    @abstractmethod
+    def param_count(self, input_shape: Shape) -> int:
+        """Number of learnable scalars (weights plus biases)."""
+
+    @abstractmethod
+    def flops(self, input_shape: Shape) -> int:
+        """Inference floating-point operations for one input sample."""
+
+    def weight_bytes(self, input_shape: Shape) -> int:
+        """Bytes occupied by the layer's parameters."""
+        return self.param_count(input_shape) * DTYPE_BYTES
+
+    def activation_bytes(self, input_shape: Shape) -> int:
+        """Bytes occupied by the layer's output activation for one sample."""
+        return _shape_elements(self.output_shape(input_shape)) * DTYPE_BYTES
+
+    def _require_spatial(self, input_shape: Shape) -> tuple[int, int, int]:
+        if len(input_shape) != 3:
+            raise ValueError(
+                f"{type(self).__name__} needs a (C, H, W) input, got {input_shape}"
+            )
+        channels, height, width = input_shape
+        if channels < 1 or height < 1 or width < 1:
+            raise ValueError(f"invalid spatial shape {input_shape}")
+        return channels, height, width
+
+
+@dataclass(frozen=True)
+class Conv2D(Layer):
+    """2-D convolution with 'same'-style padding of ``kernel // 2``.
+
+    Caffe's AlexNet prototxts pad convolutions to roughly preserve spatial
+    size; we use ``pad = kernel // 2`` which preserves it exactly for odd
+    kernels and shrinks by one for even kernels.
+    """
+
+    features: int
+    kernel: int
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.features < 1:
+            raise ValueError("features must be >= 1")
+        if self.kernel < 1:
+            raise ValueError("kernel must be >= 1")
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+
+    @property
+    def padding(self) -> int:
+        """Implicit zero padding on each spatial border."""
+        return self.kernel // 2
+
+    def _spatial_out(self, size: int) -> int:
+        out = (size + 2 * self.padding - self.kernel) // self.stride + 1
+        if out < 1:
+            raise ValueError(
+                f"conv kernel {self.kernel} too large for spatial size {size}"
+            )
+        return out
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        _, height, width = self._require_spatial(input_shape)
+        return (self.features, self._spatial_out(height), self._spatial_out(width))
+
+    def param_count(self, input_shape: Shape) -> int:
+        channels, _, _ = self._require_spatial(input_shape)
+        weights = self.features * channels * self.kernel * self.kernel
+        biases = self.features
+        return weights + biases
+
+    def flops(self, input_shape: Shape) -> int:
+        channels, _, _ = self._require_spatial(input_shape)
+        _, out_h, out_w = self.output_shape(input_shape)
+        macs_per_output = channels * self.kernel * self.kernel
+        outputs = self.features * out_h * out_w
+        # One MAC = 2 FLOPs; add one FLOP per output for the bias.
+        return outputs * (2 * macs_per_output + 1)
+
+
+@dataclass(frozen=True)
+class Pooling(Layer):
+    """Max/average pooling with an explicit stride (Caffe semantics).
+
+    The paper's spaces vary the pooling *kernel* in ``[1, 3]`` while the
+    Caffe prototxts they derive from keep the downsampling *stride* fixed
+    (2 in the classic CIFAR-10 variants) — kernel size then controls window
+    overlap, not the downsampling factor.  ``stride=None`` ties the stride
+    to the kernel (non-overlapping pooling).
+    """
+
+    kernel: int
+    stride: int | None = None
+    op: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.kernel < 1:
+            raise ValueError("kernel must be >= 1")
+        if self.stride is not None and self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        if self.op not in ("max", "avg"):
+            raise ValueError(f"unknown pooling op {self.op!r}")
+
+    @property
+    def effective_stride(self) -> int:
+        """The stride actually used (kernel-tied when ``stride`` is None)."""
+        return self.kernel if self.stride is None else self.stride
+
+    def _spatial_out(self, size: int) -> int:
+        if size < self.kernel:
+            raise ValueError(
+                f"pool kernel {self.kernel} too large for spatial size {size}"
+            )
+        # Caffe uses ceil division for pooling output sizes.
+        return -(-(size - self.kernel) // self.effective_stride) + 1
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = self._require_spatial(input_shape)
+        return (channels, self._spatial_out(height), self._spatial_out(width))
+
+    def param_count(self, input_shape: Shape) -> int:
+        return 0
+
+    def flops(self, input_shape: Shape) -> int:
+        channels, _, _ = self._require_spatial(input_shape)
+        _, out_h, out_w = self.output_shape(input_shape)
+        # One comparison/add per element in each pooling window.
+        return channels * out_h * out_w * self.kernel * self.kernel
+
+
+@dataclass(frozen=True)
+class ReLU(Layer):
+    """Element-wise rectified linear activation."""
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+    def param_count(self, input_shape: Shape) -> int:
+        return 0
+
+    def flops(self, input_shape: Shape) -> int:
+        return _shape_elements(input_shape)
+
+
+@dataclass(frozen=True)
+class Flatten(Layer):
+    """Collapse a spatial tensor to a feature vector."""
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (_shape_elements(input_shape),)
+
+    def param_count(self, input_shape: Shape) -> int:
+        return 0
+
+    def flops(self, input_shape: Shape) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Dense(Layer):
+    """Fully-connected (inner-product) layer."""
+
+    units: int
+
+    def __post_init__(self) -> None:
+        if self.units < 1:
+            raise ValueError("units must be >= 1")
+
+    def _require_flat(self, input_shape: Shape) -> int:
+        if len(input_shape) != 1:
+            raise ValueError(
+                f"Dense needs a flat (features,) input, got {input_shape}"
+            )
+        return input_shape[0]
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        self._require_flat(input_shape)
+        return (self.units,)
+
+    def param_count(self, input_shape: Shape) -> int:
+        fan_in = self._require_flat(input_shape)
+        return fan_in * self.units + self.units
+
+    def flops(self, input_shape: Shape) -> int:
+        fan_in = self._require_flat(input_shape)
+        return self.units * (2 * fan_in + 1)
+
+
+@dataclass(frozen=True)
+class Dropout(Layer):
+    """Dropout — identity at inference time, kept for topology fidelity."""
+
+    rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rate < 1.0):
+            raise ValueError("rate must be in [0, 1)")
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+    def param_count(self, input_shape: Shape) -> int:
+        return 0
+
+    def flops(self, input_shape: Shape) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Softmax(Layer):
+    """Softmax over a flat feature vector."""
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 1:
+            raise ValueError(
+                f"Softmax needs a flat (features,) input, got {input_shape}"
+            )
+        return input_shape
+
+    def param_count(self, input_shape: Shape) -> int:
+        return 0
+
+    def flops(self, input_shape: Shape) -> int:
+        # exp + sum + divide per element, roughly.
+        return 3 * _shape_elements(input_shape)

@@ -1,0 +1,100 @@
+"""Caffe prototxt export.
+
+The paper's wrapper scripts "automate the generation of Caffe simulations"
+from Spearmint's suggestions; this module renders a
+:class:`~repro.nn.network.NetworkSpec` as the equivalent Caffe
+``.prototxt`` text, making the analogy concrete (and giving the builders a
+human-auditable artifact).
+
+Only the layer types the AlexNet variants use are supported; the output
+follows Caffe's classic (pre-NetSpec) syntax.
+"""
+
+from __future__ import annotations
+
+from .layers import Conv2D, Dense, Dropout, Flatten, Pooling, ReLU, Softmax
+from .network import NetworkSpec
+
+__all__ = ["to_prototxt"]
+
+
+def _block(name: str, kind: str, bottom: str, top: str, body: str = "") -> str:
+    lines = [
+        "layer {",
+        f'  name: "{name}"',
+        f'  type: "{kind}"',
+        f'  bottom: "{bottom}"',
+        f'  top: "{top}"',
+    ]
+    if body:
+        lines.append(body)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_prototxt(network: NetworkSpec) -> str:
+    """Render ``network`` as Caffe prototxt text."""
+    chunks = [f'name: "{network.name}"']
+    channels, height, width = network.input_shape
+    chunks.append(
+        "input: \"data\"\n"
+        f"input_shape {{ dim: 1 dim: {channels} dim: {height} dim: {width} }}"
+    )
+
+    bottom = "data"
+    counters: dict[str, int] = {}
+    for layer in network.layers:
+        kind = type(layer).__name__
+        counters[kind] = counters.get(kind, 0) + 1
+        index = counters[kind]
+
+        if isinstance(layer, Conv2D):
+            name = f"conv{index}"
+            body = (
+                "  convolution_param {\n"
+                f"    num_output: {layer.features}\n"
+                f"    kernel_size: {layer.kernel}\n"
+                f"    stride: {layer.stride}\n"
+                f"    pad: {layer.padding}\n"
+                "  }"
+            )
+            chunks.append(_block(name, "Convolution", bottom, name, body))
+            bottom = name
+        elif isinstance(layer, Pooling):
+            name = f"pool{index}"
+            op = "MAX" if layer.op == "max" else "AVE"
+            body = (
+                "  pooling_param {\n"
+                f"    pool: {op}\n"
+                f"    kernel_size: {layer.kernel}\n"
+                f"    stride: {layer.effective_stride}\n"
+                "  }"
+            )
+            chunks.append(_block(name, "Pooling", bottom, name, body))
+            bottom = name
+        elif isinstance(layer, ReLU):
+            name = f"relu{index}"
+            # Caffe runs ReLU in place: bottom == top.
+            chunks.append(_block(name, "ReLU", bottom, bottom))
+        elif isinstance(layer, Dropout):
+            name = f"drop{index}"
+            body = f"  dropout_param {{ dropout_ratio: {layer.rate} }}"
+            chunks.append(_block(name, "Dropout", bottom, bottom, body))
+        elif isinstance(layer, Dense):
+            name = f"fc{index}"
+            body = f"  inner_product_param {{ num_output: {layer.units} }}"
+            chunks.append(_block(name, "InnerProduct", bottom, name, body))
+            bottom = name
+        elif isinstance(layer, Flatten):
+            name = f"flatten{index}"
+            chunks.append(_block(name, "Flatten", bottom, name))
+            bottom = name
+        elif isinstance(layer, Softmax):
+            name = f"prob"
+            chunks.append(_block(name, "Softmax", bottom, name))
+            bottom = name
+        else:
+            raise ValueError(
+                f"no prototxt rendering for layer type {kind!r}"
+            )
+    return "\n".join(chunks) + "\n"

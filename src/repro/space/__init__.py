@@ -1,0 +1,16 @@
+"""Hyper-parameter design-space substrate (paper Sections 3-4)."""
+
+from .params import ContinuousParameter, IntegerParameter, Parameter
+from .presets import cifar10_space, imagenet_space, mnist_space
+from .space import Configuration, SearchSpace
+
+__all__ = [
+    "Parameter",
+    "IntegerParameter",
+    "ContinuousParameter",
+    "SearchSpace",
+    "Configuration",
+    "mnist_space",
+    "cifar10_space",
+    "imagenet_space",
+]

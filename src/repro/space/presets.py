@@ -1,0 +1,115 @@
+"""The two hyper-parameter spaces evaluated in the paper (Section 4).
+
+The paper tunes AlexNet-family variants "for MNIST and CIFAR-10, with six
+and thirteen hyper-parameters respectively", with the ranges:
+
+* convolution layers — number of features in ``[20, 80]``, kernel size in
+  ``[2, 5]``;
+* pooling layers — kernel size in ``[1, 3]``;
+* fully-connected layers — number of units in ``[200, 700]``;
+* learning rate in ``[0.001, 0.1]``, momentum in ``[0.8, 0.95]``, weight
+  decay in ``[0.0001, 0.01]``.
+
+The exact per-network assignment of those ranges is not spelled out in the
+paper, so we use the natural AlexNet-for-MNIST (two conv blocks, one hidden
+FC) and AlexNet-for-CIFAR-10 (three conv blocks, one hidden FC) splits that
+yield exactly six and thirteen tunables.
+"""
+
+from __future__ import annotations
+
+from .params import ContinuousParameter, IntegerParameter
+from .space import SearchSpace
+
+__all__ = [
+    "CONV_FEATURES_RANGE",
+    "CONV_KERNEL_RANGE",
+    "POOL_KERNEL_RANGE",
+    "FC_UNITS_RANGE",
+    "LEARNING_RATE_RANGE",
+    "MOMENTUM_RANGE",
+    "WEIGHT_DECAY_RANGE",
+    "mnist_space",
+    "cifar10_space",
+    "imagenet_space",
+]
+
+#: Section 4 ranges, shared by both spaces.
+CONV_FEATURES_RANGE = (20, 80)
+CONV_KERNEL_RANGE = (2, 5)
+POOL_KERNEL_RANGE = (1, 3)
+FC_UNITS_RANGE = (200, 700)
+LEARNING_RATE_RANGE = (0.001, 0.1)
+MOMENTUM_RANGE = (0.8, 0.95)
+WEIGHT_DECAY_RANGE = (0.0001, 0.01)
+
+
+def mnist_space() -> SearchSpace:
+    """Six-hyper-parameter space for the MNIST AlexNet variant.
+
+    Four structural parameters (two conv feature counts, first conv kernel
+    size, hidden FC width) plus learning rate and momentum.
+    """
+    return SearchSpace(
+        [
+            IntegerParameter("conv1_features", *CONV_FEATURES_RANGE),
+            IntegerParameter("conv1_kernel", *CONV_KERNEL_RANGE),
+            IntegerParameter("conv2_features", *CONV_FEATURES_RANGE),
+            IntegerParameter("fc1_units", *FC_UNITS_RANGE),
+            ContinuousParameter("learning_rate", *LEARNING_RATE_RANGE, log=True),
+            ContinuousParameter("momentum", *MOMENTUM_RANGE),
+        ]
+    )
+
+
+def imagenet_space() -> SearchSpace:
+    """Ten-hyper-parameter space for the full ImageNet AlexNet.
+
+    The paper's stated future work ("larger networks on the
+    state-of-the-art ImageNet dataset").  The five convolution feature
+    counts and the two hidden FC widths are tuned over +-50% windows
+    around Krizhevsky's AlexNet values (96/256/384/384/256 features,
+    4096-unit FCs); kernels, strides and pooling stay at the classic
+    topology.  Learning rate, momentum and weight decay use the paper's
+    solver ranges, with AlexNet's 0.0005 decay inside the window.
+    """
+    return SearchSpace(
+        [
+            IntegerParameter("conv1_features", 48, 144),
+            IntegerParameter("conv2_features", 128, 384),
+            IntegerParameter("conv3_features", 192, 576),
+            IntegerParameter("conv4_features", 192, 576),
+            IntegerParameter("conv5_features", 128, 384),
+            IntegerParameter("fc6_units", 2048, 6144),
+            IntegerParameter("fc7_units", 2048, 6144),
+            ContinuousParameter("learning_rate", *LEARNING_RATE_RANGE, log=True),
+            ContinuousParameter("momentum", *MOMENTUM_RANGE),
+            ContinuousParameter("weight_decay", *WEIGHT_DECAY_RANGE, log=True),
+        ]
+    )
+
+
+def cifar10_space() -> SearchSpace:
+    """Thirteen-hyper-parameter space for the CIFAR-10 AlexNet variant.
+
+    Ten structural parameters (three conv blocks with feature count and
+    kernel size, three pooling kernel sizes, hidden FC width) plus learning
+    rate, momentum and weight decay.
+    """
+    return SearchSpace(
+        [
+            IntegerParameter("conv1_features", *CONV_FEATURES_RANGE),
+            IntegerParameter("conv1_kernel", *CONV_KERNEL_RANGE),
+            IntegerParameter("pool1_kernel", *POOL_KERNEL_RANGE),
+            IntegerParameter("conv2_features", *CONV_FEATURES_RANGE),
+            IntegerParameter("conv2_kernel", *CONV_KERNEL_RANGE),
+            IntegerParameter("pool2_kernel", *POOL_KERNEL_RANGE),
+            IntegerParameter("conv3_features", *CONV_FEATURES_RANGE),
+            IntegerParameter("conv3_kernel", *CONV_KERNEL_RANGE),
+            IntegerParameter("pool3_kernel", *POOL_KERNEL_RANGE),
+            IntegerParameter("fc1_units", *FC_UNITS_RANGE),
+            ContinuousParameter("learning_rate", *LEARNING_RATE_RANGE, log=True),
+            ContinuousParameter("momentum", *MOMENTUM_RANGE),
+            ContinuousParameter("weight_decay", *WEIGHT_DECAY_RANGE, log=True),
+        ]
+    )

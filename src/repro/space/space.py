@@ -1,0 +1,199 @@
+"""The hyper-parameter design space ``X`` (paper Section 3).
+
+:class:`SearchSpace` bundles an ordered list of :class:`~repro.space.params.
+Parameter` objects and provides the operations every search method in the
+framework needs:
+
+* uniform sampling of configurations (``Rand``, initial BO design, offline
+  profiling campaigns of Section 3.3),
+* a bijection between configuration dictionaries and points in the unit
+  hyper-cube (the representation used by the Gaussian process and by the
+  random-walk proposal distribution),
+* extraction of the *structural* sub-vector ``z`` that feeds the power and
+  memory models of Equations 1-2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .params import Parameter
+
+__all__ = ["SearchSpace", "Configuration"]
+
+#: A configuration is a plain mapping from parameter name to native value.
+Configuration = dict
+
+
+class SearchSpace:
+    """An ordered collection of named hyper-parameters."""
+
+    def __init__(self, parameters: Iterable[Parameter]):
+        self._params: list[Parameter] = list(parameters)
+        if not self._params:
+            raise ValueError("search space needs at least one parameter")
+        names = [p.name for p in self._params]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names in {names}")
+        self._by_name = {p.name: p for p in self._params}
+
+    # -- basic introspection -------------------------------------------------
+
+    @property
+    def parameters(self) -> tuple[Parameter, ...]:
+        """The parameters, in definition order."""
+        return tuple(self._params)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Parameter names, in definition order."""
+        return tuple(p.name for p in self._params)
+
+    @property
+    def dimension(self) -> int:
+        """Number of axes in the space (``len(x)``)."""
+        return len(self._params)
+
+    @property
+    def structural_names(self) -> tuple[str, ...]:
+        """Names of the structural parameters forming ``z`` (Section 3.3)."""
+        return tuple(p.name for p in self._params if p.structural)
+
+    @property
+    def structural_dimension(self) -> int:
+        """``J``, the length of the structural vector ``z``."""
+        return len(self.structural_names)
+
+    def __len__(self) -> int:
+        return self.dimension
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Parameter:
+        return self._by_name[name]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(p.name for p in self._params)
+        return f"SearchSpace({inner})"
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self, config: Mapping) -> None:
+        """Raise ``ValueError`` unless ``config`` is a complete, in-range point."""
+        missing = set(self.names) - set(config)
+        if missing:
+            raise ValueError(f"configuration missing parameters {sorted(missing)}")
+        extra = set(config) - set(self.names)
+        if extra:
+            raise ValueError(f"configuration has unknown parameters {sorted(extra)}")
+        for param in self._params:
+            param.validate(config[param.name])
+
+    def contains(self, config: Mapping) -> bool:
+        """Whether ``config`` is a complete, in-range point of the space."""
+        try:
+            self.validate(config)
+        except ValueError:
+            return False
+        return True
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(self, rng: np.random.Generator) -> Configuration:
+        """Draw one configuration uniformly at random."""
+        return {p.name: p.sample(rng) for p in self._params}
+
+    def sample_many(self, n: int, rng: np.random.Generator) -> list[Configuration]:
+        """Draw ``n`` independent uniform configurations."""
+        return [self.sample(rng) for _ in range(n)]
+
+    def sample_lhs(self, n: int, rng: np.random.Generator) -> list[Configuration]:
+        """Draw ``n`` configurations by Latin-hypercube sampling.
+
+        Each axis is split into ``n`` equal unit-interval strata with one
+        point per stratum, shuffled independently per axis — better
+        space-filling than i.i.d. sampling for the offline profiling
+        campaigns the predictive models are trained on.
+        """
+        if n < 1:
+            raise ValueError("need at least one sample")
+        columns = []
+        for _ in range(self.dimension):
+            strata = (np.arange(n) + rng.uniform(size=n)) / n
+            rng.shuffle(strata)
+            columns.append(strata)
+        grid = np.column_stack(columns)
+        return [self.decode(row) for row in grid]
+
+    # -- unit-cube encoding --------------------------------------------------
+
+    def encode(self, config: Mapping) -> np.ndarray:
+        """Map a configuration to a point in the unit hyper-cube."""
+        self.validate(config)
+        return np.array(
+            [p.to_unit(config[p.name]) for p in self._params], dtype=float
+        )
+
+    def decode(self, u: Sequence[float]) -> Configuration:
+        """Map a unit-cube point back to a configuration.
+
+        Coordinates outside ``[0, 1]`` are clipped, so any real vector of the
+        right length decodes to a valid configuration.
+        """
+        u = np.asarray(u, dtype=float)
+        if u.shape != (self.dimension,):
+            raise ValueError(
+                f"expected a vector of length {self.dimension}, got shape {u.shape}"
+            )
+        return {p.name: p.from_unit(ui) for p, ui in zip(self._params, u)}
+
+    def encode_many(self, configs: Iterable[Mapping]) -> np.ndarray:
+        """Stack the encodings of several configurations into an ``(n, d)`` array."""
+        rows = [self.encode(c) for c in configs]
+        if not rows:
+            return np.empty((0, self.dimension))
+        return np.vstack(rows)
+
+    # -- structural sub-vector -----------------------------------------------
+
+    def structural_vector(self, config: Mapping) -> np.ndarray:
+        """Extract ``z``, the structural hyper-parameters of ``config``.
+
+        This is the input to the power and memory models (Equations 1-2);
+        solver parameters such as the learning rate are dropped because they
+        do not affect the compiled network's power or memory (Section 3.3).
+        """
+        self.validate(config)
+        return np.array(
+            [float(config[name]) for name in self.structural_names], dtype=float
+        )
+
+    def structural_matrix(self, configs: Iterable[Mapping]) -> np.ndarray:
+        """Stack structural vectors into an ``(n, J)`` design matrix."""
+        rows = [self.structural_vector(c) for c in configs]
+        if not rows:
+            return np.empty((0, self.structural_dimension))
+        return np.vstack(rows)
+
+    # -- random-walk neighbourhood (Section 3.5, Rand-Walk) -------------------
+
+    def neighbor(
+        self,
+        config: Mapping,
+        sigma: float,
+        rng: np.random.Generator,
+    ) -> Configuration:
+        """Draw ``x' ~ N(x, sigma^2 I)`` in unit-cube coordinates and decode.
+
+        This implements the Rand-Walk proposal: a Gaussian "neighbourhood"
+        around the incumbent ``x+`` whose size is controlled by ``sigma``
+        (the paper's ``sigma_0``).
+        """
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        center = self.encode(config)
+        proposal = center + rng.normal(0.0, sigma, size=self.dimension)
+        return self.decode(proposal)

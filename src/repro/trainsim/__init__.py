@@ -1,0 +1,31 @@
+"""Training substrate: datasets, error surface, learning curves, trainer."""
+
+from .dataset import CIFAR10, DATASETS, IMAGENET, MNIST, DatasetSpec, get_dataset
+from .dynamics import LearningCurveModel
+from .surface import (
+    CIFAR10_SURFACE_PARAMS,
+    IMAGENET_SURFACE_PARAMS,
+    MNIST_SURFACE_PARAMS,
+    ErrorSurface,
+    SurfaceEvaluation,
+    SurfaceParams,
+)
+from .trainer import TrainingResult, TrainingSimulator
+
+__all__ = [
+    "DatasetSpec",
+    "MNIST",
+    "CIFAR10",
+    "IMAGENET",
+    "DATASETS",
+    "get_dataset",
+    "ErrorSurface",
+    "SurfaceParams",
+    "SurfaceEvaluation",
+    "MNIST_SURFACE_PARAMS",
+    "CIFAR10_SURFACE_PARAMS",
+    "IMAGENET_SURFACE_PARAMS",
+    "LearningCurveModel",
+    "TrainingResult",
+    "TrainingSimulator",
+]

@@ -1,0 +1,76 @@
+"""Learning-curve generation on top of the error surface.
+
+Given a ground-truth :class:`~repro.trainsim.surface.SurfaceEvaluation`,
+produce the sequence of per-epoch *observed* test errors a practitioner
+would see while the job trains:
+
+* converging runs decay exponentially from chance level to the final error
+  with the configuration's time constant — slow for too-small steps, fast
+  near the optimum;
+* diverging runs never leave the chance plateau (they wobble around it and
+  drift slightly up), which is exactly the signature the paper's early
+  termination detects "only after a few training epochs" (Figure 3 right);
+* every epoch reading carries multiplicative observation noise, and every
+  *run* carries a systematic offset (initialisation/data-order luck), so
+  re-training the same configuration gives a slightly different curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import DatasetSpec
+from .surface import SurfaceEvaluation
+
+__all__ = ["LearningCurveModel"]
+
+
+class LearningCurveModel:
+    """Stochastic per-epoch test-error curves for one benchmark."""
+
+    def __init__(
+        self,
+        dataset: DatasetSpec,
+        observation_noise_rel: float = 0.02,
+        run_offset_rel: float = 0.03,
+    ):
+        if observation_noise_rel < 0 or run_offset_rel < 0:
+            raise ValueError("noise levels must be non-negative")
+        self.dataset = dataset
+        self.observation_noise_rel = observation_noise_rel
+        self.run_offset_rel = run_offset_rel
+
+    def curve(
+        self,
+        evaluation: SurfaceEvaluation,
+        epochs: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Observed test error after each of ``epochs`` training epochs."""
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        chance = self.dataset.chance_error
+        floor = self.dataset.floor_error
+        epoch_axis = np.arange(1, epochs + 1, dtype=float)
+
+        if evaluation.diverges:
+            # Stuck at chance with a slight upward drift and wobble.
+            drift = 1.0 + 0.03 * (1.0 - np.exp(-epoch_axis / 3.0))
+            ideal = np.minimum(0.97, chance * drift)
+        else:
+            # One systematic offset per run: the final level this particular
+            # run converges to.
+            level = evaluation.final_error * np.exp(
+                rng.normal(0.0, self.run_offset_rel)
+            )
+            level = min(chance, max(floor * 0.8, level))
+            start = chance * np.exp(rng.normal(0.0, 0.02))
+            ideal = level + (start - level) * np.exp(
+                -epoch_axis / evaluation.tau_epochs
+            )
+
+        noise = np.exp(
+            rng.normal(0.0, self.observation_noise_rel, size=epochs)
+        )
+        observed = np.clip(ideal * noise, floor * 0.7, 0.99)
+        return observed

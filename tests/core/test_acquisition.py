@@ -1,0 +1,120 @@
+"""Tests for repro.core.acquisition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acquisition import (
+    HWCWEI,
+    HWIECI,
+    ExpectedImprovement,
+    expected_improvement,
+)
+from repro.gp.gp import GaussianProcess
+
+
+class TestExpectedImprovementFormula:
+    def test_zero_variance_below_incumbent(self):
+        # Deterministic prediction 0.1 with incumbent 0.5: EI = 0.4.
+        ei = expected_improvement(np.array([0.1]), np.array([1e-18]), 0.5)
+        assert ei[0] == pytest.approx(0.4, abs=1e-6)
+
+    def test_zero_variance_above_incumbent(self):
+        ei = expected_improvement(np.array([0.9]), np.array([1e-18]), 0.5)
+        assert ei[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_uncertainty_creates_improvement_chance(self):
+        # Mean above incumbent but high variance -> positive EI.
+        ei = expected_improvement(np.array([0.6]), np.array([0.04]), 0.5)
+        assert ei[0] > 0.0
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(0)
+        ei = expected_improvement(
+            rng.normal(size=100), rng.uniform(0.001, 1.0, size=100), 0.0
+        )
+        assert np.all(ei >= 0.0)
+
+    @given(
+        st.floats(min_value=-2, max_value=2),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=-2, max_value=2),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_monte_carlo(self, mean, sigma, incumbent):
+        rng = np.random.default_rng(12)
+        samples = rng.normal(mean, sigma, size=200_000)
+        mc = np.mean(np.maximum(incumbent - samples, 0.0))
+        analytic = expected_improvement(
+            np.array([mean]), np.array([sigma**2]), incumbent
+        )[0]
+        assert analytic == pytest.approx(mc, abs=0.02)
+
+    def test_monotone_in_incumbent(self):
+        mean, var = np.array([0.5]), np.array([0.01])
+        low = expected_improvement(mean, var, 0.4)[0]
+        high = expected_improvement(mean, var, 0.8)[0]
+        assert high > low
+
+
+class _StubChecker:
+    """Feasibility by a simple threshold on config['x']."""
+
+    def __init__(self, threshold=0.5):
+        self.threshold = threshold
+
+    def indicator(self, config):
+        return config["x"] <= self.threshold
+
+    def satisfaction_probability(self, config):
+        return 1.0 if config["x"] <= self.threshold else 0.1
+
+
+@pytest.fixture
+def fitted_gp():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(size=(25, 1))
+    y = (X[:, 0] - 0.3) ** 2 + 0.01 * rng.normal(size=25)
+    return GaussianProcess().fit(X, y, rng=rng)
+
+
+class TestConstraintAwareAcquisitions:
+    def _candidates(self, xs):
+        configs = [{"x": float(x)} for x in xs]
+        X = np.asarray(xs, dtype=float)[:, None]
+        return configs, X
+
+    def test_hwieci_zeroes_infeasible(self, fitted_gp):
+        configs, X = self._candidates([0.2, 0.4, 0.6, 0.9])
+        acq = HWIECI(_StubChecker(0.5))
+        scores = acq.score(configs, X, fitted_gp, incumbent=0.2)
+        assert scores[2] == 0.0 and scores[3] == 0.0
+        assert scores[0] > 0.0
+
+    def test_hwcwei_downweights_infeasible(self, fitted_gp):
+        configs, X = self._candidates([0.2, 0.9])
+        plain = ExpectedImprovement().score(configs, X, fitted_gp, 0.2)
+        weighted = HWCWEI(_StubChecker(0.5)).score(configs, X, fitted_gp, 0.2)
+        assert weighted[0] == pytest.approx(plain[0])
+        assert weighted[1] == pytest.approx(plain[1] * 0.1)
+
+    def test_ei_unchanged_by_constraints(self, fitted_gp):
+        configs, X = self._candidates([0.1, 0.5, 0.8])
+        scores = ExpectedImprovement().score(configs, X, fitted_gp, 0.2)
+        assert scores.shape == (3,)
+        assert np.all(scores >= 0.0)
+
+    def test_checker_interface_enforced(self):
+        class NoInterface:
+            pass
+
+        with pytest.raises(TypeError):
+            HWIECI(NoInterface())
+        with pytest.raises(TypeError):
+            HWCWEI(NoInterface())
+
+    def test_names(self):
+        assert HWIECI(_StubChecker()).name == "HW-IECI"
+        assert HWCWEI(_StubChecker()).name == "HW-CWEI"
+        assert ExpectedImprovement().name == "EI"

@@ -1,0 +1,55 @@
+"""Tests for repro.core.clock."""
+
+import pytest
+
+from repro.core.clock import DEFAULT_COST_MODEL, CostModel, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_s == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance(5.5)
+        assert clock.now_s == pytest.approx(15.5)
+        assert clock.now_hours == pytest.approx(15.5 / 3600.0)
+
+    def test_cannot_go_backwards(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_cannot_start_negative(self):
+        with pytest.raises(ValueError):
+            SimClock(-5.0)
+
+    def test_exceeded(self):
+        clock = SimClock()
+        clock.advance(100.0)
+        assert clock.exceeded(50.0)
+        assert clock.exceeded(100.0)
+        assert not clock.exceeded(101.0)
+        assert not clock.exceeded(None)
+
+    def test_custom_start(self):
+        assert SimClock(60.0).now_s == 60.0
+
+
+class TestCostModel:
+    def test_cost_hierarchy(self):
+        # Constraint checks must be vastly cheaper than a GP fit, which is
+        # vastly cheaper than a minutes-long training — the hierarchy the
+        # whole paper exploits.
+        cost = DEFAULT_COST_MODEL
+        assert cost.model_check_s < cost.gp_fit_s(20)
+        assert cost.gp_fit_s(20) < 120.0
+
+    def test_gp_fit_grows_with_observations(self):
+        cost = CostModel()
+        assert cost.gp_fit_s(100) > cost.gp_fit_s(10)
+
+    def test_gp_fit_base(self):
+        cost = CostModel(gp_fit_base_s=3.0, gp_fit_per_obs2_s=0.0)
+        assert cost.gp_fit_s(50) == pytest.approx(3.0)

@@ -1,0 +1,110 @@
+"""Tests for the learning-curve-extrapolation terminator ([18] contrast)."""
+
+import numpy as np
+import pytest
+
+from repro.core.early_term import CurveExtrapolationTermination, EarlyTermination
+from repro.trainsim.dataset import MNIST
+from repro.trainsim.dynamics import LearningCurveModel
+from repro.trainsim.surface import SurfaceEvaluation
+
+
+def evaluation(final_error, diverges=False, tau=2.0):
+    return SurfaceEvaluation(
+        final_error=final_error,
+        diverges=diverges,
+        structural_error=final_error,
+        effective_step=0.05,
+        step_optimum=0.05,
+        tau_epochs=tau,
+        capacity=0.5,
+    )
+
+
+def stop_epoch(policy, curve):
+    for epoch in range(1, len(curve) + 1):
+        if policy.should_stop(epoch, curve[:epoch]):
+            return epoch
+    return None
+
+
+@pytest.fixture
+def policy():
+    return CurveExtrapolationTermination(
+        target_error=0.05, horizon_epochs=30, check_epoch=5
+    )
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CurveExtrapolationTermination(target_error=0.0, horizon_epochs=30)
+        with pytest.raises(ValueError):
+            CurveExtrapolationTermination(target_error=0.1, horizon_epochs=1)
+        with pytest.raises(ValueError):
+            CurveExtrapolationTermination(
+                target_error=0.1, horizon_epochs=30, check_epoch=2
+            )
+        with pytest.raises(ValueError):
+            CurveExtrapolationTermination(
+                target_error=0.1, horizon_epochs=30, grid_size=1
+            )
+
+
+class TestExtrapolation:
+    def test_exact_exponential_recovered(self, policy):
+        epochs = np.arange(1, 11, dtype=float)
+        c, tau = 0.02, 3.0
+        curve = c + (0.9 - c) * np.exp(-(epochs - 1) / tau)
+        prediction = policy.predict_final_error(curve)
+        truth = c + (0.9 - c) * np.exp(-(30 - 1) / tau)
+        assert prediction == pytest.approx(truth, abs=0.01)
+
+    def test_needs_three_points(self, policy):
+        with pytest.raises(ValueError):
+            policy.predict_final_error(np.array([0.9, 0.8]))
+
+    def test_flat_curve_predicts_flat(self, policy):
+        curve = np.full(8, 0.9)
+        assert policy.predict_final_error(curve) > 0.5
+
+    def test_no_stop_before_check_epoch(self, policy):
+        assert not policy.should_stop(3, np.array([0.9, 0.8, 0.7]))
+
+
+class TestPaperContrast:
+    """The paper's rationale: extrapolation over-estimates slow convergers
+    and kills them; the divergence-only detector does not."""
+
+    def _curves(self, n, final, diverges, tau_range, seed):
+        model = LearningCurveModel(MNIST)
+        rng = np.random.default_rng(seed)
+        out = []
+        for _ in range(n):
+            tau = tau_range[0] + (tau_range[1] - tau_range[0]) * rng.uniform()
+            out.append(
+                model.curve(evaluation(final, diverges, tau), 30, rng)
+            )
+        return out
+
+    def test_both_catch_divergers(self, policy):
+        divergence_only = EarlyTermination(chance_error=MNIST.chance_error)
+        for curve in self._curves(30, 0.9, True, (1.5, 2.5), seed=0):
+            assert stop_epoch(policy, curve) is not None
+            assert stop_epoch(divergence_only, curve) is not None
+
+    def test_extrapolation_kills_slow_good_runs(self, policy):
+        divergence_only = EarlyTermination(chance_error=MNIST.chance_error)
+        curves = self._curves(60, 0.012, False, (4.0, 8.0), seed=1)
+        extra_kills = sum(stop_epoch(policy, c) is not None for c in curves)
+        diverg_kills = sum(
+            stop_epoch(divergence_only, c) is not None for c in curves
+        )
+        # The over-estimation artifact the paper avoids:
+        assert extra_kills > 10
+        assert diverg_kills <= 2
+
+    def test_extrapolation_spares_fast_good_runs(self, policy):
+        curves = self._curves(30, 0.012, False, (1.0, 1.8), seed=2)
+        kills = sum(stop_epoch(policy, c) is not None for c in curves)
+        assert kills <= 5

@@ -1,0 +1,92 @@
+"""Tests for repro.core.early_term."""
+
+import numpy as np
+import pytest
+
+from repro.core.early_term import EarlyTermination
+from repro.trainsim.dataset import MNIST
+from repro.trainsim.dynamics import LearningCurveModel
+from repro.trainsim.surface import SurfaceEvaluation
+
+
+def evaluation(diverges, final_error=0.01, tau=2.0):
+    return SurfaceEvaluation(
+        final_error=final_error,
+        diverges=diverges,
+        structural_error=final_error,
+        effective_step=0.05,
+        step_optimum=0.05,
+        tau_epochs=tau,
+        capacity=0.5,
+    )
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarlyTermination(chance_error=0.0)
+        with pytest.raises(ValueError):
+            EarlyTermination(chance_error=0.9, check_epoch=0)
+        with pytest.raises(ValueError):
+            EarlyTermination(chance_error=0.9, min_improvement=1.5)
+
+    def test_no_stop_before_check_epoch(self):
+        policy = EarlyTermination(chance_error=0.9, check_epoch=3)
+        high = np.array([0.92])
+        assert not policy.should_stop(1, high)
+        assert not policy.should_stop(2, np.array([0.92, 0.91]))
+
+    def test_stops_flat_curve_at_check_epoch(self):
+        policy = EarlyTermination(chance_error=0.9, check_epoch=3)
+        flat = np.array([0.91, 0.90, 0.92])
+        assert policy.should_stop(3, flat)
+
+    def test_passes_improving_curve(self):
+        policy = EarlyTermination(chance_error=0.9, check_epoch=3)
+        improving = np.array([0.85, 0.60, 0.40])
+        assert not policy.should_stop(3, improving)
+
+    def test_threshold_value(self):
+        policy = EarlyTermination(chance_error=0.9, min_improvement=0.15)
+        assert policy.threshold == pytest.approx(0.9 * 0.85)
+
+
+class TestAgainstSimulatedCurves:
+    """The detector must catch diverging runs and spare converging ones
+    across many simulated learning curves (Figure 3 right)."""
+
+    def _stop_epoch(self, policy, curve):
+        for epoch in range(1, len(curve) + 1):
+            if policy.should_stop(epoch, curve[:epoch]):
+                return epoch
+        return None
+
+    def test_detection_quality(self):
+        model = LearningCurveModel(MNIST)
+        policy = EarlyTermination(chance_error=MNIST.chance_error)
+        rng = np.random.default_rng(0)
+
+        false_alarms = 0
+        misses = 0
+        trials = 60
+        for i in range(trials):
+            diverges = i % 2 == 0
+            tau = 1.0 + 5.0 * rng.uniform()  # include slow convergers
+            curve = model.curve(evaluation(diverges, tau=tau), 30, rng)
+            stopped = self._stop_epoch(policy, curve) is not None
+            if diverges and not stopped:
+                misses += 1
+            if not diverges and stopped:
+                false_alarms += 1
+        assert misses == 0  # every diverging run is caught
+        assert false_alarms <= 3  # slow convergers almost never killed
+
+    def test_detection_is_fast(self):
+        # The whole point: diverging runs are identified after a few
+        # epochs, not after the full schedule.
+        model = LearningCurveModel(MNIST)
+        policy = EarlyTermination(chance_error=MNIST.chance_error)
+        rng = np.random.default_rng(1)
+        curve = model.curve(evaluation(True), 30, rng)
+        stop = self._stop_epoch(policy, curve)
+        assert stop is not None and stop <= 5

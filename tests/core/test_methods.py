@@ -1,0 +1,218 @@
+"""Tests for repro.core.methods."""
+
+import numpy as np
+import pytest
+
+from repro.core.acquisition import HWIECI, ExpectedImprovement
+from repro.core.constraints import ConstraintSpec, GPConstraintModel, ModelConstraintChecker
+from repro.core.methods import (
+    BayesianOptimizer,
+    RandomSearch,
+    RandomWalk,
+    SearchState,
+)
+from repro.core.result import Trial, TrialStatus
+from repro.hwsim.devices import GTX_1070
+from repro.hwsim.profiler import HardwareProfiler
+from repro.models.hw_models import fit_hardware_models
+from repro.models.profiling import run_profiling_campaign
+from repro.space.presets import mnist_space
+
+
+@pytest.fixture(scope="module")
+def env():
+    space = mnist_space()
+    rng = np.random.default_rng(0)
+    profiler = HardwareProfiler(GTX_1070, rng)
+    data = run_profiling_campaign(space, "mnist", profiler, 80, rng)
+    power, memory = fit_hardware_models(
+        space, data, rng=np.random.default_rng(1), fit_intercept=True
+    )
+    spec = ConstraintSpec(power_budget_w=85.0)
+    checker = ModelConstraintChecker(spec, power, None)
+    return space, spec, checker
+
+
+def trained_trial(index, config, error, feasible=True):
+    return Trial(
+        index=index,
+        config=config,
+        status=TrialStatus.COMPLETED,
+        timestamp_s=float(index),
+        cost_s=1.0,
+        error=error,
+        feasible_meas=feasible,
+    )
+
+
+def state_with(space, entries):
+    """entries: list of (config, error, feasible)."""
+    state = SearchState()
+    for i, (config, error, feasible) in enumerate(entries):
+        state.trials.append(trained_trial(i, config, error, feasible))
+        state.trained_configs.append(config)
+        state.trained_errors.append(error)
+        state.trained_feasible.append(feasible)
+    return state
+
+
+class TestSearchState:
+    def test_best_feasible_and_any(self, env):
+        space, *_ = env
+        rng = np.random.default_rng(2)
+        configs = space.sample_many(3, rng)
+        state = state_with(
+            space,
+            [
+                (configs[0], 0.05, False),
+                (configs[1], 0.10, True),
+                (configs[2], 0.20, True),
+            ],
+        )
+        assert state.best_any()[1] == pytest.approx(0.05)
+        assert state.best_feasible()[1] == pytest.approx(0.10)
+        assert state.incumbent_error() == pytest.approx(0.10)
+
+    def test_incumbent_fallback_to_any(self, env):
+        space, *_ = env
+        rng = np.random.default_rng(3)
+        config = space.sample(rng)
+        state = state_with(space, [(config, 0.3, False)])
+        assert state.incumbent_error() == pytest.approx(0.3)
+
+    def test_empty_state(self):
+        state = SearchState()
+        assert state.best_any() is None
+        assert state.best_feasible() is None
+        assert state.incumbent_error() is None
+
+
+class TestRandomSearch:
+    def test_unscreened_accepts_first_draw(self, env):
+        space, *_ = env
+        method = RandomSearch(space)
+        proposal = method.propose(SearchState(), np.random.default_rng(4))
+        assert proposal.rejected == ()
+        assert proposal.feasible_pred is None
+
+    def test_screened_proposal_is_model_feasible(self, env):
+        space, spec, checker = env
+        method = RandomSearch(space, checker)
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            proposal = method.propose(SearchState(), rng)
+            assert checker.indicator(proposal.config)
+            assert proposal.feasible_pred is True
+            assert proposal.power_pred_w is not None
+            for rejected in proposal.rejected:
+                assert not checker.indicator(rejected.config)
+
+    def test_screening_records_rejections(self, env):
+        space, spec, checker = env
+        method = RandomSearch(space, checker)
+        rng = np.random.default_rng(6)
+        totals = [len(method.propose(SearchState(), rng).rejected) for _ in range(20)]
+        # ~8% feasibility -> typically around 12 rejections per accept.
+        assert np.mean(totals) > 3
+
+
+class TestRandomWalk:
+    def test_uniform_until_incumbent(self, env):
+        space, *_ = env
+        method = RandomWalk(space, sigma=0.1, feasible_incumbent=False)
+        proposal = method.propose(SearchState(), np.random.default_rng(7))
+        assert space.contains(proposal.config)
+
+    def test_default_walks_around_best_any(self, env):
+        space, *_ = env
+        rng = np.random.default_rng(8)
+        anchor = space.sample(rng)
+        state = state_with(space, [(anchor, 0.05, False)])
+        method = RandomWalk(space, sigma=0.05, feasible_incumbent=False)
+        proposals = [method.propose(state, rng).config for _ in range(30)]
+        anchor_u = space.encode(anchor)
+        dists = [np.linalg.norm(space.encode(p) - anchor_u) for p in proposals]
+        assert np.mean(dists) < 0.5  # clustered near the anchor
+
+    def test_hyperpower_variant_recentres_on_feasible(self, env):
+        space, spec, checker = env
+        rng = np.random.default_rng(9)
+        infeasible_best = space.sample(rng)
+        feasible = space.sample(rng)
+        state = state_with(
+            space, [(infeasible_best, 0.01, False), (feasible, 0.30, True)]
+        )
+        method = RandomWalk(space, sigma=0.05, checker=None, feasible_incumbent=True)
+        feasible_u = space.encode(feasible)
+        proposals = [method.propose(state, rng).config for _ in range(30)]
+        dists = [np.linalg.norm(space.encode(p) - feasible_u) for p in proposals]
+        assert np.mean(dists) < 0.5
+
+    def test_sigma_validation(self, env):
+        space, *_ = env
+        with pytest.raises(ValueError):
+            RandomWalk(space, sigma=0.0)
+
+
+class TestBayesianOptimizer:
+    def test_init_phase_is_random(self, env):
+        space, spec, checker = env
+        method = BayesianOptimizer(space, HWIECI(checker), model_checker=checker, n_init=3)
+        proposal = method.propose(SearchState(), np.random.default_rng(10))
+        assert proposal.gp_fits == 0
+        assert checker.indicator(proposal.config)  # screened init
+
+    def test_model_phase_fits_gp(self, env):
+        space, spec, checker = env
+        method = BayesianOptimizer(
+            space, HWIECI(checker), model_checker=checker, n_init=3, pool_size=200
+        )
+        rng = np.random.default_rng(11)
+        entries = [(space.sample(rng), 0.1 + 0.1 * i, True) for i in range(4)]
+        state = state_with(space, entries)
+        proposal = method.propose(state, rng)
+        assert proposal.gp_fits >= 1
+        assert checker.indicator(proposal.config)
+
+    def test_unconstrained_ei_runs(self, env):
+        space, *_ = env
+        method = BayesianOptimizer(space, ExpectedImprovement(), n_init=2, pool_size=100)
+        rng = np.random.default_rng(12)
+        entries = [(space.sample(rng), 0.2 + 0.05 * i, True) for i in range(3)]
+        proposal = method.propose(state_with(space, entries), rng)
+        assert space.contains(proposal.config)
+
+    def test_learned_constraints_refit_counted(self, env):
+        space, spec, _ = env
+        learned = GPConstraintModel(space, spec)
+        method = BayesianOptimizer(
+            space,
+            HWIECI(learned),
+            learned_constraints=learned,
+            n_init=2,
+            pool_size=100,
+        )
+        rng = np.random.default_rng(13)
+        entries = [(space.sample(rng), 0.2, True) for _ in range(3)]
+        state = state_with(space, entries)
+        # Attach measured power so the constraint GPs have data.
+        for trial in state.trials:
+            object.__setattr__(trial, "power_meas_w", 90.0)
+        proposal = method.propose(state, rng)
+        assert proposal.gp_fits >= 2  # objective GP + power-constraint GP
+
+    def test_exclusive_constraint_sources(self, env):
+        space, spec, checker = env
+        learned = GPConstraintModel(space, spec)
+        with pytest.raises(ValueError):
+            BayesianOptimizer(
+                space,
+                HWIECI(checker),
+                model_checker=checker,
+                learned_constraints=learned,
+            )
+
+    def test_name_follows_acquisition(self, env):
+        space, spec, checker = env
+        method = BayesianOptimizer(space, HWIECI(checker), model_checker=checker)
+        assert method.name == "HW-IECI"

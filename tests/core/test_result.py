@@ -1,0 +1,135 @@
+"""Tests for repro.core.result."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.result import RunResult, Trial, TrialStatus
+
+
+def trial(index, status=TrialStatus.COMPLETED, error=0.1, timestamp=None,
+          feasible_meas=True, cost=100.0):
+    return Trial(
+        index=index,
+        config={"x": index},
+        status=status,
+        timestamp_s=float(index * 100 if timestamp is None else timestamp),
+        cost_s=cost,
+        error=error if status is not TrialStatus.REJECTED_MODEL else math.nan,
+        feasible_meas=None if status is TrialStatus.REJECTED_MODEL else feasible_meas,
+        feasible_pred=False if status is TrialStatus.REJECTED_MODEL else True,
+    )
+
+
+def make_result(trials):
+    result = RunResult(
+        method="Rand", variant="hyperpower", dataset="mnist", device="GTX 1070"
+    )
+    result.trials = list(trials)
+    return result
+
+
+class TestTrialFlags:
+    def test_rejected_not_trained(self):
+        t = trial(0, TrialStatus.REJECTED_MODEL)
+        assert not t.was_trained
+        assert not t.is_violation
+
+    def test_completed_trained(self):
+        assert trial(0).was_trained
+
+    def test_violation_requires_measured_infeasible(self):
+        assert trial(0, feasible_meas=False).is_violation
+        assert not trial(0, feasible_meas=True).is_violation
+        assert not trial(0, TrialStatus.REJECTED_MODEL).is_violation
+
+
+class TestCounting:
+    def test_sample_counts(self):
+        result = make_result(
+            [
+                trial(0, TrialStatus.REJECTED_MODEL),
+                trial(1, TrialStatus.REJECTED_MODEL),
+                trial(2, TrialStatus.EARLY_TERMINATED, error=0.9),
+                trial(3, TrialStatus.COMPLETED, error=0.05),
+            ]
+        )
+        assert result.n_samples == 4
+        assert result.n_trained == 2
+        assert result.n_completed == 1
+
+    def test_violations(self):
+        result = make_result(
+            [
+                trial(0, feasible_meas=False),
+                trial(1, feasible_meas=True),
+                trial(2, feasible_meas=False),
+            ]
+        )
+        assert result.n_violations == 2
+        np.testing.assert_array_equal(result.violation_counts(), [1, 1, 2])
+
+
+class TestBestError:
+    def test_best_feasible_ignores_infeasible(self):
+        result = make_result(
+            [
+                trial(0, error=0.02, feasible_meas=False),
+                trial(1, error=0.10, feasible_meas=True),
+            ]
+        )
+        assert result.best_feasible_error == pytest.approx(0.10)
+
+    def test_chance_when_nothing_feasible(self):
+        result = make_result([trial(0, feasible_meas=False)])
+        assert result.best_feasible_error == result.chance_error
+        assert not result.found_feasible
+
+    def test_best_error_vs_samples_steps_down(self):
+        result = make_result(
+            [
+                trial(0, error=0.5),
+                trial(1, error=0.2),
+                trial(2, error=0.4),
+                trial(3, error=0.1),
+            ]
+        )
+        np.testing.assert_allclose(
+            result.best_error_vs_samples(), [0.5, 0.2, 0.2, 0.1]
+        )
+
+    def test_best_error_vs_time_series(self):
+        result = make_result([trial(0, error=0.5), trial(1, error=0.2)])
+        times, values = result.best_error_vs_time()
+        np.testing.assert_allclose(times, [0.0, 100.0])
+        np.testing.assert_allclose(values, [0.5, 0.2])
+
+    def test_rejected_samples_hold_chance_prefix(self):
+        result = make_result(
+            [trial(0, TrialStatus.REJECTED_MODEL), trial(1, error=0.3)]
+        )
+        curve = result.best_error_vs_samples()
+        assert curve[0] == result.chance_error
+        assert curve[1] == pytest.approx(0.3)
+
+
+class TestTimeQueries:
+    def test_time_to_reach_samples(self):
+        result = make_result([trial(0), trial(1), trial(2)])
+        assert result.time_to_reach_samples(2) == pytest.approx(100.0)
+        assert result.time_to_reach_samples(3) == pytest.approx(200.0)
+        assert result.time_to_reach_samples(4) == math.inf
+        with pytest.raises(ValueError):
+            result.time_to_reach_samples(0)
+
+    def test_time_to_reach_error(self):
+        result = make_result(
+            [trial(0, error=0.5), trial(1, error=0.2), trial(2, error=0.1)]
+        )
+        assert result.time_to_reach_error(0.25) == pytest.approx(100.0)
+        assert result.time_to_reach_error(0.05) == math.inf
+
+    def test_infeasible_never_counts_toward_target(self):
+        result = make_result([trial(0, error=0.01, feasible_meas=False)])
+        assert result.time_to_reach_error(0.5) == math.inf

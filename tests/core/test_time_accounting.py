@@ -1,0 +1,62 @@
+"""Tests for the driver's simulated-time accounting (Tables 3-5 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import DEFAULT_COST_MODEL
+from repro.core.result import TrialStatus
+from repro.experiments.setup import quick_setup
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return quick_setup(
+        "mnist", "tx1", power_budget_w=10.0, seed=0, profiling_samples=60
+    )
+
+
+class TestAccounting:
+    def test_wall_time_covers_trial_costs(self, setup):
+        result = setup.run("Rand", "hyperpower", run_seed=1, max_evaluations=4)
+        total_cost = sum(t.cost_s for t in result.trials)
+        # The wall clock includes every trial cost plus per-proposal
+        # bookkeeping; it can never be below the summed costs.
+        assert result.wall_time_s >= total_cost * 0.99
+        assert result.wall_time_s <= total_cost * 1.5 + 60.0
+
+    def test_rejections_cost_the_wrapper_charge(self, setup):
+        result = setup.run("Rand", "hyperpower", run_seed=2, max_evaluations=4)
+        expected = (
+            DEFAULT_COST_MODEL.proposal_s + DEFAULT_COST_MODEL.model_check_s
+        )
+        for trial in result.trials:
+            if trial.status is TrialStatus.REJECTED_MODEL:
+                assert trial.cost_s == pytest.approx(expected)
+
+    def test_trainings_dominate_the_clock(self, setup):
+        result = setup.run("Rand", "hyperpower", run_seed=3, max_evaluations=4)
+        trained_cost = sum(t.cost_s for t in result.trials if t.was_trained)
+        rejected_cost = sum(
+            t.cost_s for t in result.trials if not t.was_trained
+        )
+        assert trained_cost > 10 * max(rejected_cost, 1.0)
+
+    def test_bo_charges_gp_fits(self, setup):
+        # Identical trained-evaluation counts, but the BO run must carry
+        # extra clock for its per-iteration surrogate fits.
+        rand = setup.run("Rand", "default", run_seed=4, max_evaluations=6)
+        bo = setup.run("HW-IECI", "default", run_seed=4, max_evaluations=6)
+        rand_overhead = rand.wall_time_s - sum(t.cost_s for t in rand.trials)
+        bo_overhead = bo.wall_time_s - sum(t.cost_s for t in bo.trials)
+        assert bo_overhead > rand_overhead
+
+    def test_early_termination_saves_simulated_time(self, setup):
+        default = setup.run("Rand", "default", run_seed=5, max_evaluations=5)
+        hyper = setup.run("Rand", "hyperpower", run_seed=5, max_evaluations=5)
+        default_per_training = default.wall_time_s / default.n_trained
+        hyper_trained_cost = np.mean(
+            [t.cost_s for t in hyper.trials if t.was_trained]
+        )
+        # With ~15% divergers cut to 3 epochs, the average trained-sample
+        # cost under HyperPower cannot exceed the default's average.
+        assert hyper_trained_cost <= default_per_training * 1.05

@@ -1,0 +1,72 @@
+"""Tests for repro.experiments.ascii_plot."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ascii_plot import scatter, step_lines
+
+
+class TestScatter:
+    def test_basic_render(self):
+        text = scatter(
+            [0, 1, 2], [10, 20, 30], title="T", x_label="xx", y_label="yy"
+        )
+        assert "T" in text
+        assert "xx" in text and "yy" in text
+        assert text.count("o") >= 3
+        assert "[0 .. 2]" in text
+
+    def test_extremes_land_on_borders(self):
+        text = scatter([0, 100], [0, 100], width=10, height=5)
+        rows = [line for line in text.splitlines() if line.startswith("|")]
+        assert rows[0].rstrip("|").endswith("o")  # max in top-right
+        assert rows[-1][1] == "o"                 # min in bottom-left
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter([], [])
+        with pytest.raises(ValueError):
+            scatter([1, 2], [1])
+        with pytest.raises(ValueError):
+            scatter([1], [1], width=1)
+
+    def test_constant_series_ok(self):
+        text = scatter([1, 1, 1], [5, 5, 5])
+        assert "o" in text
+
+
+class TestStepLines:
+    def test_multi_series_legend(self):
+        text = step_lines(
+            {
+                "hyperpower": ([0, 1, 2], [0.9, 0.5, 0.1]),
+                "default": ([0, 2], [0.9, 0.6]),
+            },
+            title="Fig",
+        )
+        assert "o=hyperpower" in text
+        assert "x=default" in text
+        assert "Fig" in text
+
+    def test_step_is_right_continuous(self):
+        # A single drop halfway: the left half of the canvas must show the
+        # high level, the right half the low level.
+        text = step_lines({"s": ([0.0, 0.5, 1.0], [1.0, 0.0, 0.0])}, width=20, height=5)
+        rows = [line for line in text.splitlines() if line.startswith("|")]
+        top, bottom = rows[0], rows[-1]
+        assert "o" in top[:12]
+        assert "o" in bottom[12:]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_lines({})
+        with pytest.raises(ValueError):
+            step_lines({"s": ([1, 2], [1])})
+
+    def test_many_series_get_distinct_glyphs(self):
+        series = {
+            f"s{i}": ([0, 1], [i, i]) for i in range(4)
+        }
+        text = step_lines(series)
+        for glyph in "ox+*"[:4]:
+            assert f"{glyph}=s" in text

@@ -1,0 +1,58 @@
+"""Tests for repro.experiments.breakdown."""
+
+import pytest
+
+from repro.experiments.breakdown import format_breakdown, time_breakdown
+from repro.experiments.setup import quick_setup
+
+
+@pytest.fixture(scope="module")
+def runs():
+    setup = quick_setup(
+        "mnist", "gtx1070", power_budget_w=85.0, memory_budget_gb=1.15,
+        seed=0, profiling_samples=100,
+    )
+    budget = 1800.0
+    return {
+        "default Rand": setup.run("Rand", "default", run_seed=1, max_time_s=budget),
+        "HyperPower Rand": setup.run(
+            "Rand", "hyperpower", run_seed=1, max_time_s=budget
+        ),
+    }
+
+
+class TestBreakdown:
+    def test_buckets_account_for_total(self, runs):
+        for run in runs.values():
+            breakdown = time_breakdown(run)
+            assert breakdown.accounted_s == pytest.approx(
+                breakdown.total_s, rel=1e-9
+            )
+
+    def test_default_spends_everything_training(self, runs):
+        breakdown = time_breakdown(runs["default Rand"])
+        assert breakdown.rejected_s == 0.0
+        assert breakdown.fraction(breakdown.full_training_s) > 0.8
+
+    def test_hyperpower_splits_between_screening_and_training(self, runs):
+        breakdown = time_breakdown(runs["HyperPower Rand"])
+        # On this ~92%-infeasible pair rejections take real time...
+        assert breakdown.rejected_s > 0.0
+        # ...but training still happens.
+        assert breakdown.full_training_s + breakdown.early_terminated_s > 0.0
+
+    def test_fractions_sum_to_one(self, runs):
+        breakdown = time_breakdown(runs["HyperPower Rand"])
+        total_fraction = (
+            breakdown.fraction(breakdown.full_training_s)
+            + breakdown.fraction(breakdown.early_terminated_s)
+            + breakdown.fraction(breakdown.rejected_s)
+            + breakdown.fraction(breakdown.overhead_s)
+        )
+        assert total_fraction == pytest.approx(1.0)
+
+    def test_format_renders_all_rows(self, runs):
+        text = format_breakdown(runs)
+        assert "default Rand" in text
+        assert "HyperPower Rand" in text
+        assert "Rejections" in text

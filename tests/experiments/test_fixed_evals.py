@@ -1,0 +1,76 @@
+"""Tests for repro.experiments.fixed_evals (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fixed_evals import (
+    FIXED_EVAL_FORMS,
+    figure4_series,
+    run_fixed_evals,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    # Tiny protocol: 6 evaluations, 2 repeats, smaller profiling campaign.
+    return run_fixed_evals(
+        pair_key="cifar10-gtx1070",
+        n_repeats=2,
+        n_iterations=6,
+        seed=0,
+        profiling_samples=50,
+    )
+
+
+class TestProtocol:
+    def test_method_forms(self):
+        solvers = [solver for solver, _ in FIXED_EVAL_FORMS]
+        assert solvers == ["Rand", "Rand-Walk", "HW-CWEI", "HW-IECI"]
+        forms = dict(FIXED_EVAL_FORMS)
+        # Random methods run vanilla; the BO methods carry the models.
+        assert forms["Rand"] == "default"
+        assert forms["HW-IECI"] == "hyperpower"
+
+    def test_each_run_has_requested_evaluations(self, study):
+        for solver, runs in study.runs.items():
+            assert len(runs) == 2
+            for run in runs:
+                assert run.n_trained == 6
+
+    def test_unknown_pair(self):
+        with pytest.raises(ValueError):
+            run_fixed_evals(pair_key="imagenet-v100")
+
+
+class TestFigurePanels:
+    def test_best_error_curves_decrease(self, study):
+        for solver in study.runs:
+            curve = study.mean_best_error_curve(solver)
+            assert curve.shape == (6,)
+            assert curve[-1] <= curve[0] + 1e-12
+
+    def test_hw_ieci_essentially_never_violates(self, study):
+        # Figure 4 (center): "HW-IECI does not select samples that violate
+        # the constraints".  Residual model uncertainty permits at most a
+        # stray near-boundary miss.
+        violations = study.mean_violation_curve("HW-IECI")
+        assert violations[-1] <= 0.5
+
+    def test_vanilla_random_violates(self, study):
+        # ~95% of the CIFAR-10 space violates the 85 W budget, so vanilla
+        # random search accumulates violations steadily.
+        violations = study.mean_violation_curve("Rand")
+        assert violations[-1] >= 3.0
+
+    def test_scatter_data(self, study):
+        xs, ys = study.error_scatter("Rand")
+        assert xs.shape == ys.shape
+        assert len(xs) == 12  # 6 evals x 2 repeats
+        assert np.all((ys > 0) & (ys < 1))
+
+    def test_series_bundle(self, study):
+        series = figure4_series(study)
+        assert set(series) == set(study.runs)
+        for solver, panels in series.items():
+            assert "best_error_curve" in panels
+            assert "violation_curve" in panels

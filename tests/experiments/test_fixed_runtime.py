@@ -1,0 +1,100 @@
+"""Tests for repro.experiments.fixed_runtime (Tables 2-5, Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fixed_runtime import (
+    figure6_series,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_table5,
+    run_fixed_runtime,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    # Tiny smoke-scale protocol on two contrasting pairs.
+    return run_fixed_runtime(
+        pair_keys=("mnist-gtx1070", "mnist-tx1"),
+        solvers=("Rand", "HW-IECI"),
+        n_repeats=2,
+        time_scale=0.2,
+        profiling_samples=50,
+        seed=0,
+    )
+
+
+class TestStudyStructure:
+    def test_all_cells_present(self, study):
+        assert study.pair_keys == ("mnist-gtx1070", "mnist-tx1")
+        assert study.solvers == ("Rand", "HW-IECI")
+        for pair in study.pair_keys:
+            for solver in study.solvers:
+                for variant in ("default", "hyperpower"):
+                    assert len(study.cell(pair, solver, variant)) == 2
+
+    def test_runs_respect_time_budget(self, study):
+        budget = 2.0 * 3600.0 * 0.2
+        for (pair, solver, variant), runs in study.runs.items():
+            for run in runs:
+                # Last sample may overshoot; nothing starts afterwards.
+                assert run.wall_time_s < budget + 3600.0
+
+    def test_time_scale_validation(self):
+        with pytest.raises(ValueError):
+            run_fixed_runtime(time_scale=0.0)
+
+
+class TestPaperShapes:
+    def test_hyperpower_rand_queries_more_samples(self, study):
+        default = study.cell("mnist-gtx1070", "Rand", "default")
+        hyper = study.cell("mnist-gtx1070", "Rand", "hyperpower")
+        assert np.mean([r.n_samples for r in hyper]) > 3 * np.mean(
+            [r.n_samples for r in default]
+        )
+
+    def test_hyperpower_rarely_violates(self, study):
+        # Model screening keeps violations at (essentially) zero: allow at
+        # most one near-boundary miss per run from the models' residual
+        # uncertainty.
+        for pair in study.pair_keys:
+            for solver in study.solvers:
+                for run in study.cell(pair, solver, "hyperpower"):
+                    assert run.n_violations <= 1
+
+    def test_gtx_pair_is_the_tight_one(self, study):
+        # The 85 W GTX budget admits <10% of the space, the 10 W TX1 budget
+        # around a third — so HyperPower screening rejects far more
+        # proposals per accepted sample on the GTX pair.
+        def rejection_ratio(runs):
+            return np.mean(
+                [r.n_samples / max(1, r.n_trained) for r in runs]
+            )
+
+        gtx = rejection_ratio(study.cell("mnist-gtx1070", "Rand", "hyperpower"))
+        tx1 = rejection_ratio(study.cell("mnist-tx1", "Rand", "hyperpower"))
+        assert gtx > 2 * tx1
+
+
+class TestRendering:
+    def test_all_tables_render(self, study):
+        for formatter, fragment in (
+            (format_table2, "Table 2"),
+            (format_table3, "Table 3"),
+            (format_table4, "Table 4"),
+            (format_table5, "Table 5"),
+        ):
+            text = formatter(study)
+            assert fragment in text
+            assert "Rand" in text
+            assert "MNIST-GTX1070" in text
+
+    def test_figure6_series(self, study):
+        series = figure6_series(study, pair_key="mnist-gtx1070")
+        for solver in study.solvers:
+            for variant in ("default", "hyperpower"):
+                times, values = series[solver][variant]
+                assert times.shape == values.shape
+                assert np.all(np.diff(times) >= 0)

@@ -1,0 +1,83 @@
+"""Full-scale shape reproduction (opt-in — takes ~10 minutes).
+
+Runs the complete fixed-runtime protocol (2 h / 5 h budgets, 3 repeats)
+and asserts the paper's qualitative claims.  Skipped unless
+``REPRO_FULL_SCALE=1`` is set, since the default CI budget favours the
+scaled-down checks in ``test_fixed_runtime.py``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.fixed_runtime import run_fixed_runtime
+from repro.experiments.headlines import compute_headlines
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_FULL_SCALE") != "1",
+    reason="set REPRO_FULL_SCALE=1 to run the ~10-minute full protocol",
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_fixed_runtime(n_repeats=3, time_scale=1.0, seed=0)
+
+
+class TestFullScaleShapes:
+    def test_hyperpower_wins_or_ties_everywhere(self, study):
+        losses = 0
+        for pair in study.pair_keys:
+            for solver in study.solvers:
+                default = np.mean(
+                    [r.best_feasible_error for r in study.cell(pair, solver, "default")]
+                )
+                hyper = np.mean(
+                    [
+                        r.best_feasible_error
+                        for r in study.cell(pair, solver, "hyperpower")
+                    ]
+                )
+                if hyper > default + 0.01:
+                    losses += 1
+        assert losses <= 1
+
+    def test_default_rand_collapses_on_tight_pairs(self, study):
+        for pair in ("mnist-gtx1070", "cifar10-gtx1070"):
+            errors = [
+                r.best_feasible_error for r in study.cell(pair, "Rand", "default")
+            ]
+            assert np.mean(errors) > 0.25  # catastrophic mean, like the paper
+
+    def test_default_rand_walk_fails_on_cifar_gtx(self, study):
+        cell = study.cell("cifar10-gtx1070", "Rand-Walk", "default")
+        assert not any(run.found_feasible for run in cell)
+
+    def test_hw_ieci_never_violates(self, study):
+        for pair in study.pair_keys:
+            for run in study.cell(pair, "HW-IECI", "hyperpower"):
+                assert run.n_violations == 0
+
+    def test_sample_increase_ordering(self, study):
+        def increase(solver):
+            default = np.mean(
+                [r.n_samples for r in study.cell("mnist-gtx1070", solver, "default")]
+            )
+            hyper = np.mean(
+                [
+                    r.n_samples
+                    for r in study.cell("mnist-gtx1070", solver, "hyperpower")
+                ]
+            )
+            return hyper / default
+
+        assert increase("Rand") > increase("Rand-Walk") > increase("HW-IECI")
+        assert increase("Rand") > 20.0
+        assert increase("HW-IECI") < 3.0
+
+    def test_headline_magnitudes(self, study):
+        headlines = compute_headlines(study)
+        assert headlines.max_speedup_to_sample_count > 50.0
+        assert headlines.max_sample_increase > 30.0
+        assert headlines.max_accuracy_improvement_pct > 50.0

@@ -1,0 +1,96 @@
+"""Tests for repro.experiments.headlines."""
+
+import math
+
+import pytest
+
+from repro.core.result import RunResult, Trial, TrialStatus
+from repro.experiments.fixed_runtime import RuntimeStudy
+from repro.experiments.headlines import compute_headlines, format_headlines
+
+
+def run(variant, n_samples, errors, timestamps, wall_time):
+    """A synthetic run with one trained trial per (error, timestamp)."""
+    result = RunResult(
+        method="Rand", variant=variant, dataset="mnist", device="GTX 1070"
+    )
+    index = 0
+    for _ in range(n_samples - len(errors)):
+        result.trials.append(
+            Trial(
+                index=index,
+                config={"i": index},
+                status=TrialStatus.REJECTED_MODEL,
+                timestamp_s=1.0 + index * 0.1,
+                cost_s=0.1,
+                feasible_pred=False,
+            )
+        )
+        index += 1
+    for error, timestamp in zip(errors, timestamps):
+        result.trials.append(
+            Trial(
+                index=index,
+                config={"i": index},
+                status=TrialStatus.COMPLETED,
+                timestamp_s=timestamp,
+                cost_s=100.0,
+                error=error,
+                feasible_meas=True,
+            )
+        )
+        index += 1
+    result.wall_time_s = wall_time
+    return result
+
+
+@pytest.fixture
+def study():
+    default = run("default", 4, [0.5, 0.1], [3600.0, 7200.0], 7200.0)
+    hyper = run(
+        "hyperpower", 40, [0.3, 0.08], [600.0, 1200.0], 7200.0
+    )
+    return RuntimeStudy(
+        runs={
+            ("mnist-gtx1070", "Rand", "default"): (default,),
+            ("mnist-gtx1070", "Rand", "hyperpower"): (hyper,),
+        },
+        n_repeats=1,
+        time_scale=1.0,
+    )
+
+
+class TestCompute:
+    def test_sample_increase(self, study):
+        headlines = compute_headlines(study)
+        assert headlines.max_sample_increase == pytest.approx(10.0)
+
+    def test_speedup_to_sample_count(self, study):
+        headlines = compute_headlines(study)
+        # Default queried 4 samples over 7200 s; hyperpower's 4th sample
+        # landed at t = 1.3 s (its rejections come first).
+        assert headlines.max_speedup_to_sample_count > 1000.0
+
+    def test_speedup_to_best_error(self, study):
+        headlines = compute_headlines(study)
+        # Default reached its best (0.1) at 7200 s; hyperpower reached
+        # <= 0.1 at 1200 s -> 6x.
+        assert headlines.max_speedup_to_best_error == pytest.approx(6.0)
+
+    def test_accuracy_improvement(self, study):
+        headlines = compute_headlines(study)
+        # (0.1 - 0.08) / 0.1 = 20%.
+        assert headlines.max_accuracy_improvement_pct == pytest.approx(20.0)
+
+    def test_empty_study_yields_nans(self):
+        empty = RuntimeStudy(runs={}, n_repeats=0, time_scale=1.0)
+        headlines = compute_headlines(empty)
+        assert math.isnan(headlines.max_sample_increase)
+
+
+class TestFormat:
+    def test_renders_paper_column(self, study):
+        text = format_headlines(compute_headlines(study))
+        assert "Paper" in text and "Measured" in text
+        assert "112.99x" in text  # the paper's headline speedup
+        assert "57.20x" in text

@@ -1,0 +1,37 @@
+"""Tests for the intro's motivating comparison (iso-error / iso-power)."""
+
+import pytest
+
+from repro.experiments.motivating import run_intro_comparison
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_intro_comparison(n_samples=200, seed=0)
+
+
+class TestIntroComparison:
+    def test_baseline_is_reasonable(self, comparison):
+        # A hand-designed CIFAR-10 net: decent error, mid-range power.
+        assert 0.19 < comparison.baseline_error < 0.40
+        assert 80.0 < comparison.baseline_power_w < 140.0
+
+    def test_iso_error_power_savings_exist(self, comparison):
+        # The intro: "an iso-error NN with power savings of 12.12W".
+        assert comparison.power_savings_w > 5.0
+        assert comparison.iso_error_power_w < comparison.baseline_power_w
+
+    def test_iso_power_error_reduction_exists(self, comparison):
+        # The intro: "an iso-power NN with error decreased to 21.16 from
+        # 24.74%" — a few points of error at no extra watts.
+        assert comparison.error_reduction > 0.005
+        assert comparison.iso_power_error < comparison.baseline_error
+
+    def test_improvements_never_negative_by_construction(self, comparison):
+        assert comparison.power_savings_w >= 0.0
+        assert comparison.error_reduction >= 0.0
+
+    def test_deterministic(self):
+        a = run_intro_comparison(n_samples=60, seed=3)
+        b = run_intro_comparison(n_samples=60, seed=3)
+        assert a == b

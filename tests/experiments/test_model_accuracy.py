@@ -1,0 +1,72 @@
+"""Tests for repro.experiments.model_accuracy (Table 1 / Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.model_accuracy import (
+    figure5_series,
+    format_table1,
+    run_model_accuracy,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_model_accuracy(n_samples=60, seed=0)
+
+
+class TestStudy:
+    def test_all_four_pairs(self, study):
+        assert set(study.pairs) == {
+            "mnist-gtx1070",
+            "cifar10-gtx1070",
+            "mnist-tx1",
+            "cifar10-tx1",
+        }
+
+    def test_paper_claim_under_7_percent(self, study):
+        # Table 1: "RMSPE value always less than 7%".
+        assert study.max_rmspe < 7.0
+
+    def test_tx1_memory_cells_missing(self, study):
+        assert study.pairs["mnist-tx1"].memory_rmspe is None
+        assert study.pairs["cifar10-tx1"].memory_rmspe is None
+        assert study.pairs["mnist-gtx1070"].memory_rmspe is not None
+
+    def test_scatter_data_shapes(self, study):
+        pair = study.pairs["mnist-gtx1070"]
+        assert pair.power_actual.shape == pair.power_predicted.shape
+        assert pair.power_actual.shape == (60,)
+
+    def test_predictions_correlate(self, study):
+        # Figure 5: "alignment across the blue line".
+        for pair in study.pairs.values():
+            r = np.corrcoef(pair.power_actual, pair.power_predicted)[0, 1]
+            assert r > 0.85
+
+    def test_device_power_regimes_distinct(self, study):
+        # Figure 5's two panels: GTX around 70-130 W, TX1 around 5-15 W.
+        gtx = study.pairs["mnist-gtx1070"].power_actual
+        tx1 = study.pairs["mnist-tx1"].power_actual
+        assert np.min(gtx) > np.max(tx1)
+
+    def test_subset_of_pairs(self):
+        study = run_model_accuracy(
+            n_samples=40, seed=1, pair_keys=("mnist-gtx1070",)
+        )
+        assert set(study.pairs) == {"mnist-gtx1070"}
+
+
+class TestRendering:
+    def test_table1_layout(self, study):
+        text = format_table1(study)
+        assert "Table 1" in text
+        assert "Power" in text and "Memory" in text
+        # TX1 memory cells are the paper's '--' entries.
+        assert "--" in text
+
+    def test_figure5_series(self, study):
+        series = figure5_series(study)
+        assert set(series) == set(study.pairs)
+        data = series["cifar10-tx1"]
+        assert data["actual_w"].shape == data["predicted_w"].shape

@@ -1,0 +1,58 @@
+"""Tests for repro.experiments.motivating (Figures 1 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.motivating import run_figure1, run_figure3
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return run_figure1(n_samples=150, seed=0)
+
+    def test_only_trained_networks_kept(self, data):
+        assert np.all(data.errors <= 0.5)
+        assert data.errors.shape == data.power_w.shape
+        assert len(data.errors) > 30
+
+    def test_power_in_gtx_regime(self, data):
+        assert np.all(data.power_w > 60.0)
+        assert np.all(data.power_w < 150.0)
+
+    def test_iso_error_power_spread_is_large(self, data):
+        # The paper's motivating observation: up to ~55 W spread at a
+        # given accuracy level (more than a third of the GPU's TDP).
+        spread = data.iso_error_power_spread(band_width=0.01)
+        assert spread > 20.0
+
+    def test_spread_of_empty_data(self):
+        from repro.experiments.motivating import Figure1Data
+
+        empty = Figure1Data(errors=np.array([]), power_w=np.array([]))
+        assert empty.iso_error_power_spread() == 0.0
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return run_figure3(n_configs=4, n_epochs=10, seed=0)
+
+    def test_shapes(self, data):
+        assert data.power_w.shape == (4, 10)
+        assert data.converging_curves.shape[1] == 10
+        assert data.diverging_curves.shape[1] == 10
+
+    def test_power_insensitive_to_training_epochs(self, data):
+        # Figure 3 (left): power does not heavily change with training —
+        # only sensor noise remains (a few percent).
+        assert data.power_epoch_sensitivity < 0.15
+
+    def test_converging_curves_drop_fast(self, data):
+        # Figure 3 (right): converging configs leave the chance plateau
+        # within a few epochs.
+        early_best = data.converging_curves[:, :4].min(axis=1)
+        assert np.all(early_best < 0.7)
+
+    def test_diverging_curves_stay_at_chance(self, data):
+        assert np.all(data.diverging_curves.min(axis=1) > 0.5)

@@ -1,0 +1,142 @@
+"""Tests for repro.experiments.pareto."""
+
+import math
+
+import pytest
+
+from repro.core.result import RunResult, Trial, TrialStatus
+from repro.experiments.pareto import (
+    ParetoPoint,
+    format_front,
+    hypervolume_2d,
+    pareto_front,
+)
+
+
+def run_with(points):
+    """A run whose trained trials carry the given (error, power) pairs."""
+    run = RunResult(
+        method="Rand", variant="hyperpower", dataset="mnist", device="GTX 1070"
+    )
+    for index, (error, power) in enumerate(points):
+        run.trials.append(
+            Trial(
+                index=index,
+                config={"i": index},
+                status=TrialStatus.COMPLETED,
+                timestamp_s=float(index),
+                cost_s=1.0,
+                error=error,
+                power_meas_w=power,
+                feasible_meas=True,
+            )
+        )
+    return run
+
+
+class TestDomination:
+    def test_dominates(self):
+        a = ParetoPoint(error=0.1, power_w=80.0, config={})
+        b = ParetoPoint(error=0.2, power_w=90.0, config={})
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = ParetoPoint(error=0.1, power_w=80.0, config={})
+        b = ParetoPoint(error=0.1, power_w=80.0, config={})
+        assert not a.dominates(b)
+
+    def test_trade_off_points_incomparable(self):
+        cheap = ParetoPoint(error=0.3, power_w=70.0, config={})
+        accurate = ParetoPoint(error=0.1, power_w=100.0, config={})
+        assert not cheap.dominates(accurate)
+        assert not accurate.dominates(cheap)
+
+
+class TestFront:
+    def test_extracts_non_dominated(self):
+        run = run_with(
+            [
+                (0.30, 70.0),   # front (cheap end)
+                (0.10, 100.0),  # front (accurate end)
+                (0.20, 85.0),   # front (middle)
+                (0.25, 90.0),   # dominated by (0.20, 85)
+                (0.35, 75.0),   # dominated by (0.30, 70)
+            ]
+        )
+        front = pareto_front(run)
+        assert [(p.error, p.power_w) for p in front] == [
+            (0.30, 70.0),
+            (0.20, 85.0),
+            (0.10, 100.0),
+        ]
+
+    def test_no_front_point_dominated(self):
+        run = run_with([(0.1 * i, 100.0 - 3.0 * i) for i in range(1, 8)])
+        front = pareto_front(run)
+        for a in front:
+            assert not any(b.dominates(a) for b in front)
+
+    def test_merges_multiple_runs(self):
+        run_a = run_with([(0.30, 70.0)])
+        run_b = run_with([(0.10, 100.0)])
+        front = pareto_front([run_a, run_b])
+        assert len(front) == 2
+
+    def test_skips_untrained_and_unmeasured(self):
+        run = run_with([(0.2, 80.0)])
+        run.trials.append(
+            Trial(
+                index=9,
+                config={},
+                status=TrialStatus.REJECTED_MODEL,
+                timestamp_s=9.0,
+                cost_s=1.0,
+            )
+        )
+        assert len(pareto_front(run)) == 1
+
+    def test_real_run_produces_a_front(self):
+        from repro.experiments.setup import quick_setup
+
+        setup = quick_setup(
+            "mnist", "tx1", power_budget_w=12.0, seed=0, profiling_samples=40
+        )
+        result = setup.run("Rand", "hyperpower", run_seed=1, max_evaluations=6)
+        front = pareto_front(result)
+        assert front
+        powers = [p.power_w for p in front]
+        errors = [p.error for p in front]
+        assert powers == sorted(powers)
+        assert errors == sorted(errors, reverse=True)
+
+
+class TestHypervolume:
+    def test_single_point_area(self):
+        front = [ParetoPoint(error=0.1, power_w=80.0, config={})]
+        volume = hypervolume_2d(front, error_ref=0.5, power_ref_w=100.0)
+        assert volume == pytest.approx((100.0 - 80.0) * (0.5 - 0.1))
+
+    def test_points_outside_reference_ignored(self):
+        front = [ParetoPoint(error=0.6, power_w=80.0, config={})]
+        assert hypervolume_2d(front, error_ref=0.5, power_ref_w=100.0) == 0.0
+
+    def test_better_front_has_larger_volume(self):
+        weak = [ParetoPoint(error=0.3, power_w=90.0, config={})]
+        strong = [
+            ParetoPoint(error=0.3, power_w=70.0, config={}),
+            ParetoPoint(error=0.1, power_w=90.0, config={}),
+        ]
+        ref = dict(error_ref=0.9, power_ref_w=120.0)
+        assert hypervolume_2d(strong, **ref) > hypervolume_2d(weak, **ref)
+
+
+class TestFormatting:
+    def test_table(self):
+        front = [
+            ParetoPoint(error=0.3, power_w=70.0, config={}),
+            ParetoPoint(error=0.1, power_w=100.0, config={}),
+        ]
+        text = format_front(front)
+        assert "70.0 W" in text
+        assert "10.00%" in text

@@ -1,0 +1,70 @@
+"""Tests for repro.experiments.reporting."""
+
+import math
+
+import pytest
+
+from repro.experiments.reporting import (
+    geometric_mean,
+    hours_text,
+    mean_std_text,
+    render_table,
+    speedup_text,
+)
+
+
+class TestGeometricMean:
+    def test_hand_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([10.0, 10.0, 10.0]) == pytest.approx(10.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_less_than_arithmetic(self):
+        values = [1.0, 100.0]
+        assert geometric_mean(values) < sum(values) / 2
+
+
+class TestCellFormatters:
+    def test_mean_std(self):
+        assert mean_std_text([0.01, 0.03], scale=100.0) == "2.00% (1.00%)"
+
+    def test_mean_std_empty(self):
+        assert mean_std_text([]) == "--"
+        assert mean_std_text([float("nan")]) == "--"
+
+    def test_speedup(self):
+        assert speedup_text([2.0, 8.0]) == "4.00x"
+        assert speedup_text([]) == "--"
+        assert speedup_text([math.inf]) == "--"
+
+    def test_hours(self):
+        assert hours_text([1.0, 3.0]) == "2.00"
+        assert hours_text([math.inf]) == "--"
+        assert hours_text([0.002]) == "0.0020"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            "Title", ["A", "Bee"], [["1", "2"], ["333", "4"]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "A" in lines[1] and "Bee" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "1" in lines[3]
+        assert "333" in lines[4]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table("T", ["A", "B"], [["only one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table("T", ["A"], [])
+        assert "A" in text

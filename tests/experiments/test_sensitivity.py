@@ -1,0 +1,66 @@
+"""Tests for repro.experiments.sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.sensitivity import format_sensitivity, sensitivity_report
+from repro.hwsim import GTX_1070, HardwareProfiler
+from repro.models import PowerModel, fit_hardware_models, run_profiling_campaign
+from repro.space import mnist_space
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    space = mnist_space()
+    rng = np.random.default_rng(0)
+    profiler = HardwareProfiler(GTX_1070, rng)
+    campaign = run_profiling_campaign(space, "mnist", profiler, 80, rng)
+    power, memory = fit_hardware_models(
+        space, campaign, rng=np.random.default_rng(1), fit_intercept=True
+    )
+    return space, power, memory
+
+
+class TestReport:
+    def test_covers_all_structural_parameters(self, fitted):
+        space, power, _ = fitted
+        report = sensitivity_report(power)
+        assert {entry.name for entry in report} == set(space.structural_names)
+
+    def test_sorted_by_swing(self, fitted):
+        _, power, _ = fitted
+        swings = [abs(e.swing) for e in sensitivity_report(power)]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_conv_features_dominate_power(self, fitted):
+        # Convolution widths drive compute; the FC width barely moves the
+        # wattage — the kind of hardware intuition the models encode.
+        _, power, _ = fitted
+        report = {e.name: abs(e.swing) for e in sensitivity_report(power)}
+        assert max(
+            report["conv1_features"], report["conv2_features"]
+        ) > report["fc1_units"]
+
+    def test_swing_is_weight_times_width(self, fitted):
+        _, power, _ = fitted
+        for entry in sensitivity_report(power):
+            assert entry.swing == pytest.approx(entry.weight * entry.range_width)
+
+    def test_unfitted_model_rejected(self, fitted):
+        space, *_ = fitted
+        with pytest.raises(ValueError):
+            sensitivity_report(PowerModel(space))
+
+
+class TestFormatting:
+    def test_table_renders(self, fitted):
+        _, power, _ = fitted
+        text = format_sensitivity(power)
+        assert "sensitivity" in text
+        assert "conv1_features" in text
+        assert "W" in text
+
+    def test_unit_rescaling(self, fitted):
+        _, _, memory = fitted
+        text = format_sensitivity(memory, unit_scale=1 / 2**20, unit_label="MiB")
+        assert "MiB" in text

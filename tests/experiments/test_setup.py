@@ -1,0 +1,123 @@
+"""Tests for repro.experiments.setup."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import GIB
+from repro.experiments.setup import (
+    PAPER_PAIRS,
+    ExperimentSetup,
+    paper_setup,
+    quick_setup,
+)
+
+
+class TestPaperPairs:
+    def test_four_pairs(self):
+        assert set(PAPER_PAIRS) == {
+            "mnist-gtx1070",
+            "cifar10-gtx1070",
+            "mnist-tx1",
+            "cifar10-tx1",
+        }
+
+    def test_section5_budgets(self):
+        # "85W and 1.15 for MNIST on GTX 1070, 90W and 1.25GB for CIFAR-10
+        # on GTX 1070, 10W for MNIST on Tegra TX1, and 12W for CIFAR-10 on
+        # Tegra TX1"
+        assert PAPER_PAIRS["mnist-gtx1070"].power_budget_w == 85.0
+        assert PAPER_PAIRS["mnist-gtx1070"].memory_budget_gib == 1.15
+        assert PAPER_PAIRS["cifar10-gtx1070"].power_budget_w == 90.0
+        assert PAPER_PAIRS["cifar10-gtx1070"].memory_budget_gib == 1.25
+        assert PAPER_PAIRS["mnist-tx1"].power_budget_w == 10.0
+        assert PAPER_PAIRS["mnist-tx1"].memory_budget_gib is None
+        assert PAPER_PAIRS["cifar10-tx1"].power_budget_w == 12.0
+
+    def test_time_budgets(self):
+        # Two hours for MNIST, five for CIFAR-10.
+        assert PAPER_PAIRS["mnist-gtx1070"].time_budget_hours == 2.0
+        assert PAPER_PAIRS["cifar10-tx1"].time_budget_hours == 5.0
+        assert PAPER_PAIRS["mnist-tx1"].time_budget_s == 7200.0
+
+    def test_fixed_eval_budgets(self):
+        # 30 iterations for MNIST, 50 for CIFAR-10.
+        assert PAPER_PAIRS["mnist-gtx1070"].fixed_eval_iterations == 30
+        assert PAPER_PAIRS["cifar10-gtx1070"].fixed_eval_iterations == 50
+
+    def test_constraint_spec_conversion(self):
+        spec = PAPER_PAIRS["cifar10-gtx1070"].constraint_spec
+        assert spec.power_budget_w == 90.0
+        assert spec.memory_budget_bytes == pytest.approx(1.25 * GIB)
+        tx1 = PAPER_PAIRS["mnist-tx1"].constraint_spec
+        assert tx1.memory_budget_bytes is None
+
+    def test_keys(self):
+        assert PAPER_PAIRS["mnist-tx1"].key == "mnist-tx1"
+
+
+class TestExperimentSetup:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        return quick_setup(
+            "mnist", "gtx1070", power_budget_w=85.0, seed=3, profiling_samples=40
+        )
+
+    def test_models_fitted(self, setup):
+        assert setup.power_model.is_fitted
+        assert setup.power_model.cv_rmspe_ < 7.0
+        assert setup.memory_model is not None
+
+    def test_training_host_is_server(self, setup):
+        # The paper trains on the server and deploys on the target.
+        assert setup.train_device.name == "GTX 1070"
+
+    def test_tx1_setup_has_no_memory_model(self):
+        setup = quick_setup(
+            "mnist", "tx1", power_budget_w=10.0, seed=3, profiling_samples=40
+        )
+        assert setup.memory_model is None
+        assert setup.train_device.name == "GTX 1070"  # still trains on host
+
+    def test_objectives_are_independent(self, setup):
+        a = setup.new_objective(0)
+        b = setup.new_objective(0)
+        assert a.clock is not b.clock
+        a.clock.advance(10.0)
+        assert b.clock.now_s == 0.0
+
+    def test_unknown_dataset(self):
+        from repro.core.constraints import ConstraintSpec
+
+        with pytest.raises(ValueError):
+            ExperimentSetup("svhn", "gtx1070", ConstraintSpec())
+
+    def test_run_reproducible(self, setup):
+        a = setup.run("Rand", "hyperpower", run_seed=5, max_evaluations=3)
+        b = setup.run("Rand", "hyperpower", run_seed=5, max_evaluations=3)
+        assert a.n_samples == b.n_samples
+        assert a.best_feasible_error == b.best_feasible_error
+
+    def test_run_seed_changes_outcome(self, setup):
+        a = setup.run("Rand", "hyperpower", run_seed=5, max_evaluations=3)
+        b = setup.run("Rand", "hyperpower", run_seed=6, max_evaluations=3)
+        assert a.trials[0].config != b.trials[0].config
+
+
+class TestPaperSetup:
+    def test_runtime_spec(self):
+        setup, pair = paper_setup("mnist-tx1", seed=1, profiling_samples=30)
+        assert setup.spec.power_budget_w == 10.0
+        assert pair.dataset == "mnist"
+
+    def test_fixed_eval_spec(self):
+        setup, pair = paper_setup(
+            "cifar10-gtx1070", seed=1, fixed_eval=True, profiling_samples=30
+        )
+        # Figure 4 protocol: power-only constraint (see the PAPER_PAIRS
+        # note on the CIFAR-10 level).
+        assert setup.spec.power_budget_w == 90.0
+        assert setup.spec.memory_budget_bytes is None
+
+    def test_unknown_pair(self):
+        with pytest.raises(ValueError, match="unknown pair"):
+            paper_setup("imagenet-v100")

@@ -1,0 +1,70 @@
+"""Statistical shape checks across independent worlds (seeds).
+
+One run can get lucky; these tests repeat a miniature protocol across
+several *setup* seeds (different profiling campaigns, different RNG
+streams — the error-surface world stays fixed, as in the paper) and check
+that the paper's orderings hold on average, not just once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.setup import paper_setup
+
+
+@pytest.fixture(scope="module")
+def mini_runs():
+    """Per-seed (default Rand, hyperpower Rand, hyperpower HW-IECI) runs."""
+    out = []
+    for seed in (0, 1, 2):
+        setup, pair = paper_setup(
+            "mnist-gtx1070", seed=seed, profiling_samples=100
+        )
+        budget = 0.25 * pair.time_budget_s
+        out.append(
+            {
+                "default_rand": setup.run(
+                    "Rand", "default", run_seed=seed, max_time_s=budget
+                ),
+                "hyper_rand": setup.run(
+                    "Rand", "hyperpower", run_seed=seed, max_time_s=budget
+                ),
+                "hyper_ieci": setup.run(
+                    "HW-IECI", "hyperpower", run_seed=seed, max_evaluations=6
+                ),
+            }
+        )
+    return out
+
+
+class TestAcrossSeeds:
+    def test_sample_increase_holds_in_every_world(self, mini_runs):
+        for world in mini_runs:
+            assert (
+                world["hyper_rand"].n_samples
+                > 3 * world["default_rand"].n_samples
+            )
+
+    def test_hyperpower_accuracy_wins_on_average(self, mini_runs):
+        default = np.mean(
+            [w["default_rand"].best_feasible_error for w in mini_runs]
+        )
+        hyper = np.mean(
+            [w["hyper_rand"].best_feasible_error for w in mini_runs]
+        )
+        assert hyper < default
+
+    def test_screening_violations_near_zero_in_every_world(self, mini_runs):
+        for world in mini_runs:
+            assert world["hyper_rand"].n_violations <= 1
+            assert world["hyper_ieci"].n_violations <= 1
+
+    def test_model_quality_stable_across_campaigns(self):
+        rmspes = []
+        for seed in (0, 1, 2):
+            setup, _ = paper_setup(
+                "mnist-gtx1070", seed=seed, profiling_samples=100
+            )
+            rmspes.append(setup.power_model.cv_rmspe_)
+        assert max(rmspes) < 7.0
+        assert np.std(rmspes) < 2.0

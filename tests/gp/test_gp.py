@@ -1,0 +1,119 @@
+"""Tests for repro.gp.gp."""
+
+import numpy as np
+import pytest
+
+from repro.gp.gp import GaussianProcess
+from repro.gp.kernels import RBF, Matern52
+
+
+def toy_data(n=30, noise=0.02, seed=0, dim=2):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, dim))
+    y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2 + noise * rng.normal(size=n)
+    return X, y
+
+
+class TestFitting:
+    def test_fit_predict_recovers_function(self):
+        X, y = toy_data(n=60)
+        gp = GaussianProcess().fit(X, y, rng=np.random.default_rng(1))
+        Xs = np.random.default_rng(2).uniform(size=(100, 2))
+        truth = np.sin(3 * Xs[:, 0]) + Xs[:, 1] ** 2
+        mean, _ = gp.predict(Xs)
+        rmse = np.sqrt(np.mean((mean - truth) ** 2))
+        assert rmse < 0.1
+
+    def test_interpolates_training_points(self):
+        X, y = toy_data(n=25, noise=0.0)
+        gp = GaussianProcess(noise_variance=1e-6).fit(
+            X, y, optimize_hypers=False
+        )
+        mean, var = gp.predict(X)
+        np.testing.assert_allclose(mean, y, atol=1e-3)
+        assert np.all(var < 1e-3)
+
+    def test_optimizing_improves_lml(self):
+        X, y = toy_data(n=40)
+        kernel = Matern52(2, variance=0.1, lengthscales=3.0)  # bad start
+        fixed = GaussianProcess(kernel=kernel.copy()).fit(
+            X, y, optimize_hypers=False
+        )
+        tuned = GaussianProcess(kernel=kernel.copy()).fit(
+            X, y, rng=np.random.default_rng(3)
+        )
+        assert tuned.log_marginal_likelihood() >= fixed.log_marginal_likelihood()
+
+    def test_default_kernel_built_to_dimension(self):
+        X, y = toy_data(n=20, dim=5)
+        gp = GaussianProcess().fit(X, y, optimize_hypers=False)
+        assert gp.kernel.input_dim == 5
+
+    def test_rbf_kernel_accepted(self):
+        X, y = toy_data(n=20)
+        gp = GaussianProcess(kernel=RBF(2)).fit(X, y, optimize_hypers=False)
+        assert gp.is_fitted
+
+    def test_refit_replaces_data(self):
+        X, y = toy_data(n=20)
+        gp = GaussianProcess().fit(X, y, optimize_hypers=False)
+        X2, y2 = toy_data(n=35, seed=9)
+        gp.fit(X2, y2, optimize_hypers=False)
+        assert gp.n_observations == 35
+
+
+class TestPrediction:
+    def test_uncertainty_grows_away_from_data(self):
+        X = np.full((10, 1), 0.5) + 0.01 * np.random.default_rng(0).normal(
+            size=(10, 1)
+        )
+        y = np.zeros(10)
+        gp = GaussianProcess(kernel=Matern52(1, lengthscales=0.1)).fit(
+            X, y, optimize_hypers=False
+        )
+        _, var_near = gp.predict(np.array([[0.5]]))
+        _, var_far = gp.predict(np.array([[3.0]]))
+        assert var_far[0] > var_near[0]
+
+    def test_noisy_prediction_adds_noise(self):
+        X, y = toy_data(n=20)
+        gp = GaussianProcess(noise_variance=0.1).fit(X, y, optimize_hypers=False)
+        _, latent = gp.predict(X)
+        _, noisy = gp.predict_noisy(X)
+        assert np.all(noisy > latent)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.zeros((1, 2)))
+
+    def test_standardization_shift_invariance(self):
+        X, y = toy_data(n=30)
+        gp_a = GaussianProcess().fit(X, y, rng=np.random.default_rng(5))
+        gp_b = GaussianProcess().fit(X, y + 100.0, rng=np.random.default_rng(5))
+        Xs = np.random.default_rng(6).uniform(size=(20, 2))
+        mean_a, var_a = gp_a.predict(Xs)
+        mean_b, var_b = gp_b.predict(Xs)
+        np.testing.assert_allclose(mean_b - mean_a, 100.0, atol=0.05)
+        np.testing.assert_allclose(var_a, var_b, rtol=0.05)
+
+
+class TestValidation:
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_empty_data(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_kernel_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(kernel=Matern52(3)).fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_bad_noise(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(noise_variance=0.0)
+
+    def test_lml_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().log_marginal_likelihood()

@@ -1,0 +1,120 @@
+"""Tests for repro.gp.kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp.kernels import RBF, Matern52
+
+
+@pytest.fixture(params=[Matern52, RBF])
+def kernel_cls(request):
+    return request.param
+
+
+class TestConstruction:
+    def test_scalar_lengthscale_broadcast(self, kernel_cls):
+        k = kernel_cls(3, variance=2.0, lengthscales=0.5)
+        np.testing.assert_allclose(k.lengthscales, [0.5, 0.5, 0.5])
+
+    def test_invalid_args(self, kernel_cls):
+        with pytest.raises(ValueError):
+            kernel_cls(0)
+        with pytest.raises(ValueError):
+            kernel_cls(2, variance=-1.0)
+        with pytest.raises(ValueError):
+            kernel_cls(2, lengthscales=[0.5, -0.1])
+        with pytest.raises(ValueError):
+            kernel_cls(2, lengthscales=[0.5, 0.5, 0.5])
+
+
+class TestCovarianceProperties:
+    def test_self_covariance_is_variance(self, kernel_cls):
+        k = kernel_cls(2, variance=1.7)
+        X = np.array([[0.1, 0.2], [0.5, 0.9]])
+        K = k(X, X)
+        np.testing.assert_allclose(np.diag(K), 1.7, rtol=1e-10)
+        np.testing.assert_allclose(k.diag(X), [1.7, 1.7])
+
+    def test_symmetry(self, kernel_cls):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(10, 3))
+        k = kernel_cls(3)
+        K = k(X, X)
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+
+    def test_positive_semidefinite(self, kernel_cls):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(20, 4))
+        K = kernel_cls(4)(X, X)
+        eigenvalues = np.linalg.eigvalsh(K + 1e-10 * np.eye(20))
+        assert np.all(eigenvalues > -1e-8)
+
+    def test_decay_with_distance(self, kernel_cls):
+        k = kernel_cls(1, lengthscales=0.3)
+        x0 = np.array([[0.0]])
+        near = k(x0, np.array([[0.1]]))[0, 0]
+        far = k(x0, np.array([[2.0]]))[0, 0]
+        assert near > far
+
+    def test_ard_lengthscales_matter(self, kernel_cls):
+        k = kernel_cls(2, lengthscales=[0.1, 10.0])
+        x0 = np.array([[0.0, 0.0]])
+        along_short = k(x0, np.array([[0.3, 0.0]]))[0, 0]
+        along_long = k(x0, np.array([[0.0, 0.3]]))[0, 0]
+        assert along_long > along_short
+
+    def test_dimension_checked(self, kernel_cls):
+        k = kernel_cls(2)
+        with pytest.raises(ValueError):
+            k(np.zeros((3, 2)), np.zeros((3, 5)))
+
+    @given(st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=30)
+    def test_bounded_by_variance(self, distance):
+        for cls in (Matern52, RBF):
+            k = cls(1, variance=1.0, lengthscales=0.5)
+            value = k(np.array([[0.0]]), np.array([[distance]]))[0, 0]
+            assert -1e-12 <= value <= 1.0 + 1e-12
+
+
+class TestThetaRoundtrip:
+    def test_get_set(self, kernel_cls):
+        k = kernel_cls(3, variance=2.0, lengthscales=[0.1, 0.2, 0.3])
+        theta = k.get_theta()
+        assert theta.shape == (4,)
+        other = kernel_cls(3)
+        other.set_theta(theta)
+        assert other.variance == pytest.approx(2.0)
+        np.testing.assert_allclose(other.lengthscales, [0.1, 0.2, 0.3])
+
+    def test_set_wrong_size(self, kernel_cls):
+        with pytest.raises(ValueError):
+            kernel_cls(3).set_theta(np.zeros(2))
+
+    def test_bounds_cover_defaults(self, kernel_cls):
+        k = kernel_cls(3)
+        theta = k.get_theta()
+        bounds = k.theta_bounds()
+        assert len(bounds) == k.n_params
+        for value, (low, high) in zip(theta, bounds):
+            assert low <= value <= high
+
+    def test_copy_is_independent(self, kernel_cls):
+        k = kernel_cls(2, variance=1.0)
+        clone = k.copy()
+        clone.set_theta(np.array([np.log(5.0), 0.0, 0.0]))
+        assert k.variance == pytest.approx(1.0)
+        assert clone.variance == pytest.approx(5.0)
+
+
+class TestSmoothnessDifference:
+    def test_rbf_smoother_than_matern_at_short_range(self):
+        # Near zero distance the RBF decays like 1 - r^2/2 while Matern-5/2
+        # has more curvature; at moderate distance RBF drops faster.
+        x0 = np.array([[0.0]])
+        x_far = np.array([[1.5]])
+        matern = Matern52(1, lengthscales=0.5)(x0, x_far)[0, 0]
+        rbf = RBF(1, lengthscales=0.5)(x0, x_far)[0, 0]
+        assert rbf < matern

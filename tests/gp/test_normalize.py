@@ -1,0 +1,41 @@
+"""Tests for repro.gp.normalize."""
+
+import numpy as np
+import pytest
+
+from repro.gp.normalize import Standardizer
+
+
+class TestStandardizer:
+    def test_roundtrip(self):
+        y = np.array([3.0, 5.0, 9.0, 1.0])
+        s = Standardizer().fit(y)
+        z = s.transform(y)
+        np.testing.assert_allclose(np.mean(z), 0.0, atol=1e-12)
+        np.testing.assert_allclose(np.std(z), 1.0, atol=1e-12)
+        np.testing.assert_allclose(s.inverse_mean(z), y)
+
+    def test_variance_roundtrip(self):
+        y = np.array([2.0, 4.0, 6.0])
+        s = Standardizer().fit(y)
+        var_std = np.array([1.0, 0.25])
+        original = s.inverse_variance(var_std)
+        np.testing.assert_allclose(original, var_std * np.var(y))
+
+    def test_constant_targets_degrade_gracefully(self):
+        s = Standardizer().fit(np.array([5.0, 5.0, 5.0]))
+        z = s.transform(np.array([5.0]))
+        assert z[0] == pytest.approx(0.0)
+        assert s.std_ == 1.0
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.array([1.0]))
+        with pytest.raises(RuntimeError):
+            Standardizer().inverse_mean(np.array([1.0]))
+
+    def test_bad_input(self):
+        with pytest.raises(ValueError):
+            Standardizer().fit(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            Standardizer().fit(np.array([]))

@@ -1,0 +1,80 @@
+"""Tests for repro.hwsim.device and the platform presets."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.hwsim.device import DeviceModel
+from repro.hwsim.devices import DEVICES, GTX_1070, TEGRA_TX1, get_device
+
+
+class TestValidation:
+    def test_presets_are_valid(self):
+        # Construction runs __post_init__; reaching here means both passed.
+        assert GTX_1070.name == "GTX 1070"
+        assert TEGRA_TX1.name == "Tegra TX1"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("peak_flops", 0.0),
+            ("mem_bandwidth", -1.0),
+            ("launch_overhead_s", -1e-6),
+            ("mem_latency_bytes", -1.0),
+            ("compute_latency_flops", -1.0),
+            ("energy_per_flop", -1e-12),
+            ("utilization_boost", -0.1),
+            ("allocator_slack", 0.9),
+            ("profile_batch", 0),
+            ("power_noise_rel", 0.6),
+            ("power_variation_rel", 0.7),
+        ],
+    )
+    def test_bad_field_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            replace(GTX_1070, **{field: value})
+
+    def test_idle_below_max_required(self):
+        with pytest.raises(ValueError):
+            replace(GTX_1070, idle_power_w=200.0)
+
+    def test_overhead_below_vram_required(self):
+        with pytest.raises(ValueError):
+            replace(GTX_1070, runtime_overhead_bytes=9 * 2**30)
+
+
+class TestDerivedProperties:
+    def test_dynamic_range(self):
+        assert GTX_1070.dynamic_range_w == pytest.approx(
+            GTX_1070.max_power_w - GTX_1070.idle_power_w
+        )
+
+    def test_ridge_intensity(self):
+        ridge = GTX_1070.ridge_intensity
+        assert ridge == pytest.approx(
+            GTX_1070.peak_flops / GTX_1070.mem_bandwidth
+        )
+        assert ridge > 1.0  # GPUs are compute-rich relative to bandwidth
+
+
+class TestPlatformContrast:
+    def test_embedded_board_is_weaker_everywhere(self):
+        assert TEGRA_TX1.peak_flops < GTX_1070.peak_flops
+        assert TEGRA_TX1.mem_bandwidth < GTX_1070.mem_bandwidth
+        assert TEGRA_TX1.max_power_w < GTX_1070.idle_power_w
+
+    def test_tx1_has_no_memory_api(self):
+        # Paper footnote 1: tegrastats reports utilization, not consumption.
+        assert TEGRA_TX1.supports_memory_query is False
+        assert GTX_1070.supports_memory_query is True
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_device("gtx1070") is GTX_1070
+        assert get_device("TX1") is TEGRA_TX1
+        assert set(DEVICES) == {"gtx1070", "tx1"}
+
+    def test_unknown_device(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            get_device("v100")

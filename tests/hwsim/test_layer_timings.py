@@ -1,0 +1,82 @@
+"""Tests for per-layer timing records and the nvprof-style profiler."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim.devices import GTX_1070, TEGRA_TX1
+from repro.hwsim.power import inference_latency, inference_timing, layer_timings
+from repro.hwsim.profiler import HardwareProfiler
+from repro.nn.builder import build_mnist_network
+
+
+@pytest.fixture
+def net():
+    return build_mnist_network(
+        {
+            "conv1_features": 40,
+            "conv1_kernel": 4,
+            "conv2_features": 40,
+            "fc1_units": 400,
+        }
+    )
+
+
+class TestLayerTimings:
+    def test_one_record_per_layer(self, net):
+        records = layer_timings(net, GTX_1070)
+        assert len(records) == len(net)
+        assert [r.index for r in records] == list(range(len(net)))
+
+    def test_sum_matches_network_timing(self, net):
+        records = layer_timings(net, GTX_1070)
+        total = inference_timing(net, GTX_1070).total_s
+        assert sum(r.time_s for r in records) == pytest.approx(total)
+
+    def test_kinds_match_layers(self, net):
+        records = layer_timings(net, GTX_1070)
+        assert records[0].kind == "Conv2D"
+        assert any(r.kind == "Dense" for r in records)
+
+    def test_rates_positive_and_bounded(self, net):
+        for r in layer_timings(net, GTX_1070):
+            assert r.time_s > 0
+            assert 0 <= r.achieved_flops_rate <= GTX_1070.peak_flops
+            assert 0 <= r.achieved_byte_rate <= GTX_1070.mem_bandwidth
+
+    def test_conv_dominates_elementwise(self, net):
+        records = layer_timings(net, GTX_1070)
+        conv = max(r.time_s for r in records if r.kind == "Conv2D")
+        relu = min(r.time_s for r in records if r.kind == "ReLU")
+        assert conv > relu
+
+    def test_bad_batch(self, net):
+        with pytest.raises(ValueError):
+            layer_timings(net, GTX_1070, batch=0)
+
+
+class TestProfilerLayers:
+    def test_noisy_but_close(self, net):
+        profiler = HardwareProfiler(GTX_1070, np.random.default_rng(0))
+        noisy = profiler.profile_layers(net)
+        clean = layer_timings(net, GTX_1070)
+        for a, b in zip(noisy, clean):
+            assert a.time_s == pytest.approx(b.time_s, rel=0.15)
+            assert a.flops == b.flops
+
+    def test_reproducible_with_seed(self, net):
+        a = HardwareProfiler(GTX_1070, np.random.default_rng(5)).profile_layers(net)
+        b = HardwareProfiler(GTX_1070, np.random.default_rng(5)).profile_layers(net)
+        assert [x.time_s for x in a] == [x.time_s for x in b]
+
+
+class TestLatencyMeasurement:
+    def test_profile_includes_latency(self, net):
+        profiler = HardwareProfiler(GTX_1070, np.random.default_rng(1))
+        measurement = profiler.profile(net)
+        truth = inference_latency(net, GTX_1070, profiler.batch)
+        assert measurement.latency_s == pytest.approx(truth, rel=0.1)
+
+    def test_embedded_board_slower(self, net):
+        gtx = HardwareProfiler(GTX_1070, np.random.default_rng(2), batch=32)
+        tx1 = HardwareProfiler(TEGRA_TX1, np.random.default_rng(2), batch=32)
+        assert tx1.profile(net).latency_s > gtx.profile(net).latency_s

@@ -1,0 +1,99 @@
+"""Tests for repro.hwsim.nvml."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim.devices import GTX_1070, TEGRA_TX1
+from repro.hwsim.nvml import PowerMeter, PowerTrace, UnsupportedQueryError
+from repro.hwsim.power import inference_power
+from repro.nn.builder import build_mnist_network
+
+
+@pytest.fixture
+def net():
+    return build_mnist_network(
+        {
+            "conv1_features": 32,
+            "conv1_kernel": 3,
+            "conv2_features": 32,
+            "fc1_units": 300,
+        }
+    )
+
+
+class TestPowerTrace:
+    def test_stats(self):
+        trace = PowerTrace(samples_w=np.array([10.0, 12.0, 11.0]), sample_hz=10.0)
+        assert trace.mean_w == pytest.approx(11.0)
+        assert trace.std_w > 0
+        assert trace.duration_s == pytest.approx(0.3)
+        assert len(trace) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PowerTrace(samples_w=np.array([]), sample_hz=10.0)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PowerTrace(samples_w=np.array([1.0]), sample_hz=0.0)
+
+
+class TestPowerMeter:
+    def test_sample_count_matches_duration(self, net):
+        meter = PowerMeter(GTX_1070, np.random.default_rng(0))
+        trace = meter.sample_power(100.0, duration_s=5.0, sample_hz=10.0)
+        assert len(trace) == 50
+
+    def test_mean_near_true_power(self, net):
+        meter = PowerMeter(GTX_1070, np.random.default_rng(0))
+        trace = meter.sample_power(100.0, duration_s=30.0, sample_hz=10.0)
+        assert trace.mean_w == pytest.approx(100.0, rel=0.05)
+
+    def test_measure_power_tracks_model(self, net):
+        meter = PowerMeter(GTX_1070, np.random.default_rng(1))
+        true_power = inference_power(net, GTX_1070)
+        trace = meter.measure_power(net, duration_s=20.0)
+        assert trace.mean_w == pytest.approx(true_power, rel=0.06)
+
+    def test_reproducible_with_seed(self, net):
+        a = PowerMeter(GTX_1070, np.random.default_rng(7)).measure_power(net)
+        b = PowerMeter(GTX_1070, np.random.default_rng(7)).measure_power(net)
+        np.testing.assert_allclose(a.samples_w, b.samples_w)
+
+    def test_noise_actually_present(self, net):
+        meter = PowerMeter(GTX_1070, np.random.default_rng(2))
+        trace = meter.measure_power(net)
+        assert trace.std_w > 0
+
+    def test_samples_clipped_at_ceiling(self):
+        meter = PowerMeter(GTX_1070, np.random.default_rng(3))
+        trace = meter.sample_power(GTX_1070.max_power_w, duration_s=30.0)
+        assert np.all(trace.samples_w <= GTX_1070.max_power_w * 1.05)
+
+    def test_invalid_duration(self):
+        meter = PowerMeter(GTX_1070, np.random.default_rng(4))
+        with pytest.raises(ValueError):
+            meter.sample_power(100.0, duration_s=0.0)
+
+    def test_invalid_autocorrelation(self):
+        with pytest.raises(ValueError):
+            PowerMeter(GTX_1070, np.random.default_rng(0), autocorrelation=1.0)
+
+
+class TestMemoryQuery:
+    def test_gtx_reports_memory(self, net):
+        meter = PowerMeter(GTX_1070, np.random.default_rng(5))
+        memory = meter.query_memory(net)
+        assert memory > 0
+
+    def test_tx1_raises(self, net):
+        # Paper footnote 1: no memory API on Tegra.
+        meter = PowerMeter(TEGRA_TX1, np.random.default_rng(6))
+        with pytest.raises(UnsupportedQueryError):
+            meter.query_memory(net)
+
+    def test_query_jitter_is_small(self, net):
+        meter = PowerMeter(GTX_1070, np.random.default_rng(8))
+        values = [meter.query_memory(net) for _ in range(20)]
+        spread = (max(values) - min(values)) / np.mean(values)
+        assert spread < 0.05

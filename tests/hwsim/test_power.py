@@ -1,0 +1,109 @@
+"""Tests for repro.hwsim.power."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.hwsim.devices import GTX_1070, TEGRA_TX1
+from repro.hwsim.power import inference_latency, inference_power, inference_timing
+from repro.nn.builder import build_mnist_network
+
+
+def mnist_net(f1=32, k1=3, f2=32, units=300):
+    return build_mnist_network(
+        {
+            "conv1_features": f1,
+            "conv1_kernel": k1,
+            "conv2_features": f2,
+            "fc1_units": units,
+        }
+    )
+
+
+class TestTiming:
+    def test_components_sum_sanely(self):
+        timing = inference_timing(mnist_net(), GTX_1070)
+        assert timing.total_s > 0
+        assert timing.total_s >= timing.overhead_s
+        # Roofline: total covers at least the larger of the two components.
+        assert timing.total_s >= max(timing.compute_s, timing.memory_s) * 0.99
+
+    def test_rates_below_roofs(self):
+        timing = inference_timing(mnist_net(), GTX_1070)
+        assert timing.achieved_flops_rate <= GTX_1070.peak_flops
+        assert timing.achieved_byte_rate <= GTX_1070.mem_bandwidth
+
+    def test_batch_scales_work(self):
+        t1 = inference_timing(mnist_net(), GTX_1070, batch=1)
+        t64 = inference_timing(mnist_net(), GTX_1070, batch=64)
+        assert t64.flops == pytest.approx(64 * t1.flops)
+        assert t64.total_s > t1.total_s
+
+    def test_bad_batch(self):
+        with pytest.raises(ValueError):
+            inference_timing(mnist_net(), GTX_1070, batch=0)
+
+
+class TestPower:
+    def test_within_physical_bounds(self):
+        for device in (GTX_1070, TEGRA_TX1):
+            power = inference_power(mnist_net(), device)
+            assert device.idle_power_w < power < device.max_power_w
+
+    def test_deterministic(self):
+        a = inference_power(mnist_net(), GTX_1070)
+        b = inference_power(mnist_net(), GTX_1070)
+        assert a == b
+
+    def test_wider_network_draws_more(self):
+        # Compare medians over several kernel sizes to wash out the
+        # per-topology variation term.
+        small = np.median(
+            [inference_power(mnist_net(f1=20, f2=20, units=200, k1=k), GTX_1070)
+             for k in (2, 3, 4, 5)]
+        )
+        large = np.median(
+            [inference_power(mnist_net(f1=80, f2=80, units=700, k1=k), GTX_1070)
+             for k in (2, 3, 4, 5)]
+        )
+        assert large > small
+
+    def test_per_topology_variation_is_stable(self):
+        device = replace(GTX_1070, power_variation_rel=0.05)
+        first = inference_power(mnist_net(), device)
+        second = inference_power(mnist_net(), device)
+        assert first == second
+
+    def test_variation_disabled_changes_value(self):
+        with_var = inference_power(mnist_net(), GTX_1070)
+        without = inference_power(
+            mnist_net(), replace(GTX_1070, power_variation_rel=0.0)
+        )
+        assert with_var != without
+
+    def test_tx1_less_than_gtx(self):
+        net = mnist_net()
+        assert inference_power(net, TEGRA_TX1) < inference_power(net, GTX_1070)
+
+    def test_training_state_independence(self):
+        # The paper's core insight: power is a function of structure only.
+        # There is no "training state" input at all — re-deriving the same
+        # structure always yields the same power.
+        values = {inference_power(mnist_net(), GTX_1070) for _ in range(5)}
+        assert len(values) == 1
+
+
+class TestLatency:
+    def test_latency_positive_and_matches_timing(self):
+        net = mnist_net()
+        assert inference_latency(net, GTX_1070) == pytest.approx(
+            inference_timing(net, GTX_1070).total_s
+        )
+
+    def test_embedded_is_slower(self):
+        net = mnist_net()
+        assert (
+            inference_latency(net, TEGRA_TX1, batch=32)
+            > inference_latency(net, GTX_1070, batch=32)
+        )

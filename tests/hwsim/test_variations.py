@@ -1,0 +1,146 @@
+"""Tests for repro.hwsim.variations."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim.devices import GTX_1070, TEGRA_TX1
+from repro.hwsim.power import inference_power
+from repro.hwsim.variations import (
+    aged_device,
+    sample_process_variation,
+    thermal_derating,
+)
+from repro.nn.builder import build_mnist_network
+
+
+@pytest.fixture
+def net():
+    return build_mnist_network(
+        {
+            "conv1_features": 40,
+            "conv1_kernel": 4,
+            "conv2_features": 40,
+            "fc1_units": 400,
+        }
+    )
+
+
+class TestProcessVariation:
+    def test_produces_valid_device(self):
+        instance = sample_process_variation(GTX_1070, np.random.default_rng(0))
+        assert instance.name == GTX_1070.name
+        assert 0 < instance.idle_power_w < instance.max_power_w
+
+    def test_instances_differ(self, net):
+        rng = np.random.default_rng(1)
+        powers = [
+            inference_power(net, sample_process_variation(GTX_1070, rng))
+            for _ in range(20)
+        ]
+        assert np.std(powers) > 0.5  # watts of die-to-die spread
+
+    def test_spread_is_centered(self, net):
+        rng = np.random.default_rng(2)
+        powers = [
+            inference_power(net, sample_process_variation(GTX_1070, rng))
+            for _ in range(200)
+        ]
+        nominal = inference_power(net, GTX_1070)
+        assert abs(np.mean(powers) - nominal) < 0.1 * nominal
+
+    def test_zero_sigma_is_identity(self, net):
+        instance = sample_process_variation(
+            GTX_1070, np.random.default_rng(3), dynamic_sigma=0.0, leakage_sigma=0.0
+        )
+        assert inference_power(net, instance) == inference_power(net, GTX_1070)
+
+    def test_validation(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            sample_process_variation(GTX_1070, rng, correlation=1.5)
+        with pytest.raises(ValueError):
+            sample_process_variation(GTX_1070, rng, dynamic_sigma=-0.1)
+
+
+class TestThermal:
+    def test_hotter_ambient_raises_idle(self):
+        cool = thermal_derating(GTX_1070, ambient_c=15.0)
+        hot = thermal_derating(GTX_1070, ambient_c=45.0)
+        assert hot.idle_power_w > cool.idle_power_w
+
+    def test_load_raises_temperature(self):
+        idle_box = thermal_derating(GTX_1070, sustained_load_fraction=0.0)
+        busy_box = thermal_derating(GTX_1070, sustained_load_fraction=1.0)
+        assert busy_box.idle_power_w > idle_box.idle_power_w
+
+    def test_leakage_capped_below_ceiling(self):
+        scorched = thermal_derating(
+            TEGRA_TX1, ambient_c=85.0, sustained_load_fraction=1.0
+        )
+        assert scorched.idle_power_w < scorched.max_power_w
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            thermal_derating(GTX_1070, sustained_load_fraction=1.5)
+
+
+class TestAging:
+    def test_fresh_device_unchanged(self, net):
+        fresh = aged_device(GTX_1070, operating_hours=0.0)
+        assert inference_power(net, fresh) == inference_power(net, GTX_1070)
+
+    def test_power_creeps_up_with_age(self, net):
+        young = aged_device(GTX_1070, operating_hours=1_000.0)
+        old = aged_device(GTX_1070, operating_hours=60_000.0)
+        assert inference_power(net, old) > inference_power(net, young)
+
+    def test_throughput_creeps_down(self):
+        old = aged_device(GTX_1070, operating_hours=60_000.0)
+        assert old.peak_flops < GTX_1070.peak_flops
+
+    def test_sublinear_in_time(self, net):
+        p1 = inference_power(net, aged_device(GTX_1070, 10_000.0))
+        p2 = inference_power(net, aged_device(GTX_1070, 20_000.0))
+        p4 = inference_power(net, aged_device(GTX_1070, 40_000.0))
+        nominal = inference_power(net, GTX_1070)
+        first_doubling = p2 - p1
+        second_doubling = p4 - p2
+        assert p1 > nominal
+        assert second_doubling < first_doubling * 1.5  # decelerating drift
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aged_device(GTX_1070, operating_hours=-1.0)
+        with pytest.raises(ValueError):
+            aged_device(GTX_1070, 1.0, reference_hours=0.0)
+        with pytest.raises(ValueError):
+            aged_device(GTX_1070, 1e12, max_throughput_penalty=1.0)
+
+
+class TestModelRobustness:
+    def test_nominal_models_still_useful_on_varied_instance(self, net):
+        """A predictor fitted on the nominal board degrades gracefully on
+        a different die — the variation stays within a few percent, inside
+        the indicator margin's protection."""
+        from repro.hwsim.profiler import HardwareProfiler
+        from repro.models import fit_hardware_models, run_profiling_campaign
+        from repro.space import mnist_space
+
+        space = mnist_space()
+        rng = np.random.default_rng(7)
+        nominal_profiler = HardwareProfiler(GTX_1070, rng)
+        campaign = run_profiling_campaign(space, "mnist", nominal_profiler, 60, rng)
+        power_model, _ = fit_hardware_models(
+            space, campaign, rng=np.random.default_rng(8), fit_intercept=True
+        )
+
+        instance = sample_process_variation(GTX_1070, np.random.default_rng(9))
+        errors = []
+        for config in space.sample_many(40, rng):
+            from repro.nn import build_network
+
+            network = build_network("mnist", config)
+            predicted = power_model.predict_config(config)
+            actual = inference_power(network, instance)
+            errors.append(abs(predicted - actual) / actual)
+        assert np.mean(errors) < 0.15

@@ -1,0 +1,91 @@
+"""Tests for repro.models.crossval."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.crossval import cross_validate, kfold_indices, mape, rmse, rmspe
+from repro.models.linear import LinearModel
+
+
+class TestMetrics:
+    def test_rmspe_hand_value(self):
+        actual = np.array([100.0, 200.0])
+        predicted = np.array([90.0, 220.0])
+        # relative errors 10% and 10% -> RMSPE 10%.
+        assert rmspe(actual, predicted) == pytest.approx(10.0)
+
+    def test_rmspe_perfect(self):
+        y = np.array([5.0, 7.0])
+        assert rmspe(y, y) == 0.0
+
+    def test_rmspe_zero_actual_rejected(self):
+        with pytest.raises(ValueError):
+            rmspe(np.array([0.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_rmse_hand_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_mape_hand_value(self):
+        actual = np.array([100.0, 200.0])
+        predicted = np.array([90.0, 240.0])
+        assert mape(actual, predicted) == pytest.approx(15.0)
+
+    def test_shape_mismatch(self):
+        for metric in (rmspe, rmse, mape):
+            with pytest.raises(ValueError):
+                metric(np.zeros(3), np.zeros(4))
+
+
+class TestKFold:
+    @given(st.integers(min_value=10, max_value=60), st.integers(min_value=2, max_value=10))
+    @settings(max_examples=30)
+    def test_partition_properties(self, n, k):
+        rng = np.random.default_rng(0)
+        splits = kfold_indices(n, k, rng)
+        assert len(splits) == k
+        all_test = np.concatenate([test for _, test in splits])
+        # Every index appears exactly once as a test index.
+        assert sorted(all_test.tolist()) == list(range(n))
+        for train, test in splits:
+            assert set(train) & set(test) == set()
+            assert len(train) + len(test) == n
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            kfold_indices(3, 5, np.random.default_rng(0))
+
+    def test_too_few_folds(self):
+        with pytest.raises(ValueError):
+            kfold_indices(10, 1, np.random.default_rng(0))
+
+    def test_shuffling_depends_on_rng(self):
+        a = kfold_indices(20, 4, np.random.default_rng(1))
+        b = kfold_indices(20, 4, np.random.default_rng(2))
+        assert not np.array_equal(a[0][1], b[0][1])
+
+
+class TestCrossValidate:
+    def test_linear_data_near_zero_error(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(1, 10, size=(60, 3))
+        y = X @ np.array([1.0, 2.0, 3.0])
+        score, predictions = cross_validate(
+            LinearModel, X, y, k=10, rng=np.random.default_rng(4)
+        )
+        assert score < 1e-6
+        np.testing.assert_allclose(predictions, y, rtol=1e-6)
+
+    def test_noise_shows_up_in_score(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(1, 10, size=(80, 3))
+        y = X @ np.array([1.0, 2.0, 3.0]) + rng.normal(0, 2.0, size=80)
+        score, _ = cross_validate(LinearModel, X, y, k=10, rng=rng)
+        assert score > 1.0
+
+    def test_mismatched_sizes(self):
+        with pytest.raises(ValueError):
+            cross_validate(LinearModel, np.zeros((5, 2)), np.zeros(6))

@@ -1,0 +1,129 @@
+"""Tests for the NeuralPower-style layer-wise models (paper ref. [10])."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim.devices import GTX_1070
+from repro.hwsim.power import inference_power, layer_timings
+from repro.hwsim.profiler import HardwareProfiler
+from repro.models.layerwise import (
+    LayerwiseEnergyModel,
+    LayerwiseRuntimeModel,
+    collect_layer_profiles,
+    layer_features,
+)
+from repro.nn.builder import build_network
+from repro.space.presets import mnist_space
+
+
+@pytest.fixture(scope="module")
+def data():
+    space = mnist_space()
+    rng = np.random.default_rng(0)
+    profiler = HardwareProfiler(GTX_1070, rng)
+    train = collect_layer_profiles(space, "mnist", profiler, 40, rng)
+    test = collect_layer_profiles(space, "mnist", profiler, 15, rng)
+    return space, profiler, train, test
+
+
+class TestFeatures:
+    def test_feature_vector(self, data):
+        _, _, train, _ = data
+        features = layer_features(train[0][0])
+        assert features.shape == (3,)
+        assert np.all(features >= 0)
+
+
+class TestRuntimeModel:
+    def test_fit_and_kinds(self, data):
+        _, _, train, _ = data
+        model = LayerwiseRuntimeModel().fit(train)
+        assert model.is_fitted
+        assert "Conv2D" in model.kinds
+        assert "Dense" in model.kinds
+
+    def test_network_runtime_accuracy(self, data):
+        _, _, train, test = data
+        model = LayerwiseRuntimeModel().fit(train)
+        # Held-out network-level runtime within 10% MAPE.
+        assert model.evaluate(test) < 10.0
+
+    def test_layer_predictions_nonnegative(self, data):
+        _, _, train, test = data
+        model = LayerwiseRuntimeModel().fit(train)
+        for profile in test:
+            for timing in profile:
+                assert model.predict_layer(timing) >= 0.0
+
+    def test_unknown_kind_falls_back(self, data):
+        from repro.hwsim.power import LayerTiming
+
+        _, _, train, _ = data
+        model = LayerwiseRuntimeModel().fit(train)
+        exotic = LayerTiming(
+            index=0, kind="Deconv2D", flops=1e6, bytes_moved=1e6, time_s=1e-4
+        )
+        assert model.predict_layer(exotic) == pytest.approx(model._fallback_s)
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            LayerwiseRuntimeModel().fit([])
+
+    def test_predict_before_fit(self, data):
+        _, _, train, _ = data
+        with pytest.raises(RuntimeError):
+            LayerwiseRuntimeModel().predict_layer(train[0][0])
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def fitted(self, data):
+        space, profiler, train, test = data
+        runtime = LayerwiseRuntimeModel().fit(train)
+        rng = np.random.default_rng(3)
+        configs = space.sample_many(30, rng)
+        profiles, powers = [], []
+        for config in configs:
+            network = build_network("mnist", config)
+            profiles.append(profiler.profile_layers(network))
+            powers.append(profiler.profile(network).power_w)
+        energy = LayerwiseEnergyModel(runtime).fit(profiles, powers)
+        return space, profiler, energy
+
+    def test_requires_fitted_runtime(self, data):
+        with pytest.raises(ValueError):
+            LayerwiseEnergyModel(LayerwiseRuntimeModel())
+
+    def test_average_power_tracks_truth(self, fitted):
+        space, profiler, energy = fitted
+        rng = np.random.default_rng(7)
+        errors = []
+        for config in space.sample_many(15, rng):
+            network = build_network("mnist", config)
+            timings = layer_timings(network, GTX_1070)
+            predicted = energy.predict_average_power(timings)
+            truth = inference_power(network, GTX_1070)
+            errors.append(abs(predicted - truth) / truth)
+        assert np.mean(errors) < 0.10
+
+    def test_energy_positive_and_consistent(self, fitted):
+        space, profiler, energy = fitted
+        config = space.sample(np.random.default_rng(11))
+        network = build_network("mnist", config)
+        timings = layer_timings(network, GTX_1070)
+        e = energy.predict_energy(timings)
+        t = energy.runtime_model.predict_network(timings)
+        p = energy.predict_average_power(timings)
+        assert e > 0
+        assert p == pytest.approx(e / t)
+
+    def test_fit_validation(self, data):
+        _, _, train, _ = data
+        runtime = LayerwiseRuntimeModel().fit(train)
+        model = LayerwiseEnergyModel(runtime)
+        with pytest.raises(ValueError):
+            model.fit(train[:3], [100.0, 100.0, 100.0])  # too few
+        with pytest.raises(ValueError):
+            model.fit(train[:5], [100.0] * 4)  # length mismatch
+        with pytest.raises(RuntimeError):
+            model.predict_energy(train[0])  # before fit

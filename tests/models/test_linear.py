@@ -1,0 +1,76 @@
+"""Tests for repro.models.linear."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.linear import LinearModel
+
+
+def linear_data(n=50, weights=(2.0, -1.0, 0.5), intercept=0.0, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(1.0, 10.0, size=(n, len(weights)))
+    y = X @ np.asarray(weights) + intercept + noise * rng.normal(size=n)
+    return X, y
+
+
+class TestFit:
+    def test_exact_recovery_no_intercept(self):
+        X, y = linear_data()
+        model = LinearModel().fit(X, y)
+        np.testing.assert_allclose(model.weights_, [2.0, -1.0, 0.5], atol=1e-8)
+        assert model.intercept_ == 0.0
+
+    def test_intercept_recovered(self):
+        X, y = linear_data(intercept=40.0)
+        model = LinearModel(fit_intercept=True).fit(X, y)
+        assert model.intercept_ == pytest.approx(40.0, abs=1e-6)
+        np.testing.assert_allclose(model.weights_, [2.0, -1.0, 0.5], atol=1e-8)
+
+    def test_no_intercept_misfits_offset_data(self):
+        X, y = linear_data(intercept=40.0)
+        plain = LinearModel().fit(X, y)
+        with_b = LinearModel(fit_intercept=True).fit(X, y)
+        err_plain = np.mean((plain.predict(X) - y) ** 2)
+        err_with = np.mean((with_b.predict(X) - y) ** 2)
+        assert err_with < err_plain
+
+    def test_nonnegative_constraint(self):
+        X, y = linear_data(weights=(2.0, -1.0, 0.5))
+        model = LinearModel(nonnegative=True).fit(X, y)
+        assert np.all(model.weights_ >= 0)
+
+    def test_underdetermined_rejected(self):
+        X = np.zeros((2, 5))
+        with pytest.raises(ValueError, match="under-determined"):
+            LinearModel().fit(X, np.zeros(2))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearModel().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestPredict:
+    def test_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearModel().predict(np.zeros((1, 2)))
+
+    def test_wrong_feature_count(self):
+        X, y = linear_data()
+        model = LinearModel().fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((1, 7)))
+
+    def test_predict_one(self):
+        X, y = linear_data()
+        model = LinearModel().fit(X, y)
+        z = np.array([1.0, 2.0, 3.0])
+        assert model.predict_one(z) == pytest.approx(2.0 - 2.0 + 1.5)
+
+    @given(st.integers(min_value=10, max_value=60))
+    @settings(max_examples=20, deadline=None)
+    def test_noise_free_fit_is_exact(self, n):
+        X, y = linear_data(n=n, seed=n)
+        model = LinearModel().fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-7)

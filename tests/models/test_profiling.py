@@ -1,0 +1,98 @@
+"""Tests for repro.models.profiling."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim.devices import GTX_1070, TEGRA_TX1
+from repro.hwsim.profiler import HardwareProfiler
+from repro.models.profiling import run_profiling_campaign
+from repro.space.presets import mnist_space
+
+
+class TestCampaign:
+    def test_sizes_and_fields(self):
+        space = mnist_space()
+        rng = np.random.default_rng(0)
+        profiler = HardwareProfiler(GTX_1070, rng)
+        data = run_profiling_campaign(space, "mnist", profiler, 12, rng)
+        assert len(data) == 12
+        assert data.Z.shape == (12, space.structural_dimension)
+        assert data.power_w.shape == (12,)
+        assert data.has_memory
+        assert data.memory_bytes.shape == (12,)
+        assert data.device_name == "GTX 1070"
+        assert data.dataset_name == "mnist"
+
+    def test_z_matches_configs(self):
+        space = mnist_space()
+        rng = np.random.default_rng(1)
+        profiler = HardwareProfiler(GTX_1070, rng)
+        data = run_profiling_campaign(space, "mnist", profiler, 5, rng)
+        for row, config in zip(data.Z, data.configs):
+            np.testing.assert_allclose(row, space.structural_vector(config))
+
+    def test_tx1_has_no_memory_column(self):
+        space = mnist_space()
+        rng = np.random.default_rng(2)
+        profiler = HardwareProfiler(TEGRA_TX1, rng)
+        data = run_profiling_campaign(space, "mnist", profiler, 5, rng)
+        assert not data.has_memory
+        assert data.memory_bytes is None
+
+    def test_campaign_takes_wall_time(self):
+        space = mnist_space()
+        rng = np.random.default_rng(3)
+        profiler = HardwareProfiler(GTX_1070, rng)
+        data = run_profiling_campaign(space, "mnist", profiler, 4, rng)
+        # Four measurements at >3 s setup each.
+        assert data.total_time_s > 12.0
+
+    def test_zero_samples_rejected(self):
+        space = mnist_space()
+        rng = np.random.default_rng(4)
+        profiler = HardwareProfiler(GTX_1070, rng)
+        with pytest.raises(ValueError):
+            run_profiling_campaign(space, "mnist", profiler, 0, rng)
+
+    def test_reproducible(self):
+        space = mnist_space()
+
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            profiler = HardwareProfiler(GTX_1070, rng)
+            return run_profiling_campaign(space, "mnist", profiler, 6, rng)
+
+        a, b = run(7), run(7)
+        np.testing.assert_allclose(a.power_w, b.power_w)
+        np.testing.assert_allclose(a.Z, b.Z)
+
+
+class TestSamplingMethods:
+    def test_lhs_campaign(self):
+        space = mnist_space()
+        rng = np.random.default_rng(5)
+        profiler = HardwareProfiler(GTX_1070, rng)
+        data = run_profiling_campaign(
+            space, "mnist", profiler, 10, rng, method="lhs"
+        )
+        assert len(data) == 10
+        for config in data.configs:
+            assert space.contains(config)
+
+    def test_unknown_method_rejected(self):
+        space = mnist_space()
+        rng = np.random.default_rng(6)
+        profiler = HardwareProfiler(GTX_1070, rng)
+        with pytest.raises(ValueError, match="sampling method"):
+            run_profiling_campaign(
+                space, "mnist", profiler, 5, rng, method="sobol"
+            )
+
+    def test_lhs_spreads_better_than_worst_random(self):
+        # LHS guarantees one point per axis stratum; check an axis's
+        # min-max coverage beats narrow clustering.
+        space = mnist_space()
+        rng = np.random.default_rng(7)
+        configs = space.sample_lhs(20, rng)
+        values = sorted(c["conv1_features"] for c in configs)
+        assert values[0] <= 25 and values[-1] >= 75

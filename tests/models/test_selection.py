@@ -1,0 +1,101 @@
+"""Tests for repro.models.selection."""
+
+import numpy as np
+import pytest
+
+from repro.models.selection import (
+    DEFAULT_FORMS,
+    CandidateForm,
+    FormSelection,
+    QuadraticFeatureModel,
+    select_model_form,
+)
+from repro.models.linear import LinearModel
+
+
+def linear_data(n=80, seed=0, noise=0.5):
+    rng = np.random.default_rng(seed)
+    Z = rng.uniform(1, 10, size=(n, 3))
+    y = 40.0 + Z @ np.array([2.0, 1.0, 0.5]) + noise * rng.normal(size=n)
+    return Z, y
+
+
+def quadratic_data(n=80, seed=1, noise=0.5):
+    rng = np.random.default_rng(seed)
+    Z = rng.uniform(1, 10, size=(n, 3))
+    y = 10.0 + 3.0 * Z[:, 0] * Z[:, 1] + 0.5 * Z[:, 2] ** 2
+    return Z, y + noise * rng.normal(size=n)
+
+
+class TestQuadraticFeatureModel:
+    def test_expansion_width(self):
+        Z = np.ones((5, 3))
+        expanded = QuadraticFeatureModel.expand(Z)
+        # 3 linear + 3 squares + 3 pairwise products.
+        assert expanded.shape == (5, 9)
+
+    def test_fits_quadratic_data_exactly(self):
+        Z, y = quadratic_data(noise=0.0)
+        model = QuadraticFeatureModel().fit(Z, y)
+        np.testing.assert_allclose(model.predict(Z), y, rtol=1e-6)
+
+
+class TestSelection:
+    def test_parsimony_picks_linear_on_affine_data(self):
+        Z, y = linear_data()
+        selection = select_model_form(Z, y, rng=np.random.default_rng(2))
+        # Quadratic can only tie here; the parsimony rule keeps the
+        # simplest admissible form (the paper's "sufficient accuracy").
+        assert selection.chosen.name in ("linear+intercept", "linear")
+        assert selection.chosen.complexity <= 1
+
+    def test_quadratic_wins_on_strongly_nonlinear_data(self):
+        Z, y = quadratic_data()
+        selection = select_model_form(Z, y, rng=np.random.default_rng(3))
+        assert selection.chosen.name == "quadratic"
+
+    def test_scores_cover_all_forms(self):
+        Z, y = linear_data()
+        selection = select_model_form(Z, y, rng=np.random.default_rng(4))
+        assert set(selection.scores) == {f.name for f in DEFAULT_FORMS}
+        assert selection.chosen_score == selection.scores[selection.chosen.name]
+
+    def test_zero_tolerance_takes_the_best(self):
+        Z, y = quadratic_data()
+        selection = select_model_form(
+            Z, y, rng=np.random.default_rng(5), tolerance_rel=0.0
+        )
+        assert selection.scores[selection.chosen.name] == min(
+            selection.scores.values()
+        )
+
+    def test_custom_forms(self):
+        Z, y = linear_data()
+        only = (
+            CandidateForm("plain", lambda: LinearModel(fit_intercept=True), 0),
+        )
+        selection = select_model_form(Z, y, forms=only)
+        assert selection.chosen.name == "plain"
+
+    def test_validation(self):
+        Z, y = linear_data()
+        with pytest.raises(ValueError):
+            select_model_form(Z, y, forms=())
+        with pytest.raises(ValueError):
+            select_model_form(Z, y, tolerance_rel=-0.1)
+
+    def test_on_real_profiling_campaign(self):
+        """The paper's conclusion on the actual power data: linear wins."""
+        from repro.hwsim import GTX_1070, HardwareProfiler
+        from repro.models import run_profiling_campaign
+        from repro.space import mnist_space
+
+        space = mnist_space()
+        rng = np.random.default_rng(6)
+        profiler = HardwareProfiler(GTX_1070, rng)
+        campaign = run_profiling_campaign(space, "mnist", profiler, 80, rng)
+        selection = select_model_form(
+            campaign.Z, campaign.power_w, rng=np.random.default_rng(7)
+        )
+        assert selection.chosen.name == "linear+intercept"
+        assert selection.chosen_score < 7.0

@@ -1,0 +1,119 @@
+"""Tests for repro.nn.builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.builder import (
+    CIFAR10_INPUT_SHAPE,
+    MNIST_INPUT_SHAPE,
+    NUM_CLASSES,
+    build_cifar10_network,
+    build_mnist_network,
+    build_network,
+)
+from repro.nn.layers import Conv2D, Dense, Pooling
+from repro.space.presets import cifar10_space, mnist_space
+
+
+class TestMnistBuilder:
+    def test_basic_topology(self):
+        config = {
+            "conv1_features": 32,
+            "conv1_kernel": 5,
+            "conv2_features": 64,
+            "fc1_units": 500,
+            "learning_rate": 0.01,
+            "momentum": 0.9,
+        }
+        net = build_mnist_network(config)
+        assert net.input_shape == MNIST_INPUT_SHAPE
+        assert net.num_classes == NUM_CLASSES
+        convs = [l for l in net.layers if isinstance(l, Conv2D)]
+        assert [c.features for c in convs] == [32, 64]
+        assert convs[0].kernel == 5
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ValueError, match="missing"):
+            build_mnist_network({"conv1_features": 32})
+
+    def test_all_sampled_configs_build(self):
+        space = mnist_space()
+        rng = np.random.default_rng(0)
+        for config in space.sample_many(100, rng):
+            net = build_mnist_network(config)
+            assert net.output_shape == (10,)
+
+    @given(
+        st.integers(20, 80),
+        st.integers(2, 5),
+        st.integers(20, 80),
+        st.integers(200, 700),
+    )
+    @settings(max_examples=40)
+    def test_full_hyperparameter_grid_valid(self, f1, k1, f2, units):
+        config = {
+            "conv1_features": f1,
+            "conv1_kernel": k1,
+            "conv2_features": f2,
+            "fc1_units": units,
+        }
+        net = build_mnist_network(config)
+        assert net.output_shape == (10,)
+
+
+class TestCifar10Builder:
+    def test_basic_topology(self):
+        config = {
+            "conv1_features": 32, "conv1_kernel": 5, "pool1_kernel": 3,
+            "conv2_features": 32, "conv2_kernel": 5, "pool2_kernel": 3,
+            "conv3_features": 64, "conv3_kernel": 5, "pool3_kernel": 3,
+            "fc1_units": 250,
+        }
+        net = build_cifar10_network(config)
+        assert net.input_shape == CIFAR10_INPUT_SHAPE
+        convs = [l for l in net.layers if isinstance(l, Conv2D)]
+        assert [c.features for c in convs] == [32, 32, 64]
+
+    def test_pools_use_stride_two(self):
+        config = {
+            "conv1_features": 20, "conv1_kernel": 3, "pool1_kernel": 2,
+            "conv2_features": 20, "conv2_kernel": 3, "pool2_kernel": 2,
+            "conv3_features": 20, "conv3_kernel": 3, "pool3_kernel": 2,
+            "fc1_units": 200,
+        }
+        net = build_cifar10_network(config)
+        pools = [l for l in net.layers if isinstance(l, Pooling)]
+        assert all(p.stride == 2 for p in pools)
+
+    def test_all_sampled_configs_build(self):
+        space = cifar10_space()
+        rng = np.random.default_rng(1)
+        for config in space.sample_many(100, rng):
+            net = build_cifar10_network(config)
+            assert net.output_shape == (10,)
+
+    def test_fc_width_respected(self):
+        config = {
+            "conv1_features": 20, "conv1_kernel": 2, "pool1_kernel": 1,
+            "conv2_features": 20, "conv2_kernel": 2, "pool2_kernel": 1,
+            "conv3_features": 20, "conv3_kernel": 2, "pool3_kernel": 1,
+            "fc1_units": 321,
+        }
+        net = build_cifar10_network(config)
+        dense = [l for l in net.layers if isinstance(l, Dense)]
+        assert dense[0].units == 321
+        assert dense[1].units == 10
+
+
+class TestDispatch:
+    def test_by_name(self):
+        space = mnist_space()
+        config = space.sample(np.random.default_rng(2))
+        assert build_network("mnist", config).name == "alexnet-mnist"
+        assert build_network("MNIST", config).name == "alexnet-mnist"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            build_network("svhn", {})

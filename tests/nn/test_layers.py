@@ -1,0 +1,127 @@
+"""Tests for repro.nn.layers."""
+
+import pytest
+
+from repro.nn.layers import (
+    DTYPE_BYTES,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Pooling,
+    ReLU,
+    Softmax,
+)
+
+
+class TestConv2D:
+    def test_same_padding_odd_kernel_preserves_shape(self):
+        conv = Conv2D(features=32, kernel=3)
+        assert conv.output_shape((3, 32, 32)) == (32, 32, 32)
+
+    def test_even_kernel_grows_by_one(self):
+        conv = Conv2D(features=16, kernel=2)
+        assert conv.output_shape((1, 28, 28)) == (16, 29, 29)
+
+    def test_param_count(self):
+        conv = Conv2D(features=20, kernel=5)
+        # 20 * 1 * 5 * 5 weights + 20 biases.
+        assert conv.param_count((1, 28, 28)) == 20 * 25 + 20
+
+    def test_flops_formula(self):
+        conv = Conv2D(features=8, kernel=3)
+        out_c, out_h, out_w = conv.output_shape((4, 10, 10))
+        expected = out_c * out_h * out_w * (2 * 4 * 9 + 1)
+        assert conv.flops((4, 10, 10)) == expected
+
+    def test_weight_and_activation_bytes(self):
+        conv = Conv2D(features=8, kernel=3)
+        assert conv.weight_bytes((4, 10, 10)) == conv.param_count((4, 10, 10)) * DTYPE_BYTES
+        out = conv.output_shape((4, 10, 10))
+        assert conv.activation_bytes((4, 10, 10)) == out[0] * out[1] * out[2] * DTYPE_BYTES
+
+    def test_rejects_flat_input(self):
+        with pytest.raises(ValueError):
+            Conv2D(8, 3).output_shape((100,))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Conv2D(0, 3)
+        with pytest.raises(ValueError):
+            Conv2D(8, 0)
+        with pytest.raises(ValueError):
+            Conv2D(8, 3, stride=0)
+
+
+class TestPooling:
+    def test_kernel_tied_stride(self):
+        pool = Pooling(2)
+        assert pool.effective_stride == 2
+        assert pool.output_shape((8, 28, 28)) == (8, 14, 14)
+
+    def test_explicit_stride(self):
+        pool = Pooling(3, stride=2)
+        # Caffe ceil mode: ceil((32 - 3) / 2) + 1 = 16.
+        assert pool.output_shape((8, 32, 32)) == (8, 16, 16)
+
+    def test_kernel_one_with_stride_two_subsamples(self):
+        pool = Pooling(1, stride=2)
+        # ceil((32 - 1) / 2) + 1 = 17.
+        assert pool.output_shape((8, 32, 32)) == (8, 17, 17)
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ValueError):
+            Pooling(5).output_shape((8, 4, 4))
+
+    def test_no_params(self):
+        assert Pooling(2).param_count((8, 28, 28)) == 0
+
+    def test_flops(self):
+        pool = Pooling(2)
+        out = pool.output_shape((8, 28, 28))
+        assert pool.flops((8, 28, 28)) == out[0] * out[1] * out[2] * 4
+
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            Pooling(2, op="median")
+
+
+class TestElementwiseLayers:
+    def test_relu_identity_shape(self):
+        assert ReLU().output_shape((8, 5, 5)) == (8, 5, 5)
+        assert ReLU().flops((8, 5, 5)) == 200
+        assert ReLU().param_count((8, 5, 5)) == 0
+
+    def test_dropout(self):
+        assert Dropout(0.5).output_shape((128,)) == (128,)
+        assert Dropout(0.5).flops((128,)) == 0
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_flatten(self):
+        assert Flatten().output_shape((8, 5, 5)) == (200,)
+        assert Flatten().flops((8, 5, 5)) == 0
+
+    def test_softmax(self):
+        assert Softmax().output_shape((10,)) == (10,)
+        assert Softmax().flops((10,)) == 30
+        with pytest.raises(ValueError):
+            Softmax().output_shape((8, 5, 5))
+
+
+class TestDense:
+    def test_param_count(self):
+        dense = Dense(500)
+        assert dense.param_count((1000,)) == 1000 * 500 + 500
+
+    def test_flops(self):
+        dense = Dense(10)
+        assert dense.flops((100,)) == 10 * (2 * 100 + 1)
+
+    def test_requires_flat_input(self):
+        with pytest.raises(ValueError):
+            Dense(10).output_shape((8, 5, 5))
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            Dense(0)

@@ -1,0 +1,94 @@
+"""Tests for repro.nn.prototxt."""
+
+import numpy as np
+import pytest
+
+from repro.nn.builder import build_cifar10_network, build_mnist_network
+from repro.nn.layers import Layer
+from repro.nn.network import NetworkSpec
+from repro.nn.prototxt import to_prototxt
+from repro.space.presets import cifar10_space, mnist_space
+
+
+@pytest.fixture
+def mnist_net():
+    return build_mnist_network(
+        {
+            "conv1_features": 32,
+            "conv1_kernel": 5,
+            "conv2_features": 48,
+            "fc1_units": 321,
+        }
+    )
+
+
+class TestRendering:
+    def test_header_and_input(self, mnist_net):
+        text = to_prototxt(mnist_net)
+        assert 'name: "alexnet-mnist"' in text
+        assert "dim: 1 dim: 28 dim: 28" in text
+
+    def test_layer_parameters_emitted(self, mnist_net):
+        text = to_prototxt(mnist_net)
+        assert "num_output: 32" in text
+        assert "kernel_size: 5" in text
+        assert "num_output: 321" in text
+        assert "num_output: 10" in text
+        assert "dropout_ratio: 0.5" in text
+
+    def test_relu_runs_in_place(self, mnist_net):
+        text = to_prototxt(mnist_net)
+        relu_blocks = [
+            block for block in text.split("layer {") if '"ReLU"' in block
+        ]
+        assert relu_blocks
+        for block in relu_blocks:
+            bottoms = [l for l in block.splitlines() if "bottom:" in l]
+            tops = [l for l in block.splitlines() if "top:" in l]
+            assert bottoms[0].split(":")[1] == tops[0].split(":")[1]
+
+    def test_cifar_pool_strides(self):
+        config = {
+            "conv1_features": 20, "conv1_kernel": 3, "pool1_kernel": 3,
+            "conv2_features": 20, "conv2_kernel": 3, "pool2_kernel": 3,
+            "conv3_features": 20, "conv3_kernel": 3, "pool3_kernel": 3,
+            "fc1_units": 200,
+        }
+        text = to_prototxt(build_cifar10_network(config))
+        # Fixed downsampling stride of 2 on every pooling layer.
+        assert text.count("stride: 2") >= 3
+        assert "pool: MAX" in text
+
+    def test_topology_order_preserved(self, mnist_net):
+        text = to_prototxt(mnist_net)
+        assert text.index('"conv1"') < text.index('"conv2"')
+        assert text.index('"conv2"') < text.index('"fc1"')
+        assert text.index('"fc2"') < text.index('"prob"')
+
+    def test_every_sampled_network_renders(self):
+        rng = np.random.default_rng(0)
+        for config in mnist_space().sample_many(20, rng):
+            assert to_prototxt(build_mnist_network(config))
+        for config in cifar10_space().sample_many(20, rng):
+            from repro.nn.builder import build_cifar10_network
+
+            assert to_prototxt(build_cifar10_network(config))
+
+    def test_unknown_layer_rejected(self):
+        class Mystery(Layer):
+            def output_shape(self, input_shape):
+                return input_shape
+
+            def param_count(self, input_shape):
+                return 0
+
+            def flops(self, input_shape):
+                return 0
+
+        net = NetworkSpec.__new__(NetworkSpec)
+        net._name = "m"
+        net._input_shape = (1, 8, 8)
+        net._layers = (Mystery(),)
+        net._num_classes = 10
+        with pytest.raises(ValueError, match="no prototxt rendering"):
+            to_prototxt(net)

@@ -1,0 +1,135 @@
+"""Tests for repro.space.params."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space.params import ContinuousParameter, IntegerParameter
+
+
+class TestIntegerParameter:
+    def test_basic_fields(self):
+        p = IntegerParameter("features", 20, 80)
+        assert p.name == "features"
+        assert p.low == 20
+        assert p.high == 80
+        assert p.structural is True
+        assert p.n_values == 61
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            IntegerParameter("x", 5, 3)
+
+    def test_sampling_stays_in_range(self):
+        p = IntegerParameter("k", 2, 5)
+        rng = np.random.default_rng(0)
+        values = [p.sample(rng) for _ in range(500)]
+        assert min(values) >= 2
+        assert max(values) <= 5
+        # All values should appear in a reasonable sample.
+        assert set(values) == {2, 3, 4, 5}
+
+    def test_unit_roundtrip_exact(self):
+        p = IntegerParameter("u", 200, 700)
+        for value in (200, 350, 500, 700):
+            assert p.from_unit(p.to_unit(value)) == value
+
+    @given(st.integers(min_value=2, max_value=5))
+    def test_roundtrip_property(self, value):
+        p = IntegerParameter("k", 2, 5)
+        assert p.from_unit(p.to_unit(value)) == value
+
+    @given(st.floats(min_value=-3, max_value=4, allow_nan=False))
+    def test_from_unit_clips(self, u):
+        p = IntegerParameter("k", 2, 5)
+        assert 2 <= p.from_unit(u) <= 5
+
+    def test_degenerate_range(self):
+        p = IntegerParameter("c", 7, 7)
+        assert p.to_unit(7) == 0.5
+        assert p.from_unit(0.0) == 7
+        assert p.from_unit(1.0) == 7
+
+    def test_contains(self):
+        p = IntegerParameter("k", 2, 5)
+        assert p.contains(3)
+        assert not p.contains(1)
+        assert not p.contains(6)
+        assert not p.contains(3.5)
+        assert not p.contains("three")
+
+    def test_validate_raises(self):
+        p = IntegerParameter("k", 2, 5)
+        with pytest.raises(ValueError, match="out of range"):
+            p.validate(9)
+
+    def test_grid_full_and_reduced(self):
+        p = IntegerParameter("k", 2, 5)
+        assert p.grid(10) == [2, 3, 4, 5]
+        reduced = p.grid(2)
+        assert reduced[0] == 2 and reduced[-1] == 5
+        with pytest.raises(ValueError):
+            p.grid(0)
+
+    def test_non_integer_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerParameter("k", 2.5, 5)
+
+
+class TestContinuousParameter:
+    def test_linear_roundtrip(self):
+        p = ContinuousParameter("momentum", 0.8, 0.95)
+        for value in (0.8, 0.85, 0.9, 0.95):
+            assert math.isclose(p.from_unit(p.to_unit(value)), value)
+
+    def test_log_roundtrip(self):
+        p = ContinuousParameter("lr", 0.001, 0.1, log=True)
+        for value in (0.001, 0.01, 0.05, 0.1):
+            assert math.isclose(p.from_unit(p.to_unit(value)), value)
+
+    def test_log_midpoint_is_geometric(self):
+        p = ContinuousParameter("lr", 0.001, 0.1, log=True)
+        assert math.isclose(p.from_unit(0.5), 0.01, rel_tol=1e-9)
+
+    def test_log_requires_positive_low(self):
+        with pytest.raises(ValueError):
+            ContinuousParameter("lr", 0.0, 0.1, log=True)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            ContinuousParameter("x", 1.0, 1.0)
+
+    def test_sampling_in_range(self):
+        p = ContinuousParameter("wd", 0.0001, 0.01, log=True)
+        rng = np.random.default_rng(1)
+        values = [p.sample(rng) for _ in range(300)]
+        assert min(values) >= 0.0001
+        assert max(values) <= 0.01
+
+    def test_log_sampling_is_log_uniform(self):
+        p = ContinuousParameter("lr", 0.001, 0.1, log=True)
+        rng = np.random.default_rng(2)
+        values = np.array([p.sample(rng) for _ in range(4000)])
+        # Median of a log-uniform on [1e-3, 1e-1] is 1e-2.
+        assert 0.007 < np.median(values) < 0.014
+
+    @given(st.floats(min_value=-2, max_value=3, allow_nan=False))
+    def test_from_unit_clips(self, u):
+        p = ContinuousParameter("m", 0.8, 0.95)
+        assert 0.8 <= p.from_unit(u) <= 0.95
+
+    def test_structural_flag_default_false(self):
+        p = ContinuousParameter("lr", 0.001, 0.1, log=True)
+        assert p.structural is False
+
+    def test_grid(self):
+        p = ContinuousParameter("m", 0.0, 1.0)
+        grid = p.grid(5)
+        assert grid[0] == 0.0 and grid[-1] == 1.0
+        assert len(grid) == 5
+        assert p.grid(1) == [0.5]
+        with pytest.raises(ValueError):
+            p.grid(0)

@@ -1,0 +1,75 @@
+"""Tests for the paper's two design spaces (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.space.presets import (
+    CONV_FEATURES_RANGE,
+    CONV_KERNEL_RANGE,
+    FC_UNITS_RANGE,
+    LEARNING_RATE_RANGE,
+    MOMENTUM_RANGE,
+    POOL_KERNEL_RANGE,
+    WEIGHT_DECAY_RANGE,
+    cifar10_space,
+    mnist_space,
+)
+
+
+class TestMnistSpace:
+    def test_six_hyperparameters(self):
+        # "with six and thirteen hyper-parameters respectively"
+        assert mnist_space().dimension == 6
+
+    def test_structural_subset(self):
+        space = mnist_space()
+        assert space.structural_names == (
+            "conv1_features",
+            "conv1_kernel",
+            "conv2_features",
+            "fc1_units",
+        )
+
+    def test_paper_ranges(self):
+        space = mnist_space()
+        assert (space["conv1_features"].low, space["conv1_features"].high) == CONV_FEATURES_RANGE
+        assert (space["conv1_kernel"].low, space["conv1_kernel"].high) == CONV_KERNEL_RANGE
+        assert (space["fc1_units"].low, space["fc1_units"].high) == FC_UNITS_RANGE
+        lr = space["learning_rate"]
+        assert (lr.low, lr.high) == LEARNING_RATE_RANGE
+        assert lr.log is True
+        momentum = space["momentum"]
+        assert (momentum.low, momentum.high) == MOMENTUM_RANGE
+
+    def test_samples_valid(self):
+        space = mnist_space()
+        rng = np.random.default_rng(0)
+        for config in space.sample_many(50, rng):
+            assert space.contains(config)
+
+
+class TestCifar10Space:
+    def test_thirteen_hyperparameters(self):
+        assert cifar10_space().dimension == 13
+
+    def test_structural_dimension(self):
+        # 3 conv blocks x (features, kernel) + 3 pools + fc1 = 10.
+        assert cifar10_space().structural_dimension == 10
+
+    def test_pool_and_decay_ranges(self):
+        space = cifar10_space()
+        for block in (1, 2, 3):
+            pool = space[f"pool{block}_kernel"]
+            assert (pool.low, pool.high) == POOL_KERNEL_RANGE
+        wd = space["weight_decay"]
+        assert (wd.low, wd.high) == WEIGHT_DECAY_RANGE
+        assert wd.log is True
+
+    def test_solver_params_not_structural(self):
+        space = cifar10_space()
+        for name in ("learning_rate", "momentum", "weight_decay"):
+            assert name not in space.structural_names
+
+    def test_fresh_instances(self):
+        # Each call builds an independent space object.
+        assert cifar10_space() is not cifar10_space()

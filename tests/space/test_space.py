@@ -1,0 +1,174 @@
+"""Tests for repro.space.space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space.params import ContinuousParameter, IntegerParameter
+from repro.space.space import SearchSpace
+
+
+@pytest.fixture
+def space():
+    return SearchSpace(
+        [
+            IntegerParameter("features", 20, 80),
+            IntegerParameter("kernel", 2, 5),
+            ContinuousParameter("lr", 0.001, 0.1, log=True),
+            ContinuousParameter("momentum", 0.8, 0.95),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SearchSpace(
+                [IntegerParameter("a", 0, 1), IntegerParameter("a", 0, 2)]
+            )
+
+    def test_introspection(self, space):
+        assert space.dimension == 4
+        assert len(space) == 4
+        assert space.names == ("features", "kernel", "lr", "momentum")
+        assert "features" in space
+        assert "nope" not in space
+        assert space["kernel"].high == 5
+
+    def test_structural_subset(self, space):
+        assert space.structural_names == ("features", "kernel")
+        assert space.structural_dimension == 2
+
+
+class TestValidation:
+    def test_missing_parameter(self, space):
+        with pytest.raises(ValueError, match="missing"):
+            space.validate({"features": 30, "kernel": 3, "lr": 0.01})
+
+    def test_unknown_parameter(self, space):
+        config = {
+            "features": 30,
+            "kernel": 3,
+            "lr": 0.01,
+            "momentum": 0.9,
+            "extra": 1,
+        }
+        with pytest.raises(ValueError, match="unknown"):
+            space.validate(config)
+
+    def test_out_of_range(self, space):
+        config = {"features": 300, "kernel": 3, "lr": 0.01, "momentum": 0.9}
+        with pytest.raises(ValueError, match="out of range"):
+            space.validate(config)
+        assert not space.contains(config)
+
+    def test_valid_config(self, space):
+        config = {"features": 30, "kernel": 3, "lr": 0.01, "momentum": 0.9}
+        space.validate(config)
+        assert space.contains(config)
+
+
+class TestSamplingAndEncoding:
+    def test_samples_are_valid(self, space):
+        rng = np.random.default_rng(0)
+        for config in space.sample_many(200, rng):
+            assert space.contains(config)
+
+    def test_encode_shape_and_range(self, space):
+        rng = np.random.default_rng(1)
+        config = space.sample(rng)
+        u = space.encode(config)
+        assert u.shape == (4,)
+        assert np.all(u >= 0) and np.all(u <= 1)
+
+    def test_decode_roundtrip_integers(self, space):
+        rng = np.random.default_rng(2)
+        for config in space.sample_many(50, rng):
+            decoded = space.decode(space.encode(config))
+            assert decoded["features"] == config["features"]
+            assert decoded["kernel"] == config["kernel"]
+            assert decoded["lr"] == pytest.approx(config["lr"], rel=1e-9)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-2, max_value=3, allow_nan=False),
+            min_size=4,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=50)
+    def test_decode_always_valid(self, vector):
+        space = SearchSpace(
+            [
+                IntegerParameter("features", 20, 80),
+                IntegerParameter("kernel", 2, 5),
+                ContinuousParameter("lr", 0.001, 0.1, log=True),
+                ContinuousParameter("momentum", 0.8, 0.95),
+            ]
+        )
+        assert space.contains(space.decode(vector))
+
+    def test_decode_wrong_length(self, space):
+        with pytest.raises(ValueError, match="length"):
+            space.decode([0.5, 0.5])
+
+    def test_encode_many_stacks(self, space):
+        rng = np.random.default_rng(3)
+        configs = space.sample_many(7, rng)
+        X = space.encode_many(configs)
+        assert X.shape == (7, 4)
+        assert space.encode_many([]).shape == (0, 4)
+
+
+class TestStructural:
+    def test_structural_vector_values(self, space):
+        config = {"features": 42, "kernel": 4, "lr": 0.01, "momentum": 0.9}
+        z = space.structural_vector(config)
+        np.testing.assert_allclose(z, [42.0, 4.0])
+
+    def test_structural_matrix(self, space):
+        rng = np.random.default_rng(4)
+        configs = space.sample_many(5, rng)
+        Z = space.structural_matrix(configs)
+        assert Z.shape == (5, 2)
+        assert space.structural_matrix([]).shape == (0, 2)
+
+
+class TestNeighbor:
+    def test_neighbor_is_valid(self, space):
+        rng = np.random.default_rng(5)
+        center = space.sample(rng)
+        for _ in range(100):
+            assert space.contains(space.neighbor(center, 0.3, rng))
+
+    def test_zero_sigma_is_near_identity(self, space):
+        rng = np.random.default_rng(6)
+        center = space.sample(rng)
+        neighbor = space.neighbor(center, 0.0, rng)
+        assert neighbor["features"] == center["features"]
+        assert neighbor["kernel"] == center["kernel"]
+
+    def test_negative_sigma_rejected(self, space):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            space.neighbor(space.sample(rng), -0.1, rng)
+
+    def test_larger_sigma_moves_further(self, space):
+        rng = np.random.default_rng(8)
+        center = space.sample(rng)
+        center_u = space.encode(center)
+
+        def mean_dist(sigma, n=200):
+            r = np.random.default_rng(9)
+            dists = [
+                np.linalg.norm(space.encode(space.neighbor(center, sigma, r)) - center_u)
+                for _ in range(n)
+            ]
+            return np.mean(dists)
+
+        assert mean_dist(0.3) > mean_dist(0.05)

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["table1"]).command == "table1"
+        args = parser.parse_args(["table2", "--scale", "0.2", "--repeats", "2"])
+        assert args.scale == 0.2
+        args = parser.parse_args(
+            ["run", "--solver", "Rand", "--variant", "default", "--hours", "0.5"]
+        )
+        assert args.solver == "Rand"
+
+    def test_bad_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--solver", "Grid-9000"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["--samples", "40", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Power" in out
+
+    def test_run_and_save(self, tmp_path, capsys):
+        out_file = tmp_path / "run.json"
+        code = main(
+            [
+                "--samples", "40",
+                "run",
+                "--pair", "mnist-tx1",
+                "--solver", "Rand",
+                "--variant", "hyperpower",
+                "--evaluations", "3",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best feasible error" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["format"] == "repro-runs/1"
+        assert payload["runs"][0]["method"] == "Rand"
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "conv" in out
+
+    def test_table2_small(self, capsys):
+        code = main(
+            ["--samples", "40", "table2", "--scale", "0.05", "--repeats", "1"]
+        )
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out

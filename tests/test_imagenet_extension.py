@@ -1,0 +1,118 @@
+"""Tests for the ImageNet future-work extension.
+
+"While the considered experimental setup serves as a comprehensive basis
+to evaluate HyperPower, we are currently considering larger networks on
+the state-of-the-art ImageNet dataset as part of future work." — this
+extension makes that configuration runnable end to end on the simulated
+substrate.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hwsim import GTX_1070, HardwareProfiler, inference_memory, inference_power
+from repro.models import fit_hardware_models, run_profiling_campaign
+from repro.nn import build_imagenet_network, build_network, total_params
+from repro.space import imagenet_space
+from repro.trainsim import IMAGENET, ErrorSurface, TrainingSimulator
+
+
+@pytest.fixture(scope="module")
+def space():
+    return imagenet_space()
+
+
+def alexnet_config(**overrides):
+    base = {
+        "conv1_features": 96,
+        "conv2_features": 256,
+        "conv3_features": 384,
+        "conv4_features": 384,
+        "conv5_features": 256,
+        "fc6_units": 4096,
+        "fc7_units": 4096,
+        "learning_rate": 0.01,
+        "momentum": 0.9,
+        "weight_decay": 0.0005,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestSpace:
+    def test_ten_hyperparameters(self, space):
+        assert space.dimension == 10
+        assert space.structural_dimension == 7
+
+    def test_alexnet_is_inside_the_space(self, space):
+        assert space.contains(alexnet_config())
+
+    def test_samples_build(self, space):
+        rng = np.random.default_rng(0)
+        for config in space.sample_many(20, rng):
+            network = build_network("imagenet", config)
+            assert network.output_shape == (1000,)
+
+
+class TestTopology:
+    def test_classic_alexnet_dimensions(self):
+        network = build_imagenet_network(alexnet_config())
+        # Stride-4 11x11 conv on a 224 crop gives the classic ~55x55 map
+        # (56 with our symmetric same-ish padding).
+        assert network.layer_output_shapes[0][1] in (55, 56)
+        # Parameter count lands at AlexNet scale (~60M).
+        assert 45e6 < total_params(network) < 90e6
+
+    def test_missing_key(self):
+        with pytest.raises(ValueError, match="missing"):
+            build_imagenet_network({"conv1_features": 96})
+
+
+class TestHardwareScale:
+    def test_power_near_the_board_ceiling(self):
+        # A 224-crop AlexNet saturates the GTX 1070 — power in the top band.
+        network = build_imagenet_network(alexnet_config())
+        power = inference_power(network, GTX_1070)
+        assert 110.0 < power < GTX_1070.max_power_w
+
+    def test_memory_in_gigabytes_but_fits(self):
+        network = build_imagenet_network(alexnet_config())
+        footprint = inference_memory(network, GTX_1070)
+        assert 1.2 * 2**30 < footprint < GTX_1070.vram_bytes
+
+    def test_training_takes_days(self):
+        # The honest ImageNet story: one full training is ~10^2 hours, so a
+        # single avoided sample pays for the whole modeling campaign.
+        surface = ErrorSurface(IMAGENET)
+        simulator = TrainingSimulator(IMAGENET, surface, GTX_1070)
+        hours = simulator.full_training_time_s(alexnet_config()) / 3600.0
+        assert 50.0 < hours < 500.0
+
+
+class TestSurface:
+    def test_alexnet_scores_near_the_floor(self):
+        surface = ErrorSurface(IMAGENET)
+        evaluation = surface.evaluate(alexnet_config())
+        assert not evaluation.diverges
+        assert evaluation.final_error < 0.50  # top-1 error, AlexNet regime
+
+    def test_bad_solver_diverges(self):
+        surface = ErrorSurface(IMAGENET)
+        assert surface.diverges(
+            alexnet_config(learning_rate=0.1, momentum=0.95)
+        )
+
+
+class TestModels:
+    def test_linear_power_model_still_fits(self, space):
+        rng = np.random.default_rng(1)
+        profiler = HardwareProfiler(GTX_1070, rng)
+        campaign = run_profiling_campaign(space, "imagenet", profiler, 60, rng)
+        power_model, memory_model = fit_hardware_models(
+            space, campaign, rng=np.random.default_rng(2), fit_intercept=True
+        )
+        # The saturated band compresses the signal, but the recipe holds.
+        assert power_model.cv_rmspe_ < 7.0
+        assert memory_model.cv_rmspe_ < 7.0

@@ -1,0 +1,103 @@
+"""Tests for repro.io (run serialization)."""
+
+import math
+
+import pytest
+
+from repro.core.result import RunResult, Trial, TrialStatus
+from repro.io import load_runs, run_from_dict, run_to_dict, save_runs
+
+
+def sample_run():
+    run = RunResult(
+        method="HW-IECI",
+        variant="hyperpower",
+        dataset="mnist",
+        device="GTX 1070",
+        wall_time_s=1234.5,
+        chance_error=0.9,
+    )
+    run.trials = [
+        Trial(
+            index=0,
+            config={"conv1_features": 30, "learning_rate": 0.01},
+            status=TrialStatus.REJECTED_MODEL,
+            timestamp_s=1.0,
+            cost_s=1.5,
+            power_pred_w=95.0,
+            feasible_pred=False,
+        ),
+        Trial(
+            index=1,
+            config={"conv1_features": 25, "learning_rate": 0.02},
+            status=TrialStatus.COMPLETED,
+            timestamp_s=600.0,
+            cost_s=599.0,
+            error=0.012,
+            epochs_run=30,
+            diverged=False,
+            power_pred_w=80.0,
+            power_meas_w=81.5,
+            memory_meas_bytes=1.0e9,
+            feasible_pred=True,
+            feasible_meas=True,
+        ),
+    ]
+    return run
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self):
+        run = sample_run()
+        clone = run_from_dict(run_to_dict(run))
+        assert clone.method == run.method
+        assert clone.variant == run.variant
+        assert clone.wall_time_s == run.wall_time_s
+        assert clone.n_samples == run.n_samples
+        assert clone.best_feasible_error == run.best_feasible_error
+
+    def test_nan_error_becomes_null_and_back(self):
+        run = sample_run()
+        data = run_to_dict(run)
+        assert data["trials"][0]["error"] is None
+        clone = run_from_dict(data)
+        assert math.isnan(clone.trials[0].error)
+
+    def test_status_preserved(self):
+        clone = run_from_dict(run_to_dict(sample_run()))
+        assert clone.trials[0].status is TrialStatus.REJECTED_MODEL
+        assert clone.trials[1].status is TrialStatus.COMPLETED
+
+    def test_derived_metrics_survive(self):
+        run = sample_run()
+        clone = run_from_dict(run_to_dict(run))
+        assert clone.n_trained == run.n_trained
+        assert clone.n_violations == run.n_violations
+        assert clone.time_to_reach_samples(2) == run.time_to_reach_samples(2)
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        runs = [sample_run(), sample_run()]
+        path = save_runs(runs, tmp_path / "runs.json")
+        loaded = load_runs(path)
+        assert len(loaded) == 2
+        assert loaded[0].best_feasible_error == runs[0].best_feasible_error
+
+    def test_format_guard(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"something": "else"}')
+        with pytest.raises(ValueError, match="not a repro runs file"):
+            load_runs(path)
+
+    def test_real_run_roundtrips(self, tmp_path):
+        from repro.experiments.setup import quick_setup
+
+        setup = quick_setup(
+            "mnist", "tx1", power_budget_w=10.0, seed=0, profiling_samples=40
+        )
+        run = setup.run("Rand", "hyperpower", run_seed=1, max_evaluations=3)
+        path = save_runs([run], tmp_path / "real.json")
+        clone = load_runs(path)[0]
+        assert clone.n_samples == run.n_samples
+        assert clone.best_feasible_error == pytest.approx(run.best_feasible_error)

@@ -1,0 +1,49 @@
+"""Tests for repro.trainsim.dataset."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.trainsim.dataset import CIFAR10, MNIST, get_dataset
+
+
+class TestPresets:
+    def test_mnist_fields(self):
+        assert MNIST.input_shape == (1, 28, 28)
+        assert MNIST.num_classes == 10
+        assert MNIST.train_images == 60_000
+        assert MNIST.floor_error < 0.01  # ~0.8% best error (Table 2)
+
+    def test_cifar10_fields(self):
+        assert CIFAR10.input_shape == (3, 32, 32)
+        assert CIFAR10.floor_error == pytest.approx(0.212)  # ~21.2% floor
+        assert CIFAR10.default_epochs > MNIST.default_epochs
+
+    def test_batches_per_epoch_ceil(self):
+        assert MNIST.batches_per_epoch == -(-60_000 // 128)
+        odd = replace(MNIST, train_images=129, train_batch=128)
+        assert odd.batches_per_epoch == 2
+
+
+class TestValidation:
+    def test_floor_below_chance_required(self):
+        with pytest.raises(ValueError):
+            replace(MNIST, floor_error=0.95)
+
+    def test_positive_sizes_required(self):
+        with pytest.raises(ValueError):
+            replace(MNIST, train_images=0)
+        with pytest.raises(ValueError):
+            replace(MNIST, default_epochs=0)
+        with pytest.raises(ValueError):
+            replace(MNIST, capacity_error_span=0.0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_dataset("mnist") is MNIST
+        assert get_dataset("CIFAR10") is CIFAR10
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            get_dataset("svhn")

@@ -1,0 +1,92 @@
+"""Tests for repro.trainsim.dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.trainsim.dataset import MNIST
+from repro.trainsim.dynamics import LearningCurveModel
+from repro.trainsim.surface import SurfaceEvaluation
+
+
+def evaluation(final_error=0.01, diverges=False, tau=2.0):
+    return SurfaceEvaluation(
+        final_error=final_error,
+        diverges=diverges,
+        structural_error=final_error,
+        effective_step=0.05,
+        step_optimum=0.05,
+        tau_epochs=tau,
+        capacity=0.7,
+    )
+
+
+@pytest.fixture
+def model():
+    return LearningCurveModel(MNIST)
+
+
+class TestConvergingCurves:
+    def test_length(self, model):
+        curve = model.curve(evaluation(), 20, np.random.default_rng(0))
+        assert curve.shape == (20,)
+
+    def test_approaches_final_error(self, model):
+        curve = model.curve(evaluation(final_error=0.01, tau=2.0), 30, np.random.default_rng(1))
+        assert curve[-1] == pytest.approx(0.01, rel=0.35)
+
+    def test_starts_near_chance(self, model):
+        curve = model.curve(evaluation(tau=3.0), 30, np.random.default_rng(2))
+        assert curve[0] > 0.3  # still far from converged after one epoch
+
+    def test_monotone_trend(self, model):
+        curve = model.curve(evaluation(tau=2.0), 30, np.random.default_rng(3))
+        # Noisy, but the smoothed trend must decrease strongly.
+        assert np.mean(curve[:3]) > 5 * np.mean(curve[-3:])
+
+    def test_converging_drops_below_10pct_quickly(self, model):
+        # Figure 3 (right): converging MNIST configs get below 10% within
+        # a few epochs.
+        curve = model.curve(evaluation(final_error=0.01, tau=1.8), 30, np.random.default_rng(4))
+        assert np.min(curve[:4]) < 0.30
+
+    def test_slow_tau_converges_slower(self, model):
+        fast = model.curve(evaluation(tau=1.0), 10, np.random.default_rng(5))
+        slow = model.curve(evaluation(tau=6.0), 10, np.random.default_rng(5))
+        assert slow[4] > fast[4]
+
+
+class TestDivergingCurves:
+    def test_stays_at_chance(self, model):
+        curve = model.curve(evaluation(diverges=True), 30, np.random.default_rng(6))
+        assert np.min(curve) > MNIST.chance_error * 0.8
+
+    def test_never_exceeds_one(self, model):
+        curve = model.curve(evaluation(diverges=True), 30, np.random.default_rng(7))
+        assert np.max(curve) <= 0.99
+
+
+class TestNoise:
+    def test_reproducible_with_seed(self, model):
+        a = model.curve(evaluation(), 15, np.random.default_rng(8))
+        b = model.curve(evaluation(), 15, np.random.default_rng(8))
+        np.testing.assert_allclose(a, b)
+
+    def test_run_to_run_variation(self, model):
+        a = model.curve(evaluation(), 15, np.random.default_rng(9))
+        b = model.curve(evaluation(), 15, np.random.default_rng(10))
+        assert not np.allclose(a, b)
+
+    def test_run_offset_perturbs_final_level(self, model):
+        finals = [
+            model.curve(evaluation(final_error=0.01, tau=1.0), 30, np.random.default_rng(s))[-1]
+            for s in range(30)
+        ]
+        assert np.std(finals) > 0.0002
+
+    def test_zero_epochs_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.curve(evaluation(), 0, np.random.default_rng(0))
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            LearningCurveModel(MNIST, observation_noise_rel=-0.1)

@@ -1,0 +1,122 @@
+"""Tests for repro.trainsim.trainer."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim.devices import GTX_1070
+from repro.nn.builder import build_mnist_network
+from repro.trainsim.dataset import CIFAR10, MNIST
+from repro.trainsim.surface import ErrorSurface
+from repro.trainsim.trainer import TrainingSimulator
+
+
+@pytest.fixture
+def sim():
+    return TrainingSimulator(MNIST, ErrorSurface(MNIST, seed=2018), GTX_1070)
+
+
+def config(**overrides):
+    base = {
+        "conv1_features": 50,
+        "conv1_kernel": 4,
+        "conv2_features": 50,
+        "fc1_units": 450,
+        "learning_rate": 0.008,
+        "momentum": 0.9,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestCostModel:
+    def test_epoch_time_positive(self, sim):
+        net = build_mnist_network(config())
+        assert sim.epoch_time_s(net) > 0
+
+    def test_bigger_network_trains_slower(self, sim):
+        small = build_mnist_network(config(conv1_features=20, conv2_features=20, fc1_units=200))
+        large = build_mnist_network(config(conv1_features=80, conv2_features=80, fc1_units=700))
+        assert sim.epoch_time_s(large) > sim.epoch_time_s(small)
+
+    def test_full_training_time_scale(self, sim):
+        # Full MNIST training should take minutes, not seconds or days —
+        # the cost regime the paper's 2-hour budgets imply (~10 min/sample).
+        time_s = sim.full_training_time_s(config())
+        assert 120 < time_s < 3600
+
+    def test_cifar_trains_longer_than_mnist(self):
+        mnist_sim = TrainingSimulator(MNIST, ErrorSurface(MNIST), GTX_1070)
+        cifar_sim = TrainingSimulator(CIFAR10, ErrorSurface(CIFAR10), GTX_1070)
+        cifar_config = {
+            "conv1_features": 50, "conv1_kernel": 4, "pool1_kernel": 2,
+            "conv2_features": 50, "conv2_kernel": 4, "pool2_kernel": 2,
+            "conv3_features": 50, "conv3_kernel": 4, "pool3_kernel": 2,
+            "fc1_units": 450, "learning_rate": 0.008, "momentum": 0.9,
+            "weight_decay": 0.002,
+        }
+        assert cifar_sim.full_training_time_s(cifar_config) > mnist_sim.full_training_time_s(config())
+
+
+class TestTraining:
+    def test_result_fields(self, sim):
+        result = sim.train(config(), np.random.default_rng(0))
+        assert result.epochs_run == MNIST.default_epochs
+        assert result.curve.shape == (MNIST.default_epochs,)
+        assert result.best_error <= result.final_error + 1e-12
+        assert result.best_error == pytest.approx(np.min(result.curve))
+        assert not result.stopped_early
+        assert result.wall_time_s == pytest.approx(
+            sim.job_setup_s + result.epochs_run * result.epoch_time_s
+        )
+
+    def test_converging_config_reaches_low_error(self, sim):
+        result = sim.train(config(), np.random.default_rng(1))
+        assert not result.diverged
+        assert result.best_error < 0.05
+
+    def test_diverging_config_stays_high(self, sim):
+        bad = config(learning_rate=0.1, momentum=0.95)
+        result = sim.train(bad, np.random.default_rng(2))
+        assert result.diverged
+        assert result.best_error > 0.5
+
+    def test_stop_callback_truncates(self, sim):
+        stop_at = 4
+
+        def stop(epoch, curve):
+            return epoch >= stop_at
+
+        result = sim.train(config(), np.random.default_rng(3), stop_callback=stop)
+        assert result.epochs_run == stop_at
+        assert result.stopped_early
+        assert result.curve.shape == (stop_at,)
+
+    def test_stop_callback_cost_savings(self, sim):
+        full = sim.train(config(), np.random.default_rng(4))
+        short = sim.train(
+            config(), np.random.default_rng(4), stop_callback=lambda e, c: e >= 3
+        )
+        assert short.wall_time_s < full.wall_time_s / 3
+
+    def test_custom_epochs(self, sim):
+        result = sim.train(config(), np.random.default_rng(5), epochs=7)
+        assert result.epochs_run == 7
+        with pytest.raises(ValueError):
+            sim.train(config(), np.random.default_rng(5), epochs=0)
+
+    def test_reproducible_given_rng(self, sim):
+        a = sim.train(config(), np.random.default_rng(6))
+        b = sim.train(config(), np.random.default_rng(6))
+        np.testing.assert_allclose(a.curve, b.curve)
+
+
+class TestValidation:
+    def test_mismatched_surface_rejected(self):
+        with pytest.raises(ValueError, match="surface is for"):
+            TrainingSimulator(MNIST, ErrorSurface(CIFAR10), GTX_1070)
+
+    def test_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            TrainingSimulator(
+                MNIST, ErrorSurface(MNIST), GTX_1070, train_efficiency=0.0
+            )
