@@ -1,0 +1,101 @@
+"""Benchmark: vectorised constraint screening vs the per-config loop.
+
+The batch engine's first claim (ISSUE 1) is that
+:meth:`~repro.core.constraints.ModelConstraintChecker.screen_batch` makes
+exactly the decisions the per-config :meth:`indicator` loop makes — same
+predictions, same margin-backed-off thresholds — while amortising the model
+evaluations into a single NumPy call.  This bench verifies both halves on
+1,000 random MNIST-space configurations: exact decision agreement, and a
+>= 10x wall-clock speedup.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.constraints import GIB, ConstraintSpec, ModelConstraintChecker
+from repro.hwsim.devices import get_device
+from repro.hwsim.profiler import HardwareProfiler
+from repro.models.hw_models import fit_hardware_models
+from repro.models.profiling import run_profiling_campaign
+from repro.space.presets import mnist_space
+
+from _shared import write_artifact
+
+N_CONFIGS = 1000
+MIN_SPEEDUP = 10.0
+TIMING_REPEATS = 3
+
+
+def _build_checker() -> tuple[ModelConstraintChecker, list[dict]]:
+    space = mnist_space()
+    rng = np.random.default_rng(np.random.SeedSequence([2018, 1]))
+    profiler = HardwareProfiler(get_device("gtx1070"), rng)
+    data = run_profiling_campaign(space, "mnist", profiler, 100, rng)
+    power_model, memory_model = fit_hardware_models(
+        space, data, rng=np.random.default_rng(np.random.SeedSequence([2018, 2]))
+    )
+    spec = ConstraintSpec(power_budget_w=85.0, memory_budget_bytes=1.15 * GIB)
+    checker = ModelConstraintChecker(spec, power_model, memory_model)
+    configs = space.sample_many(N_CONFIGS, np.random.default_rng(7))
+    return checker, configs
+
+
+def _best_time(fn, repeats: int = TIMING_REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_screen_batch_matches_serial_and_is_faster():
+    checker, configs = _build_checker()
+
+    serial = np.array([checker.indicator(c) for c in configs])
+    accept, power, memory = checker.screen_batch(configs)
+    assert accept.shape == (N_CONFIGS,)
+    np.testing.assert_array_equal(accept, serial)
+
+    # The predictions backing the decisions must agree too (to the last
+    # ulp: the batch gemm and the per-row gemv may round differently).
+    serial_power = np.array([checker.predictions(c)[0] for c in configs])
+    serial_memory = np.array([checker.predictions(c)[1] for c in configs])
+    np.testing.assert_allclose(power, serial_power, rtol=1e-12)
+    np.testing.assert_allclose(memory, serial_memory, rtol=1e-12)
+
+    t_serial = _best_time(lambda: [checker.indicator(c) for c in configs])
+    t_batch = _best_time(lambda: checker.screen_batch(configs))
+    speedup = t_serial / t_batch
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch screening only {speedup:.1f}x faster than per-config "
+        f"(needed {MIN_SPEEDUP}x): serial {t_serial * 1e3:.2f} ms, "
+        f"batch {t_batch * 1e3:.2f} ms"
+    )
+
+    write_artifact(
+        "screen_batch.txt",
+        "\n".join(
+            [
+                f"configs            {N_CONFIGS}",
+                f"accepted           {int(accept.sum())}",
+                f"decisions match    {bool((accept == serial).all())}",
+                f"serial time        {t_serial * 1e3:.2f} ms",
+                f"batch time         {t_batch * 1e3:.2f} ms",
+                f"speedup            {speedup:.1f}x",
+            ]
+        )
+        + "\n",
+    )
+
+
+if __name__ == "__main__":
+    from pathlib import Path
+
+    test_screen_batch_matches_serial_and_is_faster()
+    print(
+        (Path(__file__).resolve().parent / "out" / "screen_batch.txt").read_text()
+    )

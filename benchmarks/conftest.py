@@ -1,0 +1,20 @@
+"""Benchmark-suite plumbing.
+
+Benchmarks live outside the default ``testpaths`` and regenerate whole
+paper artifacts, so every one of them is marked ``slow`` — the CI fast
+lane (``-m "not slow"``) skips them wholesale when they are collected
+explicitly via ``pytest benchmarks``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make `from _shared import ...` work regardless of the invocation cwd.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.slow)

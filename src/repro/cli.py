@@ -28,6 +28,7 @@ from .experiments.fixed_runtime import (
 from .experiments.headlines import compute_headlines, format_headlines
 from .experiments.model_accuracy import format_table1, run_model_accuracy
 from .experiments.motivating import run_figure1, run_figure3
+from .core.parallel import TrialCache
 from .experiments.setup import PAPER_PAIRS, paper_setup
 from .io import save_runs
 
@@ -112,6 +113,20 @@ def _cmd_run(args) -> None:
         kwargs["max_time_s"] = args.hours * 3600.0
     if not kwargs:
         kwargs["max_time_s"] = pair.time_budget_s
+    if args.backend is not None:
+        if args.workers < 1:
+            raise SystemExit("--workers must be >= 1")
+        kwargs["backend"] = args.backend
+        kwargs["workers"] = args.workers
+        kwargs["use_cache"] = not args.no_cache
+        if args.warm_cache:
+            if args.no_cache:
+                raise SystemExit("--warm-cache requires the cache (drop --no-cache)")
+            # Warm-cache replay: run once to populate a shared cache, then
+            # report the identically-seeded re-run, whose trainings all
+            # replay at lookup cost (runs are deterministic).
+            kwargs["cache"] = TrialCache()
+            setup.run(args.solver, args.variant, run_seed=args.run_seed, **kwargs)
     result = setup.run(args.solver, args.variant, run_seed=args.run_seed, **kwargs)
     print(
         f"{args.solver}/{args.variant} on {args.pair}: "
@@ -119,6 +134,12 @@ def _cmd_run(args) -> None:
         f"{result.n_violations} violations, best feasible error "
         f"{result.best_feasible_error * 100:.2f}%"
     )
+    if result.cache_lookups > 0:
+        print(
+            f"cache: {result.cache_hits} hits, {result.cache_misses} misses, "
+            f"hit rate {result.cache_hit_rate * 100:.2f}% "
+            f"({result.n_cached} trials replayed)"
+        )
     if args.out:
         path = save_runs([result], args.out)
         print(f"saved run to {path}")
@@ -157,6 +178,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--evaluations", type=int, default=None)
     p.add_argument("--hours", type=float, default=None)
     p.add_argument("--run-seed", type=int, default=0)
+    p.add_argument("--backend", default=None,
+                   choices=["serial", "thread", "process"],
+                   help="evaluate accepted proposals through an "
+                        "EvaluationPool (default: paper's sequential loop)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="concurrent trainings per round (with --backend)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the config-hash trial cache (with --backend)")
+    p.add_argument("--warm-cache", action="store_true",
+                   help="run twice against one shared cache and report the "
+                        "second (cache-replayed) run")
     p.add_argument("--out", default=None, help="save the run as JSON")
     return parser
 

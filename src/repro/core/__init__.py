@@ -27,6 +27,13 @@ from .methods import (
     SearchState,
 )
 from .objective import EvaluationOutcome, NNObjective
+from .parallel import (
+    BACKENDS,
+    EvaluationPool,
+    PoolOutcome,
+    TrialCache,
+    canonical_config_key,
+)
 from .result import RunResult, Trial, TrialStatus
 
 __all__ = [
@@ -61,4 +68,9 @@ __all__ = [
     "build_method",
     "SOLVERS",
     "VARIANTS",
+    "BACKENDS",
+    "EvaluationPool",
+    "PoolOutcome",
+    "TrialCache",
+    "canonical_config_key",
 ]

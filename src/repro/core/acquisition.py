@@ -116,9 +116,13 @@ class HWIECI(Acquisition):
 
     def score(self, candidates, X_unit, gp, incumbent):
         ei = expected_improvement(*gp.predict(X_unit), incumbent)
-        gate = np.array(
-            [1.0 if self.checker.indicator(c) else 0.0 for c in candidates]
-        )
+        if hasattr(self.checker, "indicator_batch"):
+            # One vectorised screening call for the whole candidate pool.
+            gate = self.checker.indicator_batch(candidates).astype(float)
+        else:
+            gate = np.array(
+                [1.0 if self.checker.indicator(c) else 0.0 for c in candidates]
+            )
         return ei * gate
 
 
@@ -136,7 +140,13 @@ class HWCWEI(Acquisition):
 
     def score(self, candidates, X_unit, gp, incumbent):
         ei = expected_improvement(*gp.predict(X_unit), incumbent)
-        weights = np.array(
-            [self.checker.satisfaction_probability(c) for c in candidates]
-        )
+        if hasattr(self.checker, "satisfaction_probability_batch"):
+            weights = np.asarray(
+                self.checker.satisfaction_probability_batch(candidates),
+                dtype=float,
+            )
+        else:
+            weights = np.array(
+                [self.checker.satisfaction_probability(c) for c in candidates]
+            )
         return ei * weights

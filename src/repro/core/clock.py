@@ -14,6 +14,7 @@ hierarchy the paper exploits:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = ["SimClock", "CostModel", "DEFAULT_COST_MODEL"]
@@ -39,9 +40,14 @@ class SimClock:
 
     def advance(self, seconds: float) -> float:
         """Advance the clock; returns the new time, s."""
+        seconds = float(seconds)
+        if math.isnan(seconds):
+            raise ValueError("cannot advance the clock by NaN seconds")
+        if math.isinf(seconds):
+            raise ValueError("cannot advance the clock by an infinite amount")
         if seconds < 0:
             raise ValueError("cannot advance the clock backwards")
-        self._now += float(seconds)
+        self._now += seconds
         return self._now
 
     def exceeded(self, budget_s: float | None) -> bool:
@@ -76,6 +82,11 @@ class CostModel:
     #: on ("computed on each sampled grid point of the hyper-parameter
     #: space").
     pool_check_s: float = 0.02
+
+    #: Looking one accepted proposal up in the trial cache, s.  Near-zero:
+    #: a hash-table probe on the canonical configuration hash, replacing a
+    #: minutes-long training when it hits.
+    cache_lookup_s: float = 0.01
 
     #: Fixed part of one GP refit + acquisition maximisation, s.
     gp_fit_base_s: float = 2.0

@@ -16,7 +16,7 @@ budgets?" coexist in the framework:
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -136,6 +136,14 @@ class ModelConstraintChecker:
         self.latency_model = latency_model
         self.margin_sigmas = margin_sigmas
 
+    @property
+    def space(self) -> SearchSpace | None:
+        """The design space the predictive models were fitted on."""
+        for model in (self.power_model, self.memory_model, self.latency_model):
+            if model is not None:
+                return model.space
+        return None
+
     def predictions(
         self, config: Mapping
     ) -> tuple[float | None, float | None]:
@@ -200,6 +208,102 @@ class ModelConstraintChecker:
             z = self.latency_model.space.structural_vector(config)
             probability *= self.latency_model.satisfaction_probability(
                 z, spec.latency_budget_s
+            )
+        return probability
+
+    # -- batch evaluation (the vectorised screening path) ----------------------
+
+    def _structural_batch(
+        self, configs: Sequence[Mapping], validate: bool
+    ) -> np.ndarray:
+        space = self.space
+        if space is None:
+            raise RuntimeError("batch screening needs at least one model")
+        return space.structural_matrix(configs, validate=validate)
+
+    def predictions_batch(
+        self, configs: Sequence[Mapping], validate: bool = True
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Vectorised :meth:`predictions` over a candidate set.
+
+        Returns ``(power_w, memory_bytes)`` arrays of length ``len(configs)``
+        (``None`` where the corresponding model is absent).  The structural
+        matrix is extracted once and each model evaluated in a single
+        NumPy call — this is what makes constraint checks "~free" at batch
+        scale, per the paper's economics.
+        """
+        Z = self._structural_batch(configs, validate)
+        power = (
+            self.power_model.predict_batch(Z)
+            if self.power_model is not None
+            else None
+        )
+        memory = (
+            self.memory_model.predict_batch(Z)
+            if self.memory_model is not None
+            else None
+        )
+        return power, memory
+
+    def screen_batch(
+        self, configs: Sequence[Mapping], validate: bool = False
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
+        """Vectorised screening: ``(accept, power_pred, memory_pred)``.
+
+        ``accept`` is a boolean array with the decisions :meth:`indicator`
+        would make config by config: the same margin-backed-off thresholds
+        and strict inequalities, applied to predictions that agree with the
+        per-config path to the last floating-point ulp (the batch and
+        per-row BLAS kernels may round differently, many orders of
+        magnitude below the residual margins).
+        """
+        n = len(configs)
+        Z = self._structural_batch(configs, validate)
+        spec = self.spec
+        accept = np.ones(n, dtype=bool)
+        power = memory = None
+        if self.power_model is not None:
+            power = self.power_model.predict_batch(Z)
+        if self.memory_model is not None:
+            memory = self.memory_model.predict_batch(Z)
+        if spec.power_budget_w is not None:
+            threshold = spec.power_budget_w - self._margin(self.power_model)
+            accept &= ~(power > threshold)
+        if spec.memory_budget_bytes is not None:
+            threshold = spec.memory_budget_bytes - self._margin(self.memory_model)
+            accept &= ~(memory > threshold)
+        if spec.latency_budget_s is not None:
+            latency = self.latency_model.predict_batch(Z)
+            threshold = spec.latency_budget_s - self._margin(self.latency_model)
+            accept &= ~(latency > threshold)
+        return accept, power, memory
+
+    def indicator_batch(
+        self, configs: Sequence[Mapping], validate: bool = False
+    ) -> np.ndarray:
+        """Vectorised :meth:`indicator` over a candidate set."""
+        accept, _, _ = self.screen_batch(configs, validate=validate)
+        return accept
+
+    def satisfaction_probability_batch(
+        self, configs: Sequence[Mapping], validate: bool = False
+    ) -> np.ndarray:
+        """Vectorised :meth:`satisfaction_probability` over a candidate set."""
+        n = len(configs)
+        Z = self._structural_batch(configs, validate)
+        spec = self.spec
+        probability = np.ones(n, dtype=float)
+        if spec.power_budget_w is not None:
+            probability *= self.power_model.satisfaction_probability_batch(
+                Z, spec.power_budget_w
+            )
+        if spec.memory_budget_bytes is not None:
+            probability *= self.memory_model.satisfaction_probability_batch(
+                Z, spec.memory_budget_bytes
+            )
+        if spec.latency_budget_s is not None:
+            probability *= self.latency_model.satisfaction_probability_batch(
+                Z, spec.latency_budget_s
             )
         return probability
 
@@ -313,3 +417,27 @@ class GPConstraintModel:
     def indicator(self, config: Mapping, threshold: float = 0.5) -> bool:
         """Probabilistic indicator: satisfied with probability > threshold."""
         return self.satisfaction_probability(config) > threshold
+
+    # -- batch evaluation ------------------------------------------------------
+
+    def satisfaction_probability_batch(
+        self, configs: Sequence[Mapping]
+    ) -> np.ndarray:
+        """:meth:`satisfaction_probability` over a candidate set.
+
+        Deliberately evaluated config by config: the GP posterior solve is
+        kept on the exact per-point code path so learned-constraint results
+        are bit-identical whether a caller scores candidates one at a time
+        or as a batch.  (True vectorisation of the GP predict is a later
+        optimisation; the a-priori :class:`ModelConstraintChecker` is the
+        hot path the batch engine targets.)
+        """
+        return np.array(
+            [self.satisfaction_probability(c) for c in configs], dtype=float
+        )
+
+    def indicator_batch(
+        self, configs: Sequence[Mapping], threshold: float = 0.5
+    ) -> np.ndarray:
+        """:meth:`indicator` over a candidate set."""
+        return self.satisfaction_probability_batch(configs) > threshold

@@ -37,6 +37,7 @@ from .methods import (
     SearchState,
 )
 from .objective import NNObjective
+from .parallel import EvaluationPool, PoolOutcome
 from .result import RunResult, Trial, TrialStatus
 
 __all__ = ["SOLVERS", "VARIANTS", "build_method", "HyperPower"]
@@ -126,18 +127,34 @@ class HyperPower:
         variant: str,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         early_term: bool | None = None,
+        pool: EvaluationPool | None = None,
     ):
         """``early_term`` overrides the variant's default (HyperPower on,
         default off) — used by the ablation benches to isolate the two
-        enhancements of Section 3.2."""
+        enhancements of Section 3.2.
+
+        ``pool`` switches the driver to the batch-parallel engine: each
+        round proposes up to ``pool.workers`` configurations from the same
+        state, evaluates them through the pool (with deterministic
+        per-trial seeding and optional trial caching) and charges the
+        clock q-parallel wall time — the ``max`` over the concurrent
+        trainings, not their sum.  ``pool=None`` keeps the paper's
+        sequential Figure 2 loop, bit-for-bit.
+        """
         if variant not in VARIANTS:
             raise ValueError(
                 f"unknown variant {variant!r}; expected one of {VARIANTS}"
+            )
+        if pool is not None and pool.objective is not objective:
+            raise ValueError(
+                "pool must be bound to the driver's objective (same clock, "
+                "same simulated world)"
             )
         self.objective = objective
         self.method = method
         self.variant = variant
         self.cost_model = cost_model
+        self.pool = pool
         #: Early termination is one of the two HyperPower enhancements.
         if early_term is None:
             early_term = variant == "hyperpower"
@@ -200,6 +217,58 @@ class HyperPower:
         state.trained_errors.append(outcome.error)
         state.trained_feasible.append(outcome.feasible_meas)
 
+    def _record_batch(
+        self,
+        state: SearchState,
+        result: RunResult,
+        proposals: list[Proposal],
+        pool_outcomes: list[PoolOutcome],
+    ) -> None:
+        """Record one q-parallel round of pool evaluations.
+
+        The clock was already advanced by the round's wall time, so every
+        trial in the round shares the round-end timestamp; each trial's
+        ``cost_s`` still records its individual cost (lookup cost for
+        cache hits).
+        """
+        clock = self.objective.clock
+        for proposal, pool_outcome in zip(proposals, pool_outcomes):
+            outcome = pool_outcome.outcome
+            if pool_outcome.cached:
+                status = TrialStatus.CACHED
+                cost = self.cost_model.cache_lookup_s
+                epochs_run = 0
+            else:
+                status = (
+                    TrialStatus.EARLY_TERMINATED
+                    if outcome.stopped_early
+                    else TrialStatus.COMPLETED
+                )
+                cost = outcome.cost_s
+                epochs_run = outcome.epochs_run
+            trial = Trial(
+                index=len(state.trials),
+                config=dict(proposal.config),
+                status=status,
+                timestamp_s=clock.now_s,
+                cost_s=cost,
+                error=outcome.error,
+                epochs_run=epochs_run,
+                diverged=outcome.diverged,
+                power_pred_w=proposal.power_pred_w,
+                memory_pred_bytes=proposal.memory_pred_bytes,
+                power_meas_w=outcome.measurement.power_w,
+                memory_meas_bytes=outcome.measurement.memory_bytes,
+                latency_meas_s=outcome.measurement.latency_s,
+                feasible_pred=proposal.feasible_pred,
+                feasible_meas=outcome.feasible_meas,
+            )
+            state.trials.append(trial)
+            result.trials.append(trial)
+            state.trained_configs.append(dict(proposal.config))
+            state.trained_errors.append(outcome.error)
+            state.trained_feasible.append(outcome.feasible_meas)
+
     # -- main loop ------------------------------------------------------------------
 
     def run(
@@ -249,22 +318,55 @@ class HyperPower:
             if len(state.trials) >= self.MAX_SAMPLES:
                 break
 
-            proposal = self.method.propose(state, rng)
-            if proposal.silent_model_checks:
-                clock.advance(
-                    self.cost_model.pool_check_s * proposal.silent_model_checks
-                )
-            if proposal.gp_fits:
-                clock.advance(
-                    proposal.gp_fits * self.cost_model.gp_fit_s(state.n_trained)
-                )
-            for rejected in proposal.rejected:
-                self._record_rejection(state, result, rejected)
+            round_size = 1
+            if self.pool is not None:
+                round_size = self.pool.workers
+                if max_evaluations is not None:
+                    round_size = min(
+                        round_size, max_evaluations - state.n_trained
+                    )
+
+            proposals: list[Proposal] = []
+            for _ in range(round_size):
+                proposal = self.method.propose(state, rng)
+                if proposal.silent_model_checks:
+                    clock.advance(
+                        self.cost_model.pool_check_s
+                        * proposal.silent_model_checks
+                    )
+                if proposal.gp_fits:
+                    clock.advance(
+                        proposal.gp_fits
+                        * self.cost_model.gp_fit_s(state.n_trained)
+                    )
+                for rejected in proposal.rejected:
+                    self._record_rejection(state, result, rejected)
+                    if len(state.trials) >= self.MAX_SAMPLES:
+                        break
+                proposals.append(proposal)
                 if len(state.trials) >= self.MAX_SAMPLES:
                     break
-            self._record_evaluation(state, result, proposal)
+
+            if self.pool is None:
+                self._record_evaluation(state, result, proposals[0])
+            else:
+                clock.advance(self.cost_model.proposal_s * len(proposals))
+                pool_outcomes = self.pool.evaluate_batch(
+                    [p.config for p in proposals], early_term=self.early_term
+                )
+                clock.advance(
+                    self.pool.batch_wall_time_s(
+                        pool_outcomes, self.cost_model.cache_lookup_s
+                    )
+                )
+                self._record_batch(state, result, proposals, pool_outcomes)
 
         result.wall_time_s = clock.now_s
+        if self.pool is not None and self.pool.cache is not None:
+            # The pool's own counters, not the cache's lifetime totals:
+            # a shared (warm) cache carries counts from earlier runs.
+            result.cache_hits = self.pool.hits
+            result.cache_misses = self.pool.misses
         return result
 
     # -- the headline answer --------------------------------------------------------

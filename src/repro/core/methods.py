@@ -132,6 +132,42 @@ def _predictions(checker, config) -> tuple[float | None, float | None]:
     return checker.predictions(config)
 
 
+def _screen_batch(checker, configs):
+    """``checker.screen_batch`` with a scalar fallback.
+
+    Duck-typed checkers (tests, GP-based constraint models) may only
+    implement the per-config ``indicator``/``predictions`` interface; this
+    keeps them usable behind the vectorised screening loop.  Returns
+    ``(accept, power, memory)`` where ``power``/``memory`` are ``None`` or
+    per-config sequences whose entries may themselves be ``None``.
+    """
+    if hasattr(checker, "screen_batch"):
+        return checker.screen_batch(configs)
+    accept = np.array([bool(checker.indicator(c)) for c in configs])
+    power = []
+    memory = []
+    for config in configs:
+        p, m = _predictions(checker, config)
+        power.append(p)
+        memory.append(m)
+    return accept, power, memory
+
+
+def _indicator_batch(checker, configs) -> np.ndarray:
+    """``checker.indicator_batch`` with a scalar fallback."""
+    if hasattr(checker, "indicator_batch"):
+        return np.asarray(checker.indicator_batch(configs))
+    return np.array([bool(checker.indicator(c)) for c in configs])
+
+
+def _pred_at(values, i) -> float | None:
+    """The ``i``-th prediction of a batch, tolerating None entries."""
+    if values is None:
+        return None
+    value = values[i]
+    return None if value is None else float(value)
+
+
 class SearchMethod(ABC):
     """Base class for solvers."""
 
@@ -149,27 +185,44 @@ class SearchMethod(ABC):
 
 
 class _ModelScreeningMixin:
-    """Shared screening loop for the model-free HyperPower methods."""
+    """Shared batch-screening loop for the model-free HyperPower methods.
+
+    Screening is chunked: candidates are drawn ``screen_chunk`` at a time
+    and pushed through :meth:`~repro.core.constraints.ModelConstraintChecker.
+    screen_batch` in one vectorised call, instead of one model evaluation
+    per draw.  Decisions are identical to per-config screening; only the
+    number of RNG draws consumed per proposal changes (candidates drawn
+    after the first acceptance in a chunk are discarded — harmless for the
+    i.i.d. Rand and Rand-Walk proposal distributions).
+    """
 
     #: Rejected proposals allowed before giving up and accepting anyway.
     max_rejects = 5000
 
+    #: Candidates drawn and screened per vectorised model call.
+    screen_chunk = 64
+
     def _screen(
         self,
-        draw,
+        draw_many,
         checker: ModelConstraintChecker | None,
     ) -> tuple[Configuration, list[RejectedProposal], float | None, float | None, bool | None]:
-        """Draw proposals from ``draw()`` until the models accept one."""
+        """Draw chunks from ``draw_many(n)`` until the models accept one."""
+        if checker is None:
+            return draw_many(1)[0], [], None, None, None
         rejected: list[RejectedProposal] = []
-        config = None
-        for _ in range(self.max_rejects + 1):
-            config = draw()
-            if checker is None:
-                return config, rejected, None, None, None
-            power, memory = checker.predictions(config)
-            if checker.indicator(config):
-                return config, rejected, power, memory, True
-            rejected.append(RejectedProposal(config, power, memory))
+        remaining = self.max_rejects + 1
+        while remaining > 0:
+            chunk = min(self.screen_chunk, remaining)
+            configs = draw_many(chunk)
+            remaining -= chunk
+            accept, power, memory = _screen_batch(checker, configs)
+            for i, config in enumerate(configs):
+                p = _pred_at(power, i)
+                m = _pred_at(memory, i)
+                if accept[i]:
+                    return config, rejected, p, m, True
+                rejected.append(RejectedProposal(config, p, m))
         # Budget exhausted: evaluate the last draw anyway (flagged invalid).
         last = rejected.pop()
         return last.config, rejected, last.power_pred_w, last.memory_pred_bytes, False
@@ -190,7 +243,7 @@ class RandomSearch(_ModelScreeningMixin, SearchMethod):
 
     def propose(self, state, rng):
         config, rejected, power, memory, feasible = self._screen(
-            lambda: self.space.sample(rng), self.checker
+            lambda n: self.space.sample_many(n, rng), self.checker
         )
         return Proposal(
             config=config,
@@ -237,11 +290,14 @@ class RandomWalk(_ModelScreeningMixin, SearchMethod):
     def propose(self, state, rng):
         incumbent = self._incumbent(state)
         if incumbent is None:
-            draw = lambda: self.space.sample(rng)  # noqa: E731
+            draw_many = lambda n: self.space.sample_many(n, rng)  # noqa: E731
         else:
-            draw = lambda: self.space.neighbor(incumbent, self.sigma, rng)  # noqa: E731
+            draw_many = lambda n: [  # noqa: E731
+                self.space.neighbor(incumbent, self.sigma, rng)
+                for _ in range(n)
+            ]
         config, rejected, power, memory, feasible = self._screen(
-            draw, self.checker
+            draw_many, self.checker
         )
         return Proposal(
             config=config,
@@ -278,6 +334,12 @@ class GridSearch(_ModelScreeningMixin, SearchMethod):
             raise ValueError("resolution must be >= 2")
         self.checker = checker
         self._resolution = resolution
+        #: Grid points already batch-screened but not yet proposed, as
+        #: ``(config, accept, power_pred, memory_pred)`` tuples.  Unlike the
+        #: i.i.d. methods, grid search cannot discard drawn-but-unused
+        #: candidates (it would skip grid points), so screened chunks are
+        #: buffered across ``propose`` calls.
+        self._pending: list[tuple[Configuration, bool, float | None, float | None]] = []
         self._reset_grid(resolution)
 
     def _reset_grid(self, resolution: int) -> None:
@@ -312,16 +374,39 @@ class GridSearch(_ModelScreeningMixin, SearchMethod):
             self._exhausted = True
         return config
 
+    def _refill_pending(self) -> None:
+        batch = [self._advance() for _ in range(self.screen_chunk)]
+        accept, power, memory = _screen_batch(self.checker, batch)
+        for i, config in enumerate(batch):
+            self._pending.append(
+                (config, bool(accept[i]), _pred_at(power, i), _pred_at(memory, i))
+            )
+
     def propose(self, state, rng):
-        config, rejected, power, memory, feasible = self._screen(
-            self._advance, self.checker
-        )
+        if self.checker is None:
+            return Proposal(config=self._advance())
+        rejected: list[RejectedProposal] = []
+        for _ in range(self.max_rejects + 1):
+            if not self._pending:
+                self._refill_pending()
+            config, ok, power, memory = self._pending.pop(0)
+            if ok:
+                return Proposal(
+                    config=config,
+                    rejected=tuple(rejected),
+                    power_pred_w=power,
+                    memory_pred_bytes=memory,
+                    feasible_pred=True,
+                )
+            rejected.append(RejectedProposal(config, power, memory))
+        # Budget exhausted: evaluate the last grid point anyway.
+        last = rejected.pop()
         return Proposal(
-            config=config,
+            config=last.config,
             rejected=tuple(rejected),
-            power_pred_w=power,
-            memory_pred_bytes=memory,
-            feasible_pred=feasible,
+            power_pred_w=last.power_pred_w,
+            memory_pred_bytes=last.memory_pred_bytes,
+            feasible_pred=False,
         )
 
 
@@ -384,19 +469,30 @@ class BayesianOptimizer(SearchMethod):
 
     # -- helpers ------------------------------------------------------------------
 
+    #: Candidates drawn and screened per vectorised model call.
+    screen_chunk = 64
+
     def _screened_random(
         self, rng: np.random.Generator, limit: int = 5000
     ) -> tuple[Configuration, int]:
-        """A uniform config passing the a-priori models, and checks spent."""
-        checks = 0
-        config = self.space.sample(rng)
+        """A uniform config passing the a-priori models, and checks spent.
+
+        Draws are screened chunk-wise through ``indicator_batch``; the
+        returned check count is the number of candidates *examined* (what a
+        serial loop would have charged the clock for), not the number drawn.
+        """
         if self.model_checker is None:
-            return config, checks
-        for _ in range(limit):
-            checks += 1
-            if self.model_checker.indicator(config):
-                return config, checks
-            config = self.space.sample(rng)
+            return self.space.sample(rng), 0
+        checks = 0
+        config = None
+        while checks < limit:
+            chunk = min(self.screen_chunk, limit - checks)
+            configs = self.space.sample_many(chunk, rng)
+            accept = _indicator_batch(self.model_checker, configs)
+            for i, config in enumerate(configs):
+                checks += 1
+                if accept[i]:
+                    return config, checks
         return config, checks
 
     def _candidate_pool(

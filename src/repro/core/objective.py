@@ -119,3 +119,50 @@ class NNObjective:
             feasible_meas=feasible,
             cost_s=cost,
         )
+
+    def evaluate_seeded(
+        self, config: Mapping, seed: int, early_term: bool = False
+    ) -> EvaluationOutcome:
+        """Side-effect-free evaluation for the batch-parallel engine.
+
+        Unlike :meth:`evaluate`, this neither advances the clock nor
+        consumes the objective's shared RNG stream: every noise source
+        (training luck, sensor sampling) derives from ``seed``, so the same
+        ``(config, seed)`` pair yields a bit-identical outcome on any
+        worker — serial, thread, or a forked process.  The caller (the
+        :class:`~repro.core.parallel.EvaluationPool` driver) owns the
+        clock accounting.
+        """
+        self.space.validate(config)
+        stop_callback = (
+            self.early_termination.should_stop if early_term else None
+        )
+        run_seq, profile_seq = np.random.SeedSequence(int(seed)).spawn(2)
+        result = self.trainer.train(
+            config, np.random.default_rng(run_seq), stop_callback=stop_callback
+        )
+
+        network = build_network(self.dataset_name, config)
+        # A per-trial profiler: the shared one's sensor-noise stream is
+        # order-dependent, which parallel evaluation must not be.
+        profiler = HardwareProfiler(
+            self.profiler.device,
+            np.random.default_rng(profile_seq),
+            batch=self.profiler.batch,
+            duration_s=self.profiler.duration_s,
+            sample_hz=self.profiler.sample_hz,
+        )
+        measurement = profiler.profile(network)
+        feasible = self.spec.measured_feasible(
+            measurement.power_w, measurement.memory_bytes, measurement.latency_s
+        )
+        return EvaluationOutcome(
+            error=result.best_error,
+            final_error=result.final_error,
+            epochs_run=result.epochs_run,
+            stopped_early=result.stopped_early,
+            diverged=result.diverged,
+            measurement=measurement,
+            feasible_meas=feasible,
+            cost_s=result.wall_time_s + measurement.duration_s,
+        )

@@ -1,0 +1,326 @@
+"""The batch-parallel evaluation engine.
+
+HyperPower's economics (paper Section 3, Figure 2) put constraint checks
+at milliseconds and trainings at minutes; once screening is vectorised the
+remaining bottleneck is the trainings themselves.  This module parallelises
+them without giving up the framework's determinism guarantees:
+
+* :class:`EvaluationPool` dispatches accepted proposals to a configurable
+  worker backend — ``serial`` (in-process loop), ``thread``
+  (:class:`~concurrent.futures.ThreadPoolExecutor`) or ``process``
+  (:class:`~concurrent.futures.ProcessPoolExecutor`).  Every trial gets a
+  deterministic seed derived from the pool seed and a submission counter,
+  and is evaluated through :meth:`~repro.core.objective.NNObjective.
+  evaluate_seeded`, so all three backends produce bit-identical outcomes
+  in submission order.
+* :class:`TrialCache` memoises outcomes under a canonical configuration
+  hash, so duplicate proposals — common under Rand-Walk (which hovers
+  around its incumbent) and grid search (which revisits coarse grids) —
+  cost a hash probe instead of a training.
+* Simulated-clock accounting models *q-parallel wall time*: a batch of
+  fresh trainings advances the clock by the ``max`` of their costs (they
+  run concurrently), not the sum; cache hits advance it by the near-zero
+  lookup cost.  The driver (:class:`~repro.core.hyperpower.HyperPower`)
+  applies this via :meth:`EvaluationPool.batch_wall_time_s`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping, Sequence
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from .objective import EvaluationOutcome, NNObjective
+
+__all__ = [
+    "BACKENDS",
+    "canonical_config_key",
+    "TrialCache",
+    "PoolOutcome",
+    "EvaluationPool",
+]
+
+#: Supported worker backends, in increasing isolation order.
+BACKENDS = ("serial", "thread", "process")
+
+
+def _canonical_value(value):
+    """Normalise a configuration value for hashing (NumPy scalars included)."""
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, str):
+        return value
+    raise TypeError(
+        f"unhashable configuration value {value!r} of type {type(value).__name__}"
+    )
+
+
+def canonical_config_key(config: Mapping) -> str:
+    """A canonical hash of a configuration.
+
+    Stable under dict ordering (keys are sorted) and NumPy scalar types
+    (values are normalised to native Python numbers before serialisation);
+    floats serialise via their shortest round-trip repr, so two configs
+    hash equal exactly when they are value-equal.
+    """
+    payload = json.dumps(
+        {str(k): _canonical_value(v) for k, v in config.items()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class TrialCache:
+    """Memoised evaluation outcomes keyed by canonical configuration hash."""
+
+    def __init__(self, max_size: int | None = None):
+        if max_size is not None and max_size < 1:
+            raise ValueError("max_size must be >= 1 (or None for unbounded)")
+        self.max_size = max_size
+        self._store: dict[str, EvaluationOutcome] = {}
+        #: Lookup counters, surfaced in run results and reports.
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups performed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit; 0.0 before any lookup."""
+        return 0.0 if self.lookups == 0 else self.hits / self.lookups
+
+    @staticmethod
+    def key(config: Mapping) -> str:
+        """The canonical hash this cache keys on."""
+        return canonical_config_key(config)
+
+    def get(self, key: str) -> EvaluationOutcome | None:
+        """Look a key up, counting the hit or miss."""
+        outcome = self._store.get(key)
+        if outcome is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return outcome
+
+    def lookup(self, config: Mapping) -> EvaluationOutcome | None:
+        """Look a configuration up, counting the hit or miss."""
+        return self.get(self.key(config))
+
+    def put(self, key: str, outcome: EvaluationOutcome) -> None:
+        """Store an outcome, evicting the oldest entry when full (FIFO)."""
+        if self.max_size is not None and key not in self._store:
+            while len(self._store) >= self.max_size:
+                self._store.pop(next(iter(self._store)))
+        self._store[key] = outcome
+
+    def store(self, config: Mapping, outcome: EvaluationOutcome) -> None:
+        """Store a configuration's outcome."""
+        self.put(self.key(config), outcome)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass(frozen=True)
+class PoolOutcome:
+    """One batch slot's result: the outcome plus its provenance."""
+
+    #: The evaluation outcome (fresh or replayed from the cache).
+    outcome: EvaluationOutcome
+    #: Whether the result came from the trial cache.
+    cached: bool
+    #: The deterministic seed the trial ran under (None for cache hits).
+    seed: int | None
+
+
+def _evaluate_task(
+    objective: NNObjective, config: Mapping, seed: int, early_term: bool
+) -> EvaluationOutcome:
+    """Module-level task body so the process backend can pickle it."""
+    return objective.evaluate_seeded(config, seed, early_term=early_term)
+
+
+class EvaluationPool:
+    """Dispatch accepted proposals to a worker backend, deterministically.
+
+    Parameters
+    ----------
+    objective:
+        The objective whose :meth:`~repro.core.objective.NNObjective.
+        evaluate_seeded` evaluates each trial.  For the ``process`` backend
+        it must be picklable (all simulator components are).
+    backend:
+        ``'serial'``, ``'thread'`` or ``'process'``.
+    workers:
+        ``q``, the number of concurrent trainings — both the executor's
+        worker count and the batch size the driver proposes per round.
+    cache:
+        Optional :class:`TrialCache`; ``None`` disables caching.
+    seed:
+        Root of the per-trial seed stream.  Trial ``i`` (in submission
+        order, cache hits excluded from the numbering's RNG use but not
+        its count) runs under ``SeedSequence([seed, i])``, so results are
+        independent of the backend and of worker scheduling.
+    """
+
+    def __init__(
+        self,
+        objective: NNObjective,
+        backend: str = "serial",
+        workers: int = 1,
+        cache: TrialCache | None = None,
+        seed: int = 0,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.objective = objective
+        self.backend = backend
+        self.workers = int(workers)
+        self.cache = cache
+        self.seed = int(seed)
+        #: This pool's own lookup counters.  They track the same events as
+        #: the cache's, but only for lookups issued *through this pool* —
+        #: the distinction matters when one cache is shared across runs.
+        self.hits = 0
+        self.misses = 0
+        self._counter = 0
+        self._executor: Executor | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _get_executor(self) -> Executor:
+        if self._executor is None:
+            if self.backend == "thread":
+                self._executor = ThreadPoolExecutor(max_workers=self.workers)
+            else:
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the executor down (no-op for the serial backend)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "EvaluationPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- evaluation ------------------------------------------------------------
+
+    def _next_seed(self) -> int:
+        """The next trial's deterministic seed (submission-order counter)."""
+        seed = int(
+            np.random.SeedSequence([self.seed, self._counter]).generate_state(1)[0]
+        )
+        self._counter += 1
+        return seed
+
+    def evaluate_batch(
+        self, configs: Sequence[Mapping], early_term: bool = False
+    ) -> list[PoolOutcome]:
+        """Evaluate a batch of accepted proposals; results in input order.
+
+        Cache hits are resolved without dispatching; duplicate configs
+        *within* the batch share one evaluation (the later slots count as
+        cache hits).  Fresh evaluations get deterministic per-trial seeds
+        and run on the configured backend.
+        """
+        n = len(configs)
+        outcomes: list[PoolOutcome | None] = [None] * n
+        # (slot, config, seed) of fresh work, plus the key each slot fills.
+        fresh: list[tuple[int, Mapping, int]] = []
+        pending: dict[str, list[int]] = {}  # key -> duplicate slots
+        keys: list[str | None] = [None] * n
+
+        for i, config in enumerate(configs):
+            if self.cache is None:
+                fresh.append((i, config, self._next_seed()))
+                continue
+            key = self.cache.key(config)
+            keys[i] = key
+            if key in pending:
+                # Duplicate within this batch: reuse the in-flight result.
+                self.cache.hits += 1
+                self.hits += 1
+                pending[key].append(i)
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.hits += 1
+                outcomes[i] = PoolOutcome(cached, cached=True, seed=None)
+            else:
+                self.misses += 1
+                pending[key] = []
+                fresh.append((i, config, self._next_seed()))
+
+        results = self._run_fresh(fresh, early_term)
+        for (slot, config, seed), outcome in zip(fresh, results):
+            outcomes[slot] = PoolOutcome(outcome, cached=False, seed=seed)
+            if self.cache is not None:
+                key = keys[slot]
+                self.cache.put(key, outcome)
+                for duplicate in pending.get(key, ()):
+                    outcomes[duplicate] = PoolOutcome(
+                        outcome, cached=True, seed=None
+                    )
+        return outcomes  # type: ignore[return-value]
+
+    def _run_fresh(
+        self, tasks: list[tuple[int, Mapping, int]], early_term: bool
+    ) -> list[EvaluationOutcome]:
+        if not tasks:
+            return []
+        if self.backend == "serial":
+            return [
+                _evaluate_task(self.objective, config, seed, early_term)
+                for _, config, seed in tasks
+            ]
+        executor = self._get_executor()
+        futures = [
+            executor.submit(_evaluate_task, self.objective, config, seed, early_term)
+            for _, config, seed in tasks
+        ]
+        return [f.result() for f in futures]
+
+    # -- q-parallel time accounting --------------------------------------------
+
+    @staticmethod
+    def batch_wall_time_s(
+        outcomes: Sequence[PoolOutcome], cache_lookup_s: float
+    ) -> float:
+        """Simulated wall time of one batch under q-parallel execution.
+
+        Fresh trainings run concurrently on the workers, so they cost the
+        ``max`` of their individual costs — not the sum the sequential
+        driver would charge.  Cache hits are serial hash probes at
+        ``cache_lookup_s`` each.
+        """
+        fresh = [po.outcome.cost_s for po in outcomes if not po.cached]
+        n_cached = sum(1 for po in outcomes if po.cached)
+        return n_cached * cache_lookup_s + (max(fresh) if fresh else 0.0)

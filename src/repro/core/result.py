@@ -34,6 +34,9 @@ class TrialStatus(enum.Enum):
     REJECTED_MODEL = "rejected-by-model"
     EARLY_TERMINATED = "early-terminated"
     COMPLETED = "completed"
+    #: Accepted proposal whose outcome was replayed from the trial cache
+    #: (a duplicate of an earlier training) at near-zero clock cost.
+    CACHED = "cached"
 
 
 @dataclass(frozen=True)
@@ -73,7 +76,8 @@ class Trial:
 
     @property
     def was_trained(self) -> bool:
-        """Whether any training epochs were spent on this sample."""
+        """Whether this sample carries a training outcome (a cached sample
+        replays one, so it counts — its error is a usable observation)."""
         return self.status is not TrialStatus.REJECTED_MODEL
 
     @property
@@ -99,6 +103,9 @@ class RunResult:
     wall_time_s: float = 0.0
     #: Chance-level error used when a run finds no feasible point.
     chance_error: float = 0.9
+    #: Trial-cache lookup counters (0/0 when the run had no cache).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     # -- counting ----------------------------------------------------------------
 
@@ -121,6 +128,23 @@ class RunResult:
     def n_violations(self) -> int:
         """Deployed samples that violated the measured constraints."""
         return sum(1 for t in self.trials if t.is_violation)
+
+    @property
+    def n_cached(self) -> int:
+        """Samples whose outcome was replayed from the trial cache."""
+        return sum(1 for t in self.trials if t.status is TrialStatus.CACHED)
+
+    @property
+    def cache_lookups(self) -> int:
+        """Total trial-cache lookups performed during the run."""
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups that hit; 0.0 without a cache."""
+        if self.cache_lookups == 0:
+            return 0.0
+        return self.cache_hits / self.cache_lookups
 
     def violation_counts(self) -> np.ndarray:
         """Cumulative violations after each queried sample (Figure 4 center)."""

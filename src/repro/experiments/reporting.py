@@ -19,6 +19,8 @@ __all__ = [
     "speedup_text",
     "hours_text",
     "render_table",
+    "cache_text",
+    "run_summary",
 ]
 
 
@@ -63,6 +65,42 @@ def hours_text(values: Sequence[float]) -> str:
     if 0 < mean < 0.01:
         return f"{mean:.4f}"
     return f"{mean:.2f}"
+
+
+def cache_text(run) -> str:
+    """``'hits=3 misses=17 hit_rate=15.00%'`` cache cell for one run.
+
+    Returns ``'--'`` when the run never consulted a trial cache (no
+    lookups recorded), so the sequential paper protocol renders cleanly.
+    """
+    lookups = run.cache_hits + run.cache_misses
+    if lookups == 0:
+        return "--"
+    rate = run.cache_hits / lookups
+    return (
+        f"hits={run.cache_hits} misses={run.cache_misses} "
+        f"hit_rate={rate * 100:.2f}%"
+    )
+
+
+def run_summary(run) -> str:
+    """Multi-line human-readable summary of one run.
+
+    Includes the cache hit/miss counters whenever the run went through an
+    :class:`~repro.core.parallel.EvaluationPool` with caching enabled.
+    """
+    lines = [
+        f"method={run.method} variant={run.variant} "
+        f"dataset={run.dataset} device={run.device}",
+        f"trials={len(run.trials)} trained={run.n_trained} "
+        f"cached={run.n_cached} violations={run.n_violations}",
+        f"best_error={run.best_feasible_error * 100:.2f}% "
+        f"wall_time={run.wall_time_s / 3600.0:.2f}h",
+    ]
+    cache = cache_text(run)
+    if cache != "--":
+        lines.append(f"cache: {cache}")
+    return "\n".join(lines)
 
 
 def render_table(

@@ -27,6 +27,7 @@ from ..core.clock import DEFAULT_COST_MODEL, CostModel, SimClock
 from ..core.constraints import GIB, ConstraintSpec
 from ..core.hyperpower import HyperPower, build_method
 from ..core.objective import NNObjective
+from ..core.parallel import EvaluationPool, TrialCache
 from ..core.result import RunResult
 from ..hwsim.devices import GTX_1070, get_device
 from ..hwsim.profiler import HardwareProfiler
@@ -189,9 +190,27 @@ class ExperimentSetup:
         run_seed: int = 0,
         max_evaluations: int | None = None,
         max_time_s: float | None = None,
+        backend: str | None = None,
+        workers: int = 1,
+        use_cache: bool = True,
+        cache: TrialCache | None = None,
         **method_kwargs,
     ) -> RunResult:
-        """Build and run one method variant under the given budget."""
+        """Build and run one method variant under the given budget.
+
+        ``backend`` (``'serial'``/``'thread'``/``'process'``) routes
+        evaluations through a :class:`~repro.core.parallel.EvaluationPool`
+        with ``workers`` concurrent trainings and (unless ``use_cache`` is
+        False) a trial cache; the three backends are seeded identically,
+        so they yield the same :class:`~repro.core.result.RunResult`.
+        ``backend=None`` runs the paper's sequential loop.
+
+        Pass ``cache`` to share one :class:`TrialCache` across several runs
+        (warm-cache replay: because runs are deterministic, re-running the
+        same seeded configuration against a populated cache replays every
+        training at lookup cost).  The counters copied into the result are
+        this run's lookups only, not the shared cache's lifetime totals.
+        """
         method = build_method(
             solver,
             variant,
@@ -207,13 +226,35 @@ class ExperimentSetup:
 
         tag = zlib.crc32(f"{solver}/{variant}".encode("utf-8"))
         objective = self.new_objective(int(run_seed) * 0x10000 + (tag & 0xFFFF))
-        driver = HyperPower(objective, method, variant, self.cost_model)
+        pool = None
+        if backend is not None:
+            pool_seed = int(
+                np.random.SeedSequence(
+                    [self.seed, 5, int(run_seed), tag]
+                ).generate_state(1)[0]
+            )
+            if cache is None and use_cache:
+                cache = TrialCache()
+            pool = EvaluationPool(
+                objective,
+                backend=backend,
+                workers=workers,
+                cache=cache,
+                seed=pool_seed,
+            )
+        driver = HyperPower(
+            objective, method, variant, self.cost_model, pool=pool
+        )
         rng = np.random.default_rng(
             np.random.SeedSequence([self.seed, 4, int(run_seed), tag])
         )
-        return driver.run(
-            rng, max_evaluations=max_evaluations, max_time_s=max_time_s
-        )
+        try:
+            return driver.run(
+                rng, max_evaluations=max_evaluations, max_time_s=max_time_s
+            )
+        finally:
+            if pool is not None:
+                pool.close()
 
 
 def quick_setup(

@@ -85,6 +85,8 @@ def run_to_dict(run: RunResult) -> dict:
         "device": run.device,
         "wall_time_s": run.wall_time_s,
         "chance_error": run.chance_error,
+        "cache_hits": run.cache_hits,
+        "cache_misses": run.cache_misses,
         "trials": [trial_to_dict(t) for t in run.trials],
     }
 
@@ -98,6 +100,8 @@ def run_from_dict(data: dict) -> RunResult:
         device=data["device"],
         wall_time_s=float(data.get("wall_time_s", 0.0)),
         chance_error=float(data.get("chance_error", 0.9)),
+        cache_hits=int(data.get("cache_hits", 0)),
+        cache_misses=int(data.get("cache_misses", 0)),
     )
     run.trials = [trial_from_dict(t) for t in data.get("trials", [])]
     return run

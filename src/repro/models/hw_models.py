@@ -111,6 +111,23 @@ class HardwareModel:
         """Vectorised prediction over an ``(n, J)`` design matrix."""
         return self._model.predict(Z)
 
+    def predict_batch(self, Z: np.ndarray) -> np.ndarray:
+        """Batch prediction over an ``(n, J)`` design matrix of structural
+        vectors — one NumPy call for a whole candidate set.
+
+        This is the entry point the batch-parallel evaluation engine uses
+        to screen thousands of candidates per call.  It computes the same
+        ``Z @ w`` product as ``predict_z`` applied row by row; the BLAS
+        batch kernel may round differently in the last ulp, which is many
+        orders of magnitude below the residual margins screening applies.
+        """
+        return self._model.predict(Z)
+
+    def predict_configs(self, configs, validate: bool = True) -> np.ndarray:
+        """Batch prediction straight from configuration mappings."""
+        Z = self.space.structural_matrix(configs, validate=validate)
+        return self.predict_batch(Z)
+
     def satisfaction_probability(self, z: np.ndarray, budget: float) -> float:
         """``Pr(quantity(z) <= budget)`` under a Gaussian residual model.
 
@@ -125,6 +142,18 @@ class HardwareModel:
         from scipy.stats import norm
 
         return float(norm.cdf((budget - prediction) / sigma))
+
+    def satisfaction_probability_batch(
+        self, Z: np.ndarray, budget: float
+    ) -> np.ndarray:
+        """Vectorised ``Pr(quantity(z) <= budget)`` over an ``(n, J)`` batch."""
+        if self.residual_std_ is None:
+            raise RuntimeError("satisfaction_probability_batch() before fit()")
+        predictions = self.predict_batch(Z)
+        sigma = max(self.residual_std_, 1e-12)
+        from scipy.stats import norm
+
+        return norm.cdf((budget - predictions) / sigma)
 
     def __repr__(self) -> str:
         state = "fitted" if self.is_fitted else "unfitted"

@@ -171,12 +171,26 @@ class SearchSpace:
             [float(config[name]) for name in self.structural_names], dtype=float
         )
 
-    def structural_matrix(self, configs: Iterable[Mapping]) -> np.ndarray:
-        """Stack structural vectors into an ``(n, J)`` design matrix."""
-        rows = [self.structural_vector(c) for c in configs]
+    def structural_matrix(
+        self, configs: Iterable[Mapping], validate: bool = True
+    ) -> np.ndarray:
+        """Stack structural vectors into an ``(n, J)`` design matrix.
+
+        ``validate=False`` skips the per-config range check — safe (and
+        much faster) when the configurations were produced by this space's
+        own ``sample``/``neighbor``/grid machinery, which is how the batch
+        screening path calls it.
+        """
+        names = self.structural_names
+        if validate:
+            rows = [self.structural_vector(c) for c in configs]
+        else:
+            rows = [
+                [float(c[name]) for name in names] for c in configs
+            ]
         if not rows:
             return np.empty((0, self.structural_dimension))
-        return np.vstack(rows)
+        return np.asarray(rows, dtype=float)
 
     # -- random-walk neighbourhood (Section 3.5, Rand-Walk) -------------------
 

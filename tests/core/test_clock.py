@@ -1,6 +1,10 @@
 """Tests for repro.core.clock."""
 
+import math
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.clock import DEFAULT_COST_MODEL, CostModel, SimClock
 
@@ -35,6 +39,51 @@ class TestSimClock:
 
     def test_custom_start(self):
         assert SimClock(60.0).now_s == 60.0
+
+    def test_rejects_nan_advance(self):
+        clock = SimClock()
+        with pytest.raises(ValueError, match="NaN"):
+            clock.advance(math.nan)
+        assert clock.now_s == 0.0  # rejected advance leaves time untouched
+
+    def test_rejects_infinite_advance(self):
+        clock = SimClock()
+        with pytest.raises(ValueError, match="infinite"):
+            clock.advance(math.inf)
+        with pytest.raises(ValueError):
+            clock.advance(-math.inf)
+
+    def test_negative_advance_message_is_clear(self):
+        with pytest.raises(ValueError, match="backwards"):
+            SimClock().advance(-0.001)
+
+    def test_zero_advance_is_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now_s == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            max_size=20,
+        )
+    )
+    def test_monotonic_under_any_advance_sequence(self, advances):
+        clock = SimClock()
+        previous = clock.now_s
+        for seconds in advances:
+            clock.advance(seconds)
+            assert clock.now_s >= previous
+            previous = clock.now_s
+        assert clock.now_s == pytest.approx(sum(advances))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    def test_hour_conversion(self, seconds):
+        clock = SimClock()
+        clock.advance(seconds)
+        assert clock.now_hours == pytest.approx(seconds / 3600.0)
 
 
 class TestCostModel:

@@ -1,0 +1,57 @@
+"""End-to-end determinism regression (guards future refactors).
+
+Every solver under both variants must produce a *byte-identical*
+best-error trajectory when re-run with the same seed: the whole framework
+— proposal RNG streams, chunked batch screening, GP fits, simulated
+profiling — is deterministic by construction, and any refactor that
+silently consumes randomness differently will trip these comparisons.
+"""
+
+import json
+
+import pytest
+
+from repro.core.hyperpower import SOLVERS, VARIANTS
+from repro.experiments.setup import quick_setup
+from repro.io import run_to_dict
+
+N_ITERATIONS = 20
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return quick_setup(
+        "mnist", "gtx1070", power_budget_w=85.0, memory_budget_gb=1.15,
+        seed=0, profiling_samples=100,
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("solver", sorted(SOLVERS))
+def test_rerun_is_byte_identical(setup, solver, variant):
+    first = setup.run(
+        solver, variant, run_seed=7, max_evaluations=N_ITERATIONS
+    )
+    second = setup.run(
+        solver, variant, run_seed=7, max_evaluations=N_ITERATIONS
+    )
+    assert first.n_trained == N_ITERATIONS
+    assert (
+        first.best_error_vs_samples().tobytes()
+        == second.best_error_vs_samples().tobytes()
+    )
+    # The full records agree too, not just the headline trajectory.
+    assert json.dumps(run_to_dict(first), sort_keys=True) == json.dumps(
+        run_to_dict(second), sort_keys=True
+    )
+
+
+@pytest.mark.slow
+def test_different_seeds_diverge(setup):
+    a = setup.run("Rand", "hyperpower", run_seed=0, max_evaluations=5)
+    b = setup.run("Rand", "hyperpower", run_seed=1, max_evaluations=5)
+    assert (
+        a.best_error_vs_samples().tobytes()
+        != b.best_error_vs_samples().tobytes()
+    )

@@ -1,0 +1,204 @@
+"""Tests for repro.core.parallel (the batch-parallel evaluation engine).
+
+Two invariant families guard the engine:
+
+* *screening soundness* — the vectorised ``screen_batch`` accepts exactly
+  the configurations the per-config ``indicator`` loop accepts, for
+  arbitrary candidate sets and budgets (property-based);
+* *backend determinism* — serial, thread, and process backends produce
+  identical seeded ``RunResult`` trial sequences, so parallelism never
+  changes what an experiment reports.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import GIB, ConstraintSpec, ModelConstraintChecker
+from repro.core.parallel import BACKENDS, EvaluationPool, TrialCache
+from repro.experiments.setup import quick_setup
+from repro.io import run_to_dict
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return quick_setup(
+        "mnist", "gtx1070", power_budget_w=85.0, memory_budget_gb=1.15,
+        seed=0, profiling_samples=100,
+    )
+
+
+# -- screening soundness ---------------------------------------------------------
+
+
+class TestBatchScreeningMatchesSerial:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sample_seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 64),
+        power_budget=st.floats(70.0, 120.0),
+        memory_budget_gib=st.floats(0.5, 2.0),
+    )
+    def test_accepts_exactly_what_serial_accepts(
+        self, setup, sample_seed, n, power_budget, memory_budget_gib
+    ):
+        spec = ConstraintSpec(
+            power_budget_w=power_budget,
+            memory_budget_bytes=memory_budget_gib * GIB,
+        )
+        checker = ModelConstraintChecker(
+            spec, setup.power_model, setup.memory_model
+        )
+        configs = setup.space.sample_many(
+            n, np.random.default_rng(sample_seed)
+        )
+        serial = np.array([checker.indicator(c) for c in configs])
+        accept, power, memory = checker.screen_batch(configs)
+        np.testing.assert_array_equal(accept, serial)
+        assert accept.shape == (n,)
+        assert power.shape == (n,)
+        assert memory.shape == (n,)
+
+    @settings(max_examples=10, deadline=None)
+    @given(sample_seed=st.integers(0, 2**32 - 1), n=st.integers(1, 64))
+    def test_power_only_spec(self, setup, sample_seed, n):
+        spec = ConstraintSpec(power_budget_w=85.0)
+        checker = ModelConstraintChecker(spec, setup.power_model, None)
+        configs = setup.space.sample_many(n, np.random.default_rng(sample_seed))
+        serial = np.array([checker.indicator(c) for c in configs])
+        accept, power, memory = checker.screen_batch(configs)
+        np.testing.assert_array_equal(accept, serial)
+        assert memory is None
+
+    @settings(max_examples=10, deadline=None)
+    @given(sample_seed=st.integers(0, 2**32 - 1), n=st.integers(1, 32))
+    def test_satisfaction_probability_batch(self, setup, sample_seed, n):
+        spec = ConstraintSpec(
+            power_budget_w=85.0, memory_budget_bytes=1.15 * GIB
+        )
+        checker = ModelConstraintChecker(
+            spec, setup.power_model, setup.memory_model
+        )
+        configs = setup.space.sample_many(n, np.random.default_rng(sample_seed))
+        serial = np.array(
+            [checker.satisfaction_probability(c) for c in configs]
+        )
+        batch = checker.satisfaction_probability_batch(configs)
+        np.testing.assert_allclose(batch, serial, rtol=1e-12)
+
+
+# -- pool mechanics --------------------------------------------------------------
+
+
+class TestEvaluationPool:
+    def test_rejects_unknown_backend(self, setup):
+        objective = setup.new_objective(0)
+        with pytest.raises(ValueError, match="unknown backend"):
+            EvaluationPool(objective, backend="mpi")
+
+    def test_rejects_nonpositive_workers(self, setup):
+        objective = setup.new_objective(0)
+        with pytest.raises(ValueError, match="workers"):
+            EvaluationPool(objective, workers=0)
+
+    def test_seeded_outcomes_identical_across_backends(self, setup):
+        configs = setup.space.sample_many(4, np.random.default_rng(3))
+        per_backend = {}
+        for backend in BACKENDS:
+            objective = setup.new_objective(0)
+            with EvaluationPool(
+                objective, backend=backend, workers=2, seed=11
+            ) as pool:
+                outcomes = pool.evaluate_batch(configs)
+            per_backend[backend] = [
+                (po.outcome.error, po.outcome.cost_s, po.seed)
+                for po in outcomes
+            ]
+        assert per_backend["serial"] == per_backend["thread"]
+        assert per_backend["serial"] == per_backend["process"]
+
+    def test_evaluation_does_not_touch_clock_or_shared_rng(self, setup):
+        objective = setup.new_objective(0)
+        state_before = objective._rng.bit_generator.state
+        with EvaluationPool(objective, seed=5) as pool:
+            pool.evaluate_batch(setup.space.sample_many(2, np.random.default_rng(0)))
+        assert objective.clock.now_s == 0.0
+        assert objective._rng.bit_generator.state == state_before
+
+    def test_within_batch_duplicates_share_one_evaluation(self, setup):
+        objective = setup.new_objective(0)
+        config = setup.space.sample(np.random.default_rng(1))
+        with EvaluationPool(objective, cache=TrialCache(), seed=2) as pool:
+            outcomes = pool.evaluate_batch([config, dict(config), config])
+        assert [po.cached for po in outcomes] == [False, True, True]
+        assert pool.hits == 2 and pool.misses == 1
+        # All three slots carry the one fresh outcome.
+        assert len({id(po.outcome) for po in outcomes}) == 1
+
+    def test_batch_wall_time_is_max_not_sum(self):
+        class _Outcome:
+            def __init__(self, cost):
+                self.cost_s = cost
+
+        from repro.core.parallel import PoolOutcome
+
+        outcomes = [
+            PoolOutcome(_Outcome(100.0), cached=False, seed=1),
+            PoolOutcome(_Outcome(40.0), cached=False, seed=2),
+            PoolOutcome(_Outcome(7.0), cached=True, seed=None),
+        ]
+        wall = EvaluationPool.batch_wall_time_s(outcomes, cache_lookup_s=0.01)
+        assert wall == pytest.approx(100.0 + 0.01)
+
+    def test_batch_wall_time_all_cached(self):
+        from repro.core.parallel import PoolOutcome
+
+        class _Outcome:
+            cost_s = 55.0
+
+        outcomes = [PoolOutcome(_Outcome(), cached=True, seed=None)] * 3
+        assert EvaluationPool.batch_wall_time_s(
+            outcomes, cache_lookup_s=0.01
+        ) == pytest.approx(0.03)
+
+
+# -- backend determinism, end to end ---------------------------------------------
+
+
+class TestBackendDeterminism:
+    @pytest.mark.parametrize("solver", ["Rand-Walk", "HW-CWEI"])
+    def test_backends_produce_identical_run_results(self, setup, solver):
+        payloads = {}
+        for backend in BACKENDS:
+            result = setup.run(
+                solver,
+                "hyperpower",
+                run_seed=1,
+                max_evaluations=6,
+                backend=backend,
+                workers=2,
+            )
+            payloads[backend] = json.dumps(run_to_dict(result), sort_keys=True)
+        assert payloads["serial"] == payloads["thread"]
+        assert payloads["serial"] == payloads["process"]
+
+    def test_pooled_serial_single_worker_matches_itself(self, setup):
+        a = setup.run(
+            "Rand", "hyperpower", run_seed=2, max_evaluations=5,
+            backend="serial",
+        )
+        b = setup.run(
+            "Rand", "hyperpower", run_seed=2, max_evaluations=5,
+            backend="serial",
+        )
+        assert json.dumps(run_to_dict(a)) == json.dumps(run_to_dict(b))
+
+    def test_worker_count_caps_at_remaining_budget(self, setup):
+        result = setup.run(
+            "Rand", "hyperpower", run_seed=0, max_evaluations=5,
+            backend="serial", workers=4,
+        )
+        assert result.n_trained == 5
