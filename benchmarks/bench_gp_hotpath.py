@@ -1,0 +1,214 @@
+"""Benchmark: the fast GP surrogate hot path vs the seed's fit loop.
+
+Three acceptance checks for the surrogate engine (ISSUE 2):
+
+1. **Gradient correctness** — the fused analytic NLML gradient matches
+   central finite differences to ``rtol 1e-5`` for Matérn-5/2 and RBF over
+   random hyper-parameter draws.
+2. **Incremental exactness** — a posterior grown by rank-1 Cholesky
+   appends matches the from-scratch recompute at the same
+   hyper-parameters to ``atol 1e-8`` (mean and variance).
+3. **Speedup** — on a sequential 100-observation fit-predict loop, the
+   fast path (analytic gradients + warm-started scheduled refits + rank-1
+   appends) beats the seed path (fresh GP per round, finite-difference
+   multi-restart fit) by >= 3x wall-clock.
+
+Timings land in ``benchmarks/out/BENCH_gp_hotpath.json`` (uploaded as a CI
+artifact) plus a human-readable ``gp_hotpath.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.gp.gp import GaussianProcess
+from repro.gp.kernels import RBF, Matern52
+from repro.gp.profile import SurrogateProfile
+
+from _shared import write_artifact
+
+DIM = 6
+N_OBS = 100
+N_INIT = 5
+N_TEST = 256
+REFIT_EVERY = 10
+MIN_SPEEDUP = 3.0
+GRAD_RTOL = 1e-5
+APPEND_ATOL = 1e-8
+
+_RESULTS: dict = {}
+
+
+def _objective(X: np.ndarray) -> np.ndarray:
+    return (
+        np.sin(3.0 * X[:, 0])
+        + X[:, 1] ** 2
+        + 0.5 * np.cos(5.0 * X[:, 2]) * X[:, 3]
+    )
+
+
+def _data(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, DIM))
+    y = _objective(X) + 0.02 * rng.normal(size=n)
+    return X, y
+
+
+def test_analytic_gradients_match_central_differences():
+    rng = np.random.default_rng(42)
+    X, y = _data(25, seed=1)
+    worst = 0.0
+    for kernel_cls in (Matern52, RBF):
+        gp = GaussianProcess(kernel=kernel_cls(DIM))
+        gp.fit(X, y, optimize_hypers=False)
+        for _ in range(10):
+            theta = gp._pack() + rng.normal(scale=0.7, size=gp._pack().shape)
+            _, grad = gp._nlml_value_and_grad(theta.copy())
+            # Central-difference the same fused value function, so the
+            # only disagreement left is truncation error.
+            eps = 1e-6
+            numeric = np.zeros_like(theta)
+            for j in range(theta.size):
+                hi, lo = theta.copy(), theta.copy()
+                hi[j] += eps
+                lo[j] -= eps
+                numeric[j] = (
+                    gp._nlml_value_and_grad(hi)[0]
+                    - gp._nlml_value_and_grad(lo)[0]
+                ) / (2.0 * eps)
+            np.testing.assert_allclose(
+                grad, numeric, rtol=GRAD_RTOL, atol=1e-7
+            )
+            denom = np.maximum(np.abs(numeric), 1e-7)
+            worst = max(worst, float(np.max(np.abs(grad - numeric) / denom)))
+    _RESULTS["grad_max_rel_err"] = worst
+
+
+def test_rank1_append_matches_full_recompute():
+    X, y = _data(N_OBS, seed=2)
+    incremental = GaussianProcess(kernel=Matern52(DIM))
+    incremental.fit(X[:N_INIT], y[:N_INIT], restarts=1,
+                    rng=np.random.default_rng(3))
+    for i in range(N_INIT, N_OBS):
+        incremental.append(X[i], y[i])
+
+    # Same hyper-parameters and target transform, posterior from scratch.
+    reference = GaussianProcess(
+        kernel=incremental.kernel.copy(),
+        noise_variance=incremental.noise_variance,
+        normalize_y=False,
+    )
+    reference.fit(
+        X, incremental._standardizer.transform(y), optimize_hypers=False
+    )
+    Xs = np.random.default_rng(4).uniform(size=(N_TEST, DIM))
+    mean_inc, var_inc = incremental.predict(Xs)
+    mean_ref = incremental._standardizer.inverse_mean(reference.predict(Xs)[0])
+    var_ref = incremental._standardizer.inverse_variance(
+        reference.predict(Xs)[1]
+    )
+    np.testing.assert_allclose(mean_inc, mean_ref, atol=APPEND_ATOL)
+    np.testing.assert_allclose(var_inc, var_ref, atol=APPEND_ATOL)
+    _RESULTS["append_max_abs_err"] = float(
+        max(np.max(np.abs(mean_inc - mean_ref)),
+            np.max(np.abs(var_inc - var_ref)))
+    )
+
+
+def _seed_loop(X: np.ndarray, y: np.ndarray, Xs: np.ndarray) -> None:
+    """The seed hot path: fresh GP + finite-difference fit every round."""
+    rng = np.random.default_rng(10)
+    for n in range(N_INIT, N_OBS + 1):
+        gp = GaussianProcess(kernel=Matern52(DIM))
+        gp.fit(X[:n], y[:n], restarts=2, rng=rng, gradient="numeric")
+        gp.predict(Xs)
+
+
+def _fast_loop(
+    X: np.ndarray, y: np.ndarray, Xs: np.ndarray, profile: SurrogateProfile
+) -> None:
+    """Analytic gradients + warm-started scheduled refits + rank-1 appends."""
+    rng = np.random.default_rng(10)
+    gp = GaussianProcess(kernel=Matern52(DIM), profile=profile)
+    last_refit = 0
+    for n in range(N_INIT, N_OBS + 1):
+        if n == N_INIT:
+            gp.fit(X[:n], y[:n], restarts=2, rng=rng)
+            last_refit = n
+        elif n - last_refit >= REFIT_EVERY:
+            # Warm start: theta of the previous fit, restarts decayed.
+            gp.fit(X[:n], y[:n], restarts=1, rng=rng)
+            last_refit = n
+        else:
+            gp.append(X[n - 1], y[n - 1])
+        gp.predict(Xs)
+
+
+def test_hotpath_speedup():
+    X, y = _data(N_OBS, seed=5)
+    Xs = np.random.default_rng(6).uniform(size=(N_TEST, DIM))
+
+    start = time.perf_counter()
+    _seed_loop(X, y, Xs)
+    t_seed = time.perf_counter() - start
+
+    profile = SurrogateProfile()
+    start = time.perf_counter()
+    _fast_loop(X, y, Xs, profile)
+    t_fast = time.perf_counter() - start
+
+    speedup = t_seed / t_fast
+    _RESULTS.update(
+        {
+            "n_observations": N_OBS,
+            "refit_every": REFIT_EVERY,
+            "seed_loop_s": t_seed,
+            "fast_loop_s": t_fast,
+            "speedup": speedup,
+            "stages": profile.as_dict(),
+        }
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast surrogate loop only {speedup:.1f}x faster than the seed "
+        f"path (needed {MIN_SPEEDUP}x): seed {t_seed:.2f} s, "
+        f"fast {t_fast:.2f} s"
+    )
+
+    write_artifact(
+        "BENCH_gp_hotpath.json", json.dumps(_RESULTS, indent=1) + "\n"
+    )
+    stage_lines = [
+        f"  {stage:12s} {info['seconds'] * 1e3:9.1f} ms  "
+        f"{info['calls']:5d} calls"
+        for stage, info in _RESULTS["stages"].items()
+    ]
+    write_artifact(
+        "gp_hotpath.txt",
+        "\n".join(
+            [
+                f"observations          {N_OBS}",
+                f"grad max rel err      {_RESULTS['grad_max_rel_err']:.3g}",
+                f"append max abs err    {_RESULTS['append_max_abs_err']:.3g}",
+                f"seed loop (FD fits)   {t_seed:.2f} s",
+                f"fast loop             {t_fast:.2f} s",
+                f"speedup               {speedup:.1f}x",
+                "fast-loop stages:",
+            ]
+            + stage_lines
+        )
+        + "\n",
+    )
+
+
+if __name__ == "__main__":
+    from pathlib import Path
+
+    test_analytic_gradients_match_central_differences()
+    test_rank1_append_matches_full_recompute()
+    test_hotpath_speedup()
+    print(
+        (Path(__file__).resolve().parent / "out" / "gp_hotpath.txt").read_text()
+    )

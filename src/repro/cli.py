@@ -113,6 +113,13 @@ def _cmd_run(args) -> None:
         kwargs["max_time_s"] = args.hours * 3600.0
     if not kwargs:
         kwargs["max_time_s"] = pair.time_budget_s
+    if args.gp_refit_every < 1:
+        raise SystemExit("--gp-refit-every must be >= 1")
+    if args.gp_restarts < 0:
+        raise SystemExit("--gp-restarts must be >= 0")
+    kwargs["gp_restarts"] = args.gp_restarts
+    kwargs["gp_refit_every"] = args.gp_refit_every
+    kwargs["gp_warm_start"] = args.gp_warm_start
     if args.backend is not None:
         if args.workers < 1:
             raise SystemExit("--workers must be >= 1")
@@ -178,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--evaluations", type=int, default=None)
     p.add_argument("--hours", type=float, default=None)
     p.add_argument("--run-seed", type=int, default=0)
+    p.add_argument("--gp-refit-every", type=int, default=1,
+                   help="re-optimize BO surrogate hyper-parameters every N "
+                        "trained observations, rank-1-appending in between "
+                        "(default 1: refit every round, the paper's loop)")
+    p.add_argument("--gp-restarts", type=int, default=2,
+                   help="random restarts per surrogate hyper-refit")
+    p.add_argument("--gp-warm-start", action="store_true",
+                   help="warm-start surrogate refits from the previous fit "
+                        "(decays restarts to 1 after burn-in)")
     p.add_argument("--backend", default=None,
                    choices=["serial", "thread", "process"],
                    help="evaluate accepted proposals through an "

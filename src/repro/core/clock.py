@@ -94,9 +94,23 @@ class CostModel:
     #: Quadratic-in-observations part of one GP refit, s per observation^2.
     gp_fit_per_obs2_s: float = 5e-4
 
+    #: Fixed part of one rank-1 posterior append (no hyper-opt), s.
+    gp_append_base_s: float = 0.02
+
+    #: Linear-in-observations part of one rank-1 append, s per observation.
+    #: The update itself is O(n^2) but with a constant so small that a
+    #: linear model with a tiny slope captures it at the n this framework
+    #: reaches; what matters for the clock is that appends stay orders of
+    #: magnitude below a full refit.
+    gp_append_per_obs_s: float = 1e-4
+
     def gp_fit_s(self, n_observations: int) -> float:
         """Cost of refitting the surrogate on ``n_observations`` points, s."""
         return self.gp_fit_base_s + self.gp_fit_per_obs2_s * n_observations**2
+
+    def gp_append_s(self, n_observations: int) -> float:
+        """Cost of one rank-1 posterior append at ``n_observations``, s."""
+        return self.gp_append_base_s + self.gp_append_per_obs_s * n_observations
 
 
 #: Costs used by all experiments unless overridden.

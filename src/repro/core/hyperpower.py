@@ -65,11 +65,19 @@ def build_method(
     sigma: float = _DEFAULT_SIGMA,
     n_init: int = 5,
     pool_size: int = 1000,
+    gp_restarts: int = 2,
+    gp_refit_every: int = 1,
+    gp_warm_start: bool = False,
+    gp_burn_in: int = 15,
 ) -> SearchMethod:
     """Construct one of the eight method variants.
 
     HyperPower variants need the fitted predictive models matching the
-    active budgets; default variants must not receive them.
+    active budgets; default variants must not receive them.  The ``gp_*``
+    knobs configure the BO solvers' surrogate hot path (restart count,
+    hyper-refit cadence, warm starting — see
+    :class:`~repro.core.methods.BayesianOptimizer`) and are ignored by the
+    model-free solvers.
     """
     if solver not in SOLVERS:
         raise ValueError(f"unknown solver {solver!r}; expected one of {SOLVERS}")
@@ -95,6 +103,10 @@ def build_method(
             model_checker=checker,
             n_init=n_init,
             pool_size=pool_size,
+            gp_restarts=gp_restarts,
+            refit_every=gp_refit_every,
+            warm_start=gp_warm_start,
+            burn_in=gp_burn_in,
         )
 
     # Default (constraint-unaware-a-priori) variants.
@@ -110,6 +122,10 @@ def build_method(
         learned_constraints=learned,
         n_init=n_init,
         pool_size=pool_size,
+        gp_restarts=gp_restarts,
+        refit_every=gp_refit_every,
+        warm_start=gp_warm_start,
+        burn_in=gp_burn_in,
     )
 
 
@@ -339,6 +355,11 @@ class HyperPower:
                         proposal.gp_fits
                         * self.cost_model.gp_fit_s(state.n_trained)
                     )
+                if proposal.gp_appends:
+                    clock.advance(
+                        proposal.gp_appends
+                        * self.cost_model.gp_append_s(state.n_trained)
+                    )
                 for rejected in proposal.rejected:
                     self._record_rejection(state, result, rejected)
                     if len(state.trials) >= self.MAX_SAMPLES:
@@ -362,6 +383,9 @@ class HyperPower:
                 self._record_batch(state, result, proposals, pool_outcomes)
 
         result.wall_time_s = clock.now_s
+        profile = getattr(self.method, "surrogate_profile", None)
+        if profile is not None:
+            result.surrogate_timings = profile.as_dict()
         if self.pool is not None and self.pool.cache is not None:
             # The pool's own counters, not the cache's lifetime totals:
             # a shared (warm) cache carries counts from earlier runs.

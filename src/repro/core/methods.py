@@ -32,6 +32,7 @@ import numpy as np
 
 from ..gp.gp import GaussianProcess
 from ..gp.kernels import Matern52
+from ..gp.profile import SurrogateProfile
 from ..space.space import Configuration, SearchSpace
 from .acquisition import Acquisition
 from .constraints import GPConstraintModel, ModelConstraintChecker
@@ -119,6 +120,9 @@ class Proposal:
     silent_model_checks: int = 0
     #: Number of GP fits performed while proposing (clock cost).
     gp_fits: int = 0
+    #: Number of rank-1 posterior appends performed instead of full fits
+    #: (refit scheduling; charged at the much cheaper append cost).
+    gp_appends: int = 0
     #: Predictions for the chosen config (None without models).
     power_pred_w: float | None = None
     memory_pred_bytes: float | None = None
@@ -433,6 +437,25 @@ class BayesianOptimizer(SearchMethod):
         the hyper-parameter space", Section 3.3).
     n_local:
         Extra candidates perturbed around the incumbent (exploitation).
+    gp_restarts:
+        Random restarts of the marginal-likelihood optimiser per refit.
+    refit_every:
+        Re-optimize the surrogate's hyper-parameters only once every this
+        many *new trained observations*; rounds in between condition on the
+        new data with a rank-1 Cholesky append at fixed hyper-parameters
+        (``O(n^2)`` instead of ``O(n^3)`` plus the optimiser).  The default
+        of 1 refits every round — the paper's (and the seed's) behaviour.
+    warm_start:
+        Start the refit's L-BFGS-B from the previous fit's
+        hyper-parameters instead of the kernel defaults, and decay the
+        restart count to 1 once ``burn_in`` trained observations have
+        accumulated past the initial design (by then the marginal
+        likelihood's basin is stable and extra cold restarts are wasted
+        work).  Off by default: the cold path reproduces the seed
+        trajectories exactly.
+    burn_in:
+        Trained observations past ``n_init`` after which a warm-started
+        refit drops to a single restart.
     """
 
     name = "BO"
@@ -448,6 +471,9 @@ class BayesianOptimizer(SearchMethod):
         n_local: int = 20,
         local_sigma: float = 0.08,
         gp_restarts: int = 2,
+        refit_every: int = 1,
+        warm_start: bool = False,
+        burn_in: int = 15,
     ):
         super().__init__(space)
         if model_checker is not None and learned_constraints is not None:
@@ -457,6 +483,10 @@ class BayesianOptimizer(SearchMethod):
             )
         if n_init < 1 or pool_size < 1:
             raise ValueError("n_init and pool_size must be >= 1")
+        if refit_every < 1:
+            raise ValueError("refit_every must be >= 1")
+        if gp_restarts < 0 or burn_in < 0:
+            raise ValueError("gp_restarts and burn_in must be >= 0")
         self.acquisition = acquisition
         self.model_checker = model_checker
         self.learned_constraints = learned_constraints
@@ -465,7 +495,16 @@ class BayesianOptimizer(SearchMethod):
         self.n_local = n_local
         self.local_sigma = local_sigma
         self.gp_restarts = gp_restarts
+        self.refit_every = refit_every
+        self.warm_start = warm_start
+        self.burn_in = burn_in
         self.name = acquisition.name
+        #: Per-stage wall-clock timings of the surrogate hot path.
+        self.surrogate_profile = SurrogateProfile()
+        #: The persistent surrogate and what it has been conditioned on.
+        self._gp: GaussianProcess | None = None
+        self._gp_n = 0
+        self._last_refit_n = 0
 
     # -- helpers ------------------------------------------------------------------
 
@@ -506,6 +545,50 @@ class BayesianOptimizer(SearchMethod):
                 for _ in range(self.n_local)
             )
         return pool
+
+    def _surrogate(
+        self, state: SearchState, rng: np.random.Generator
+    ) -> tuple[GaussianProcess, int, int]:
+        """The objective surrogate for this round, via the refit schedule.
+
+        Returns ``(gp, fits, appends)``.  A full hyper-parameter refit runs
+        when the GP does not exist yet or ``refit_every`` new trained
+        observations have arrived since the last one; otherwise the new
+        observations are folded in with rank-1 Cholesky appends at fixed
+        hyper-parameters.  Without ``warm_start`` a refit rebuilds the GP
+        from the default kernel, making the ``refit_every=1`` schedule
+        byte-identical to fitting a fresh GP every round (the seed path).
+        """
+        n = state.n_trained
+        X = self.space.encode_many(state.trained_configs)
+        y = np.asarray(state.trained_errors, dtype=float)
+        refit_due = (
+            self._gp is None
+            or n < self._gp_n  # state reset under us: start over
+            or n - self._last_refit_n >= self.refit_every
+        )
+        if refit_due:
+            if self._gp is None or not self.warm_start:
+                gp = GaussianProcess(
+                    kernel=Matern52(self.space.dimension),
+                    profile=self.surrogate_profile,
+                )
+            else:
+                gp = self._gp  # warm start: theta of the previous fit
+            restarts = self.gp_restarts
+            if self.warm_start and n >= self.n_init + self.burn_in:
+                restarts = min(restarts, 1)
+            gp.fit(X, y, restarts=restarts, rng=rng)
+            self._gp = gp
+            self._gp_n = n
+            self._last_refit_n = n
+            return gp, 1, 0
+        appends = 0
+        for i in range(self._gp_n, n):
+            self._gp.append(X[i], y[i])
+            appends += 1
+        self._gp_n = n
+        return self._gp, 0, appends
 
     def _refit_learned_constraints(self, state: SearchState) -> int:
         """Refit constraint GPs from measured trials; returns fits done."""
@@ -553,18 +636,15 @@ class BayesianOptimizer(SearchMethod):
                 feasible_pred=feasible,
             )
 
-        gp_fits = 1
-        gp_fits += self._refit_learned_constraints(state)
-
-        X = self.space.encode_many(state.trained_configs)
-        y = np.asarray(state.trained_errors, dtype=float)
-        gp = GaussianProcess(kernel=Matern52(self.space.dimension))
-        gp.fit(X, y, restarts=self.gp_restarts, rng=rng)
+        gp_fits = self._refit_learned_constraints(state)
+        gp, fits, appends = self._surrogate(state, rng)
+        gp_fits += fits
 
         incumbent = state.incumbent_error()
         candidates = self._candidate_pool(state, rng)
         X_cand = self.space.encode_many(candidates)
-        scores = self.acquisition.score(candidates, X_cand, gp, incumbent)
+        with self.surrogate_profile.timeit("acquisition"):
+            scores = self.acquisition.score(candidates, X_cand, gp, incumbent)
 
         if np.max(scores) > 0:
             config = candidates[int(np.argmax(scores))]
@@ -584,6 +664,7 @@ class BayesianOptimizer(SearchMethod):
             config=config,
             silent_model_checks=checks,
             gp_fits=gp_fits,
+            gp_appends=appends,
             power_pred_w=power,
             memory_pred_bytes=memory,
             feasible_pred=feasible,

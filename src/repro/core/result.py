@@ -106,6 +106,13 @@ class RunResult:
     #: Trial-cache lookup counters (0/0 when the run had no cache).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Real (not simulated) per-stage wall-clock timings of the GP
+    #: surrogate hot path, as ``{stage: {"seconds": ..., "calls": ...}}``
+    #: (see :class:`~repro.gp.profile.SurrogateProfile`); empty for
+    #: solvers without a surrogate.  Diagnostics only — deliberately
+    #: excluded from :func:`~repro.io.run_to_dict`, whose output must stay
+    #: byte-identical across identically-seeded re-runs.
+    surrogate_timings: dict = field(default_factory=dict)
 
     # -- counting ----------------------------------------------------------------
 

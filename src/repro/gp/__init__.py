@@ -3,5 +3,13 @@
 from .gp import GaussianProcess
 from .kernels import RBF, Kernel, Matern52
 from .normalize import Standardizer
+from .profile import SurrogateProfile
 
-__all__ = ["GaussianProcess", "Kernel", "Matern52", "RBF", "Standardizer"]
+__all__ = [
+    "GaussianProcess",
+    "Kernel",
+    "Matern52",
+    "RBF",
+    "Standardizer",
+    "SurrogateProfile",
+]

@@ -95,9 +95,31 @@ class Kernel(ABC):
         )
         return np.maximum(sq, 0.0)
 
+    def _scaled_sqdist_per_dim(self, X: np.ndarray) -> np.ndarray:
+        """``(d, n, n)`` per-dimension scaled squared distances.
+
+        Entry ``[i, a, b]`` is ``((X[a,i] - X[b,i]) / lengthscale_i)^2`` —
+        the pieces the length-scale derivatives of every stationary ARD
+        kernel are built from.
+        """
+        A = X / self.lengthscales
+        diff = A.T[:, :, None] - A.T[:, None, :]
+        return diff**2
+
     @abstractmethod
     def __call__(self, X1: np.ndarray, X2: np.ndarray) -> np.ndarray:
         """Covariance matrix between two point sets."""
+
+    @abstractmethod
+    def value_and_grad(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Gram matrix ``K(X, X)`` and its gradient w.r.t. ``theta``.
+
+        Returns ``(K, dK)`` where ``dK`` has shape ``(n_params, n, n)``
+        and ``dK[j]`` is the derivative of ``K`` w.r.t. the ``j``-th
+        *log-space* hyper-parameter (the same parameterisation
+        :meth:`get_theta`/:meth:`set_theta` use), so the marginal-likelihood
+        optimiser can consume it directly.
+        """
 
     def diag(self, X: np.ndarray) -> np.ndarray:
         """Prior variances at each point (the matrix diagonal, cheaply)."""
@@ -138,6 +160,24 @@ class Matern52(Kernel):
             * np.exp(-sqrt5_r)
         )
 
+    def value_and_grad(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        _validate_inputs(X, X, self.input_dim)
+        sq_dims = self._scaled_sqdist_per_dim(X)
+        r = np.sqrt(np.sum(sq_dims, axis=0))
+        sqrt5_r = np.sqrt(5.0) * r
+        decay = np.exp(-sqrt5_r)
+        K = self.variance * (1.0 + sqrt5_r + (5.0 / 3.0) * r**2) * decay
+        dK = np.empty((self.n_params,) + K.shape)
+        # d K / d log variance = K.
+        dK[0] = K
+        # d K / d r = -(5/3) variance * r * (1 + sqrt5 r) * decay and
+        # d r / d log l_i = -sq_dims[i] / r; the 1/r cancels, so the
+        # length-scale derivative is smooth through r = 0.
+        scale_factor = (5.0 / 3.0) * self.variance * (1.0 + sqrt5_r) * decay
+        dK[1:] = scale_factor[None, :, :] * sq_dims
+        return K, dK
+
 
 class RBF(Kernel):
     """ARD squared-exponential kernel (infinitely smooth)."""
@@ -150,3 +190,14 @@ class RBF(Kernel):
         X2 = np.atleast_2d(np.asarray(X2, dtype=float))
         _validate_inputs(X1, X2, self.input_dim)
         return self.variance * np.exp(-0.5 * self._scaled_sqdist(X1, X2))
+
+    def value_and_grad(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        _validate_inputs(X, X, self.input_dim)
+        sq_dims = self._scaled_sqdist_per_dim(X)
+        K = self.variance * np.exp(-0.5 * np.sum(sq_dims, axis=0))
+        dK = np.empty((self.n_params,) + K.shape)
+        dK[0] = K
+        # d K / d log l_i = K * sq_dims[i].
+        dK[1:] = K[None, :, :] * sq_dims
+        return K, dK

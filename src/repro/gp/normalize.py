@@ -20,6 +20,14 @@ class Standardizer:
         self.std_ = 1.0
         self._fitted = False
 
+    @classmethod
+    def identity(cls) -> "Standardizer":
+        """A fitted no-op transform (``mean 0, std 1``) for callers that
+        want targets passed through unchanged."""
+        out = cls()
+        out._fitted = True
+        return out
+
     def fit(self, y: np.ndarray) -> "Standardizer":
         """Estimate the transform from targets ``y``."""
         y = np.asarray(y, dtype=float)

@@ -1,0 +1,80 @@
+"""Per-stage wall-clock profiling of the GP surrogate hot path.
+
+The fixed-runtime experiments charge GP work to the *simulated* clock; this
+module measures the *real* cost of the surrogate so speedups (analytic
+gradients, rank-1 updates, refit scheduling) are observable.  A
+:class:`SurrogateProfile` is threaded through
+:class:`~repro.gp.gp.GaussianProcess` and
+:class:`~repro.core.methods.BayesianOptimizer` and accumulates seconds and
+call counts per stage:
+
+* ``kernel``      — Gram-matrix / cross-covariance evaluations;
+* ``cholesky``    — factorisations (full ``O(n^3)`` and rank-1 ``O(n^2)``);
+* ``hyperopt``    — marginal-likelihood optimisation, inclusive of the
+  kernel/Cholesky work performed inside the optimiser's objective;
+* ``append``      — incremental posterior updates;
+* ``acquisition`` — candidate scoring during proposals.
+
+Timings are diagnostics: they are reported on
+:class:`~repro.core.result.RunResult` but deliberately excluded from its
+JSON serialisation, which must stay byte-identical across re-runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["SurrogateProfile"]
+
+
+class SurrogateProfile:
+    """Accumulates wall-clock seconds and call counts per surrogate stage."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Record one timed call of ``stage``."""
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + float(seconds)
+        self.counts[stage] = self.counts.get(stage, 0) + 1
+
+    @contextmanager
+    def timeit(self, stage: str):
+        """Context manager timing one call of ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(stage, time.perf_counter() - start)
+
+    def total_seconds(self) -> float:
+        """Seconds across all stages (``hyperopt`` overlaps its inner
+        kernel/Cholesky work, so this over-counts nested stages)."""
+        return sum(self.seconds.values())
+
+    def as_dict(self) -> dict:
+        """JSON-ready ``{stage: {"seconds": ..., "calls": ...}}`` view."""
+        return {
+            stage: {
+                "seconds": self.seconds[stage],
+                "calls": self.counts.get(stage, 0),
+            }
+            for stage in sorted(self.seconds)
+        }
+
+    def merge(self, other: "SurrogateProfile") -> None:
+        """Fold another profile's accumulators into this one."""
+        for stage, seconds in other.seconds.items():
+            self.seconds[stage] = self.seconds.get(stage, 0.0) + seconds
+        for stage, calls in other.counts.items():
+            self.counts[stage] = self.counts.get(stage, 0) + calls
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{stage}={self.seconds[stage] * 1e3:.1f}ms/"
+            f"{self.counts.get(stage, 0)}"
+            for stage in sorted(self.seconds)
+        )
+        return f"SurrogateProfile({parts})"

@@ -12,6 +12,7 @@ import json
 import pytest
 
 from repro.core.hyperpower import SOLVERS, VARIANTS
+from repro.core.methods import BayesianOptimizer
 from repro.experiments.setup import quick_setup
 from repro.io import run_to_dict
 
@@ -42,6 +43,68 @@ def test_rerun_is_byte_identical(setup, solver, variant):
         == second.best_error_vs_samples().tobytes()
     )
     # The full records agree too, not just the headline trajectory.
+    assert json.dumps(run_to_dict(first), sort_keys=True) == json.dumps(
+        run_to_dict(second), sort_keys=True
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("solver", sorted(SOLVERS))
+def test_scheduled_surrogate_reproduces_seed_path(
+    setup, solver, variant, monkeypatch
+):
+    """``refit_every=1`` with warm starts off must be byte-identical to the
+    seed loop, which fitted a *fresh* GP on every ``propose()``.
+
+    The first run uses the persistent surrogate with the explicit knobs;
+    the second forcibly drops the persisted GP before every proposal,
+    which is exactly the seed's code path.  Any state leaking through the
+    refit scheduler (hyper-parameters, Cholesky factors, RNG draws) would
+    break the comparison.  The model-free solvers ride along to pin all
+    eight cells.
+    """
+    scheduled = setup.run(
+        solver,
+        variant,
+        run_seed=7,
+        max_evaluations=N_ITERATIONS,
+        gp_refit_every=1,
+        gp_warm_start=False,
+    )
+
+    original_propose = BayesianOptimizer.propose
+
+    def fresh_gp_propose(self, state, rng):
+        self._gp = None  # seed semantics: no surrogate persistence
+        return original_propose(self, state, rng)
+
+    monkeypatch.setattr(BayesianOptimizer, "propose", fresh_gp_propose)
+    seed_path = setup.run(
+        solver, variant, run_seed=7, max_evaluations=N_ITERATIONS
+    )
+
+    assert (
+        scheduled.best_error_vs_samples().tobytes()
+        == seed_path.best_error_vs_samples().tobytes()
+    )
+    assert json.dumps(run_to_dict(scheduled), sort_keys=True) == json.dumps(
+        run_to_dict(seed_path), sort_keys=True
+    )
+
+
+@pytest.mark.slow
+def test_warm_started_schedule_is_deterministic(setup):
+    """The fast schedule (sparse refits + warm starts) must itself re-run
+    byte-identically — it changes trajectories, not reproducibility."""
+    kwargs = dict(
+        run_seed=11,
+        max_evaluations=N_ITERATIONS,
+        gp_refit_every=5,
+        gp_warm_start=True,
+    )
+    first = setup.run("HW-IECI", "hyperpower", **kwargs)
+    second = setup.run("HW-IECI", "hyperpower", **kwargs)
     assert json.dumps(run_to_dict(first), sort_keys=True) == json.dumps(
         run_to_dict(second), sort_keys=True
     )

@@ -1,0 +1,134 @@
+"""Analytic-gradient correctness for the GP marginal likelihood.
+
+The surrogate hot path relies on the kernels' ``dK/dtheta`` and the fused
+NLML value-and-gradient being exact; these tests pin both against central
+finite differences over random hyper-parameter draws (ISSUE 2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gp.gp import GaussianProcess
+from repro.gp.kernels import RBF, Matern52
+
+KERNELS = [Matern52, RBF]
+
+
+def toy_data(n=20, dim=3, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, dim))
+    y = np.sin(3 * X[:, 0]) + X[:, -1] ** 2 + 0.03 * rng.normal(size=n)
+    return X, y
+
+
+def central_difference(f, theta, eps=1e-6):
+    grad = np.zeros_like(theta)
+    for j in range(theta.size):
+        hi, lo = theta.copy(), theta.copy()
+        hi[j] += eps
+        lo[j] -= eps
+        grad[j] = (f(hi) - f(lo)) / (2.0 * eps)
+    return grad
+
+
+class TestKernelGradients:
+    @pytest.mark.parametrize("kernel_cls", KERNELS)
+    @pytest.mark.parametrize("trial", range(3))
+    def test_dK_matches_central_differences(self, kernel_cls, trial):
+        rng = np.random.default_rng(100 + trial)
+        dim = int(rng.integers(1, 5))
+        X = rng.uniform(size=(12, dim))
+        kernel = kernel_cls(dim)
+        theta = kernel.get_theta() + rng.normal(scale=0.6, size=kernel.n_params)
+        kernel.set_theta(theta)
+        _, dK = kernel.value_and_grad(X)
+        assert dK.shape == (kernel.n_params, 12, 12)
+        for j in range(kernel.n_params):
+            eps = 1e-6
+            hi, lo = theta.copy(), theta.copy()
+            hi[j] += eps
+            lo[j] -= eps
+            probe = kernel_cls(dim)
+            probe.set_theta(hi)
+            K_hi = probe(X, X)
+            probe.set_theta(lo)
+            K_lo = probe(X, X)
+            np.testing.assert_allclose(
+                dK[j], (K_hi - K_lo) / (2.0 * eps), rtol=1e-5, atol=1e-7
+            )
+
+    @pytest.mark.parametrize("kernel_cls", KERNELS)
+    def test_value_and_grad_value_matches_call(self, kernel_cls):
+        rng = np.random.default_rng(7)
+        X = rng.uniform(size=(15, 4))
+        kernel = kernel_cls(4, variance=1.7, lengthscales=0.4)
+        K, _ = kernel.value_and_grad(X)
+        np.testing.assert_allclose(K, kernel(X, X), rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("kernel_cls", KERNELS)
+    def test_gradient_smooth_at_coincident_points(self, kernel_cls):
+        # r = 0 rows (duplicate inputs) must not produce NaNs — the
+        # Matérn length-scale derivative has a removable 1/r singularity.
+        X = np.vstack([np.full((2, 3), 0.5), np.random.default_rng(0).uniform(size=(5, 3))])
+        _, dK = kernel_cls(3).value_and_grad(X)
+        assert np.all(np.isfinite(dK))
+
+
+class TestNLMLGradients:
+    @pytest.mark.parametrize("kernel_cls", KERNELS)
+    @pytest.mark.parametrize("trial", range(5))
+    def test_analytic_matches_central_differences(self, kernel_cls, trial):
+        rng = np.random.default_rng(200 + trial)
+        dim = int(rng.integers(1, 5))
+        X, y = toy_data(n=18, dim=dim, seed=300 + trial)
+        gp = GaussianProcess(kernel=kernel_cls(dim))
+        gp.fit(X, y, optimize_hypers=False)
+        theta = gp._pack() + rng.normal(scale=0.7, size=gp._pack().shape)
+        value, grad = gp._nlml_value_and_grad(theta.copy())
+        assert np.isfinite(value)
+        numeric = central_difference(
+            lambda t: gp._nlml_value_and_grad(t)[0], theta
+        )
+        np.testing.assert_allclose(grad, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_fused_value_matches_plain_nlml(self):
+        X, y = toy_data(n=20, dim=2, seed=1)
+        gp = GaussianProcess(kernel=Matern52(2))
+        gp.fit(X, y, optimize_hypers=False)
+        theta = gp._pack()
+        value, _ = gp._nlml_value_and_grad(theta.copy())
+        # Both kernel evaluation routes compute the same covariance; tiny
+        # rounding differences between them are all that is allowed.
+        assert value == pytest.approx(
+            gp._neg_log_marginal_likelihood(theta.copy()), rel=1e-9
+        )
+
+    def test_infeasible_theta_returns_flat_penalty(self):
+        X = np.zeros((4, 2))  # identical rows: singular K at huge variance
+        y = np.array([0.0, 1.0, -1.0, 2.0])
+        gp = GaussianProcess(kernel=Matern52(2), normalize_y=False)
+        gp.fit(X, y, optimize_hypers=False)
+        theta = gp._pack()
+        theta[0] = 80.0  # exp(80) variance: Cholesky must fail
+        theta[-1] = -200.0  # ~zero noise
+        value, grad = gp._nlml_value_and_grad(theta)
+        assert value == pytest.approx(1e25)
+        np.testing.assert_array_equal(grad, np.zeros_like(theta))
+
+    def test_analytic_fit_reaches_numeric_fit_quality(self):
+        X, y = toy_data(n=40, dim=3, seed=9)
+        analytic = GaussianProcess(kernel=Matern52(3)).fit(
+            X, y, restarts=2, rng=np.random.default_rng(11)
+        )
+        numeric = GaussianProcess(kernel=Matern52(3)).fit(
+            X, y, restarts=2, rng=np.random.default_rng(11), gradient="numeric"
+        )
+        assert (
+            analytic.log_marginal_likelihood()
+            >= numeric.log_marginal_likelihood() - 1e-3
+        )
+
+    def test_unknown_gradient_mode_rejected(self):
+        X, y = toy_data(n=10, dim=2)
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(X, y, gradient="autodiff")
