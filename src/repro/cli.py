@@ -28,6 +28,7 @@ from .experiments.fixed_runtime import (
 from .experiments.headlines import compute_headlines, format_headlines
 from .experiments.model_accuracy import format_table1, run_model_accuracy
 from .experiments.motivating import run_figure1, run_figure3
+from .core.faults import FaultRates, RetryPolicy
 from .core.parallel import TrialCache
 from .experiments.setup import PAPER_PAIRS, paper_setup
 from .io import save_runs
@@ -134,6 +135,34 @@ def _cmd_run(args) -> None:
             # replay at lookup cost (runs are deterministic).
             kwargs["cache"] = TrialCache()
             setup.run(args.solver, args.variant, run_seed=args.run_seed, **kwargs)
+    rates = FaultRates(
+        crash=args.fault_crash,
+        hang=args.fault_hang,
+        nan_loss=args.fault_nan,
+        oom=args.fault_oom,
+        nvml=args.fault_nvml,
+    )
+    if rates.any_active:
+        if args.backend is None:
+            raise SystemExit("fault injection requires --backend")
+        kwargs["faults"] = rates
+        kwargs["fault_seed"] = args.fault_seed
+    if (
+        args.max_attempts != 3
+        or args.timeout is not None
+        or args.backoff_base != 60.0
+        or args.backoff_factor != 2.0
+    ):
+        kwargs["retry"] = RetryPolicy(
+            max_attempts=args.max_attempts,
+            timeout_s=args.timeout,
+            backoff_base_s=args.backoff_base,
+            backoff_factor=args.backoff_factor,
+        )
+    if args.journal:
+        kwargs["journal"] = args.journal
+    if args.resume:
+        kwargs["resume_from"] = args.resume
     result = setup.run(args.solver, args.variant, run_seed=args.run_seed, **kwargs)
     print(
         f"{args.solver}/{args.variant} on {args.pair}: "
@@ -146,6 +175,13 @@ def _cmd_run(args) -> None:
             f"cache: {result.cache_hits} hits, {result.cache_misses} misses, "
             f"hit rate {result.cache_hit_rate * 100:.2f}% "
             f"({result.n_cached} trials replayed)"
+        )
+    if result.n_attempts > result.n_trained or result.n_failed > 0:
+        print(
+            f"faults: {result.n_failed} failed trials, "
+            f"{result.n_degraded} degraded measurements, "
+            f"{result.n_faults} faulted attempts absorbed, "
+            f"{result.retry_time_s:.0f}s of retries/backoff charged"
         )
     if args.out:
         path = save_runs([result], args.out)
@@ -205,6 +241,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warm-cache", action="store_true",
                    help="run twice against one shared cache and report the "
                         "second (cache-replayed) run")
+    p.add_argument("--fault-crash", type=float, default=0.0,
+                   help="per-attempt worker-crash probability (with --backend)")
+    p.add_argument("--fault-hang", type=float, default=0.0,
+                   help="per-attempt hang probability (reaped at the timeout)")
+    p.add_argument("--fault-nan", type=float, default=0.0,
+                   help="per-attempt NaN/inf-loss probability")
+    p.add_argument("--fault-oom", type=float, default=0.0,
+                   help="per-attempt out-of-memory probability")
+    p.add_argument("--fault-nvml", type=float, default=0.0,
+                   help="per-attempt transient measurement-failure probability "
+                        "(trial degrades to model-predicted power/memory)")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="fault-injection stream seed (default: derived from "
+                        "the setup and run seeds)")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="evaluation attempts per trial before FAILED")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-trial simulated timeout, seconds")
+    p.add_argument("--backoff-base", type=float, default=60.0,
+                   help="simulated backoff before the first retry, seconds")
+    p.add_argument("--backoff-factor", type=float, default=2.0,
+                   help="exponential backoff growth factor")
+    p.add_argument("--journal", default=None,
+                   help="write a crash-safe JSONL journal of the run")
+    p.add_argument("--resume", default=None,
+                   help="resume an interrupted run from its journal "
+                        "(continues bit-identically; appends to the same "
+                        "journal unless --journal names another file)")
     p.add_argument("--out", default=None, help="save the run as JSON")
     return parser
 

@@ -15,6 +15,20 @@ from .constraints import (
     ModelConstraintChecker,
 )
 from .early_term import CurveExtrapolationTermination, EarlyTermination
+from .faults import (
+    CRASH,
+    FAULT_KINDS,
+    HANG,
+    NAN_LOSS,
+    NVML,
+    OOM,
+    TIMEOUT,
+    FaultInjector,
+    FaultRates,
+    RetryPolicy,
+    TrialFault,
+    retry_seed,
+)
 from .hyperpower import SOLVERS, VARIANTS, HyperPower, build_method
 from .methods import (
     BayesianOptimizer,
@@ -73,4 +87,16 @@ __all__ = [
     "PoolOutcome",
     "TrialCache",
     "canonical_config_key",
+    "FAULT_KINDS",
+    "CRASH",
+    "HANG",
+    "NAN_LOSS",
+    "OOM",
+    "NVML",
+    "TIMEOUT",
+    "TrialFault",
+    "FaultRates",
+    "FaultInjector",
+    "RetryPolicy",
+    "retry_seed",
 ]

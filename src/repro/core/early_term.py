@@ -45,9 +45,11 @@ class EarlyTermination:
     min_improvement: float = 0.15
 
     def __post_init__(self) -> None:
+        # All checks are positive assertions so NaN (which fails every
+        # comparison) is rejected rather than slipping through a `< N`.
         if not (0.0 < self.chance_error <= 1.0):
             raise ValueError("chance_error must be in (0, 1]")
-        if self.check_epoch < 1:
+        if not (self.check_epoch >= 1):
             raise ValueError("check_epoch must be >= 1")
         if not (0.0 < self.min_improvement < 1.0):
             raise ValueError("min_improvement must be in (0, 1)")
@@ -93,13 +95,14 @@ class CurveExtrapolationTermination:
     grid_size: int = 24
 
     def __post_init__(self) -> None:
+        # Positive assertions, for the same NaN-rejection reason as above.
         if not (0.0 < self.target_error < 1.0):
             raise ValueError("target_error must be in (0, 1)")
-        if self.horizon_epochs < 2:
+        if not (self.horizon_epochs >= 2):
             raise ValueError("horizon must be >= 2 epochs")
-        if self.check_epoch < 3:
+        if not (self.check_epoch >= 3):
             raise ValueError("need at least 3 observations to fit")
-        if self.grid_size < 2:
+        if not (self.grid_size >= 2):
             raise ValueError("grid_size must be >= 2")
 
     def predict_final_error(self, curve: np.ndarray) -> float:

@@ -226,6 +226,7 @@ class HyperPower:
             latency_meas_s=outcome.measurement.latency_s,
             feasible_pred=proposal.feasible_pred,
             feasible_meas=outcome.feasible_meas,
+            attempts=1,
         )
         state.trials.append(trial)
         result.trials.append(trial)
@@ -245,11 +246,38 @@ class HyperPower:
         The clock was already advanced by the round's wall time, so every
         trial in the round shares the round-end timestamp; each trial's
         ``cost_s`` still records its individual cost (lookup cost for
-        cache hits).
+        cache hits, retry and backoff charges included for faulted
+        evaluations).
+
+        Failure semantics: a slot that exhausted its retry budget becomes
+        a ``FAILED`` trial — no observation, nothing appended to the
+        trained lists, the run continues.  A slot whose hardware
+        measurement failed (transient NVML error) *degrades*: the trial
+        keeps its training outcome but records the model-predicted
+        power/memory (when the method has models) with
+        ``measurement_degraded=True``.
         """
         clock = self.objective.clock
         for proposal, pool_outcome in zip(proposals, pool_outcomes):
             outcome = pool_outcome.outcome
+            if pool_outcome.failed:
+                trial = Trial(
+                    index=len(state.trials),
+                    config=dict(proposal.config),
+                    status=TrialStatus.FAILED,
+                    timestamp_s=clock.now_s,
+                    cost_s=pool_outcome.retry_s,
+                    power_pred_w=proposal.power_pred_w,
+                    memory_pred_bytes=proposal.memory_pred_bytes,
+                    feasible_pred=proposal.feasible_pred,
+                    attempts=pool_outcome.attempts,
+                    faults=pool_outcome.faults,
+                    failure_kind=pool_outcome.failure_kind,
+                    retry_s=pool_outcome.retry_s,
+                )
+                state.trials.append(trial)
+                result.trials.append(trial)
+                continue
             if pool_outcome.cached:
                 status = TrialStatus.CACHED
                 cost = self.cost_model.cache_lookup_s
@@ -260,8 +288,28 @@ class HyperPower:
                     if outcome.stopped_early
                     else TrialStatus.COMPLETED
                 )
-                cost = outcome.cost_s
+                cost = outcome.cost_s + pool_outcome.retry_s
                 epochs_run = outcome.epochs_run
+            if outcome.measurement is None:
+                # Degradation ladder: measured -> model-predicted ->
+                # unknown.  The predictions come from the proposal, so
+                # model-free (default-variant) methods degrade to unknown.
+                power_meas = proposal.power_pred_w
+                memory_meas = proposal.memory_pred_bytes
+                latency_meas = None
+                if power_meas is None and memory_meas is None:
+                    feasible_meas = None
+                else:
+                    feasible_meas = self.objective.spec.measured_feasible(
+                        power_meas, memory_meas, None
+                    )
+                degraded = True
+            else:
+                power_meas = outcome.measurement.power_w
+                memory_meas = outcome.measurement.memory_bytes
+                latency_meas = outcome.measurement.latency_s
+                feasible_meas = outcome.feasible_meas
+                degraded = False
             trial = Trial(
                 index=len(state.trials),
                 config=dict(proposal.config),
@@ -273,17 +321,21 @@ class HyperPower:
                 diverged=outcome.diverged,
                 power_pred_w=proposal.power_pred_w,
                 memory_pred_bytes=proposal.memory_pred_bytes,
-                power_meas_w=outcome.measurement.power_w,
-                memory_meas_bytes=outcome.measurement.memory_bytes,
-                latency_meas_s=outcome.measurement.latency_s,
+                power_meas_w=power_meas,
+                memory_meas_bytes=memory_meas,
+                latency_meas_s=latency_meas,
                 feasible_pred=proposal.feasible_pred,
-                feasible_meas=outcome.feasible_meas,
+                feasible_meas=feasible_meas,
+                attempts=pool_outcome.attempts,
+                faults=pool_outcome.faults,
+                retry_s=pool_outcome.retry_s,
+                measurement_degraded=degraded,
             )
             state.trials.append(trial)
             result.trials.append(trial)
             state.trained_configs.append(dict(proposal.config))
             state.trained_errors.append(outcome.error)
-            state.trained_feasible.append(outcome.feasible_meas)
+            state.trained_feasible.append(feasible_meas)
 
     # -- main loop ------------------------------------------------------------------
 
@@ -292,6 +344,8 @@ class HyperPower:
         rng: np.random.Generator,
         max_evaluations: int | None = None,
         max_time_s: float | None = None,
+        journal=None,
+        replay=None,
     ) -> RunResult:
         """Run the optimization until a budget is exhausted.
 
@@ -307,6 +361,22 @@ class HyperPower:
             Tables 2-5).  Following the paper, a sample started before the
             deadline is allowed to complete, so final run times land
             slightly above the budget.
+        journal:
+            Optional crash-safe run journal (:class:`~repro.io.RunJournal`
+            or any object exposing ``append_round``/``finish`` and a
+            ``skip_replay`` flag).  Every completed round of trials is
+            flushed to it before the next round starts, so a killed
+            process loses at most the round in flight.
+        replay:
+            Optional :class:`~repro.io.JournalReplay` from an interrupted
+            run.  The driver re-runs its loop (all proposal RNG streams
+            and clock charges recompute identically) but substitutes the
+            journaled evaluation results instead of dispatching trainings,
+            verifying each recomputed round against the journal; once the
+            journal is drained the run continues live, bit-identically to
+            an uninterrupted one.  Requires the pool path (``pool=None``
+            replays by deterministic re-execution, which verifies the
+            journal but re-spends the evaluation compute).
         """
         if max_evaluations is None and max_time_s is None:
             raise ValueError("need max_evaluations and/or max_time_s")
@@ -323,6 +393,7 @@ class HyperPower:
             chance_error=self.objective.trainer.dataset.chance_error,
         )
 
+        round_index = 0
         while True:
             if clock.exceeded(max_time_s):
                 break
@@ -334,6 +405,8 @@ class HyperPower:
             if len(state.trials) >= self.MAX_SAMPLES:
                 break
 
+            replaying = replay is not None and round_index < replay.n_rounds
+
             round_size = 1
             if self.pool is not None:
                 round_size = self.pool.workers
@@ -342,6 +415,7 @@ class HyperPower:
                         round_size, max_evaluations - state.n_trained
                     )
 
+            trials_before = len(result.trials)
             proposals: list[Proposal] = []
             for _ in range(round_size):
                 proposal = self.method.propose(state, rng)
@@ -368,12 +442,20 @@ class HyperPower:
                 if len(state.trials) >= self.MAX_SAMPLES:
                     break
 
+            pool_outcomes = None
             if self.pool is None:
+                # Sequential (paper) path: replay verifies by determinism
+                # — the evaluation re-executes and must reproduce the
+                # journal byte for byte.
                 self._record_evaluation(state, result, proposals[0])
             else:
                 clock.advance(self.cost_model.proposal_s * len(proposals))
                 pool_outcomes = self.pool.evaluate_batch(
-                    [p.config for p in proposals], early_term=self.early_term
+                    [p.config for p in proposals],
+                    early_term=self.early_term,
+                    replay=(
+                        replay.pool_evals(round_index) if replaying else None
+                    ),
                 )
                 clock.advance(
                     self.pool.batch_wall_time_s(
@@ -381,6 +463,18 @@ class HyperPower:
                     )
                 )
                 self._record_batch(state, result, proposals, pool_outcomes)
+
+            if replaying:
+                replay.verify_round(
+                    round_index, result.trials[trials_before:]
+                )
+            if journal is not None and not (
+                replaying and journal.skip_replay
+            ):
+                journal.append_round(
+                    result.trials[trials_before:], pool_outcomes
+                )
+            round_index += 1
 
         result.wall_time_s = clock.now_s
         profile = getattr(self.method, "surrogate_profile", None)
@@ -391,6 +485,8 @@ class HyperPower:
             # a shared (warm) cache carries counts from earlier runs.
             result.cache_hits = self.pool.hits
             result.cache_misses = self.pool.misses
+        if journal is not None:
+            journal.finish(result)
         return result
 
     # -- the headline answer --------------------------------------------------------

@@ -28,6 +28,7 @@ from ..trainsim.trainer import TrainingSimulator
 from .clock import SimClock
 from .constraints import ConstraintSpec
 from .early_term import EarlyTermination
+from .faults import CRASH, HANG, NAN_LOSS, NVML, OOM, FaultPlan, TrialFault
 
 __all__ = ["EvaluationOutcome", "NNObjective"]
 
@@ -46,12 +47,18 @@ class EvaluationOutcome:
     stopped_early: bool
     #: Ground truth: did the run diverge?
     diverged: bool
-    #: Hardware measurement on the target platform.
-    measurement: HardwareMeasurement
-    #: Ground-truth feasibility of the measured power/memory.
-    feasible_meas: bool
+    #: Hardware measurement on the target platform — ``None`` when the
+    #: measurement failed (transient NVML read error) and the trial
+    #: degraded to model predictions.
+    measurement: HardwareMeasurement | None
+    #: Ground-truth feasibility of the measured power/memory (``None``
+    #: when the measurement failed and no ground truth was observed).
+    feasible_meas: bool | None
     #: Total wall-clock cost charged to the clock, s.
     cost_s: float
+    #: Whether the hardware measurement failed and the trial must degrade
+    #: to the predictive models' power/memory estimates.
+    measurement_failed: bool = False
 
 
 class NNObjective:
@@ -121,7 +128,11 @@ class NNObjective:
         )
 
     def evaluate_seeded(
-        self, config: Mapping, seed: int, early_term: bool = False
+        self,
+        config: Mapping,
+        seed: int,
+        early_term: bool = False,
+        fault: FaultPlan | None = None,
     ) -> EvaluationOutcome:
         """Side-effect-free evaluation for the batch-parallel engine.
 
@@ -132,6 +143,14 @@ class NNObjective:
         worker — serial, thread, or a forked process.  The caller (the
         :class:`~repro.core.parallel.EvaluationPool` driver) owns the
         clock accounting.
+
+        ``fault`` injects one simulated failure into this attempt (see
+        :mod:`~repro.core.faults`).  Crashes, hangs, NaN losses and OOMs
+        raise :class:`~repro.core.faults.TrialFault` carrying the
+        simulated time the doomed attempt consumed; a transient NVML read
+        failure returns a degraded outcome (``measurement=None``,
+        ``measurement_failed=True``) — training succeeded, only the
+        hardware numbers are missing.
         """
         self.space.validate(config)
         stop_callback = (
@@ -141,6 +160,11 @@ class NNObjective:
         result = self.trainer.train(
             config, np.random.default_rng(run_seq), stop_callback=stop_callback
         )
+
+        if fault is not None and fault.kind == NAN_LOSS:
+            # The schedule ran but the loss went non-finite; nothing is
+            # deployed, the full training time is wasted.
+            raise TrialFault(NAN_LOSS, cost_s=result.wall_time_s)
 
         network = build_network(self.dataset_name, config)
         # A per-trial profiler: the shared one's sensor-noise stream is
@@ -153,6 +177,35 @@ class NNObjective:
             sample_hz=self.profiler.sample_hz,
         )
         measurement = profiler.profile(network)
+        nominal_cost = result.wall_time_s + measurement.duration_s
+
+        if fault is not None:
+            if fault.kind in (CRASH, OOM):
+                # The worker died partway through: a deterministic
+                # fraction of the nominal cost was consumed.
+                raise TrialFault(
+                    fault.kind, cost_s=fault.fraction * nominal_cost
+                )
+            if fault.kind == HANG:
+                # Nominal cost travels with the event; the pool replaces
+                # it with the timeout charge it reaps the worker at.
+                raise TrialFault(HANG, cost_s=nominal_cost)
+            if fault.kind == NVML:
+                # Training and the measurement window completed, but the
+                # sensor reads are garbage: degrade, don't fail.
+                return EvaluationOutcome(
+                    error=result.best_error,
+                    final_error=result.final_error,
+                    epochs_run=result.epochs_run,
+                    stopped_early=result.stopped_early,
+                    diverged=result.diverged,
+                    measurement=None,
+                    feasible_meas=None,
+                    cost_s=nominal_cost,
+                    measurement_failed=True,
+                )
+            raise ValueError(f"unknown fault kind {fault.kind!r}")
+
         feasible = self.spec.measured_feasible(
             measurement.power_w, measurement.memory_bytes, measurement.latency_s
         )
@@ -164,5 +217,5 @@ class NNObjective:
             diverged=result.diverged,
             measurement=measurement,
             feasible_meas=feasible,
-            cost_s=result.wall_time_s + measurement.duration_s,
+            cost_s=nominal_cost,
         )

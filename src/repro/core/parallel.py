@@ -28,12 +28,22 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from collections.abc import Mapping, Sequence
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from .faults import (
+    HANG,
+    TIMEOUT,
+    FaultEvent,
+    FaultInjector,
+    RetryPolicy,
+    TrialFault,
+    retry_seed,
+)
 from .objective import EvaluationOutcome, NNObjective
 
 __all__ = [
@@ -123,7 +133,24 @@ class TrialCache:
         return self.get(self.key(config))
 
     def put(self, key: str, outcome: EvaluationOutcome) -> None:
-        """Store an outcome, evicting the oldest entry when full (FIFO)."""
+        """Store an outcome, evicting the oldest entry when full (FIFO).
+
+        Raises
+        ------
+        ValueError
+            When the outcome's error is non-finite or its measurement is
+            missing.  A NaN/inf error (or a degraded, measurement-less
+            outcome) must never enter the cache: warm-cache runs would
+            replay the poisoned observation forever.
+        """
+        if not math.isfinite(outcome.error):
+            raise ValueError(
+                f"refusing to cache non-finite error {outcome.error!r}"
+            )
+        if outcome.measurement is None or outcome.measurement_failed:
+            raise ValueError(
+                "refusing to cache a degraded outcome (failed measurement)"
+            )
         if self.max_size is not None and key not in self._store:
             while len(self._store) >= self.max_size:
                 self._store.pop(next(iter(self._store)))
@@ -144,19 +171,66 @@ class TrialCache:
 class PoolOutcome:
     """One batch slot's result: the outcome plus its provenance."""
 
-    #: The evaluation outcome (fresh or replayed from the cache).
-    outcome: EvaluationOutcome
+    #: The evaluation outcome (fresh or replayed from the cache); ``None``
+    #: when the trial exhausted its retry budget and FAILED.
+    outcome: EvaluationOutcome | None
     #: Whether the result came from the trial cache.
     cached: bool
-    #: The deterministic seed the trial ran under (None for cache hits).
+    #: The deterministic seed the trial ran under (None for cache hits and
+    #: for within-batch duplicates of a failed evaluation).
     seed: int | None
+    #: Evaluation attempts consumed (0 for cache hits and duplicates).
+    attempts: int = 1
+    #: Fault kinds hit across the attempts, in order.
+    faults: tuple[str, ...] = ()
+    #: Fault kind that exhausted the retry budget (None unless FAILED).
+    failure_kind: str | None = None
+    #: Simulated time charged to failed attempts plus backoff waits, s.
+    retry_s: float = 0.0
+
+    @property
+    def failed(self) -> bool:
+        """Whether this slot is a FAILED trial (retry budget exhausted)."""
+        return self.outcome is None and not self.cached
+
+    @property
+    def total_cost_s(self) -> float:
+        """Full simulated cost of this slot: final attempt + retries, s."""
+        base = 0.0 if self.outcome is None else self.outcome.cost_s
+        return base + self.retry_s
+
+
+@dataclass
+class _FreshResult:
+    """Internal per-task accounting of the retry loop."""
+
+    outcome: EvaluationOutcome | None = None
+    attempts: int = 0
+    faults: list[str] = field(default_factory=list)
+    failure_kind: str | None = None
+    retry_s: float = 0.0
 
 
 def _evaluate_task(
-    objective: NNObjective, config: Mapping, seed: int, early_term: bool
-) -> EvaluationOutcome:
-    """Module-level task body so the process backend can pickle it."""
-    return objective.evaluate_seeded(config, seed, early_term=early_term)
+    objective: NNObjective,
+    config: Mapping,
+    seed: int,
+    early_term: bool,
+    fault=None,
+) -> EvaluationOutcome | FaultEvent:
+    """Module-level task body so the process backend can pickle it.
+
+    Injected faults raised by the objective are converted into plain
+    :class:`~repro.core.faults.FaultEvent` records here, *inside* the
+    worker, so no exception ever has to pickle across an executor
+    boundary.
+    """
+    try:
+        return objective.evaluate_seeded(
+            config, seed, early_term=early_term, fault=fault
+        )
+    except TrialFault as exc:
+        return FaultEvent(kind=exc.kind, cost_s=exc.cost_s)
 
 
 class EvaluationPool:
@@ -180,6 +254,14 @@ class EvaluationPool:
         order, cache hits excluded from the numbering's RNG use but not
         its count) runs under ``SeedSequence([seed, i])``, so results are
         independent of the backend and of worker scheduling.
+    injector:
+        Optional deterministic :class:`~repro.core.faults.FaultInjector`.
+        ``None`` (or an injector with all rates zero) leaves every code
+        path and random stream byte-identical to a fault-free pool.
+    retry:
+        The :class:`~repro.core.faults.RetryPolicy` governing per-trial
+        timeouts, retry budgets and backoff charges; defaults to
+        ``RetryPolicy()``.
     """
 
     def __init__(
@@ -189,6 +271,8 @@ class EvaluationPool:
         workers: int = 1,
         cache: TrialCache | None = None,
         seed: int = 0,
+        injector: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -201,6 +285,8 @@ class EvaluationPool:
         self.workers = int(workers)
         self.cache = cache
         self.seed = int(seed)
+        self.injector = injector
+        self.retry = RetryPolicy() if retry is None else retry
         #: This pool's own lookup counters.  They track the same events as
         #: the cache's, but only for lookups issued *through this pool* —
         #: the distinction matters when one cache is shared across runs.
@@ -242,14 +328,28 @@ class EvaluationPool:
         return seed
 
     def evaluate_batch(
-        self, configs: Sequence[Mapping], early_term: bool = False
+        self,
+        configs: Sequence[Mapping],
+        early_term: bool = False,
+        replay: Sequence | None = None,
     ) -> list[PoolOutcome]:
         """Evaluate a batch of accepted proposals; results in input order.
 
         Cache hits are resolved without dispatching; duplicate configs
         *within* the batch share one evaluation (the later slots count as
         cache hits).  Fresh evaluations get deterministic per-trial seeds
-        and run on the configured backend.
+        and run on the configured backend, each under the retry policy:
+        a faulted attempt is charged to ``retry_s`` (plus exponential
+        backoff) and redispatched under a derived seed until it succeeds
+        or the budget is exhausted, at which point the slot comes back as
+        a FAILED :class:`PoolOutcome` instead of raising.
+
+        ``replay`` substitutes journal-recorded results for the fresh
+        dispatches (crash-safe resume): entries must expose ``seed``,
+        ``outcome``, ``attempts``, ``faults``, ``failure_kind`` and
+        ``retry_s``, in submission order.  All cache bookkeeping and the
+        seed stream advance exactly as a live batch would, so the run
+        continues bit-identically afterwards.
         """
         n = len(configs)
         outcomes: list[PoolOutcome | None] = [None] * n
@@ -273,40 +373,186 @@ class EvaluationPool:
             cached = self.cache.get(key)
             if cached is not None:
                 self.hits += 1
-                outcomes[i] = PoolOutcome(cached, cached=True, seed=None)
+                outcomes[i] = PoolOutcome(
+                    cached, cached=True, seed=None, attempts=0
+                )
             else:
                 self.misses += 1
                 pending[key] = []
                 fresh.append((i, config, self._next_seed()))
 
-        results = self._run_fresh(fresh, early_term)
-        for (slot, config, seed), outcome in zip(fresh, results):
-            outcomes[slot] = PoolOutcome(outcome, cached=False, seed=seed)
+        if replay is None:
+            results = self._run_fresh(fresh, early_term)
+        else:
+            results = self._replay_fresh(fresh, replay)
+        for (slot, config, seed), res in zip(fresh, results):
+            key = keys[slot]
+            if res.outcome is None:
+                outcomes[slot] = PoolOutcome(
+                    None,
+                    cached=False,
+                    seed=seed,
+                    attempts=res.attempts,
+                    faults=tuple(res.faults),
+                    failure_kind=res.failure_kind,
+                    retry_s=res.retry_s,
+                )
+                # Within-batch duplicates of a failed evaluation share the
+                # failure but carry no charge of their own (the original
+                # slot already paid for every attempt).
+                for duplicate in pending.get(key, ()) if key else ():
+                    outcomes[duplicate] = PoolOutcome(
+                        None,
+                        cached=False,
+                        seed=None,
+                        attempts=0,
+                        faults=tuple(res.faults),
+                        failure_kind=res.failure_kind,
+                        retry_s=0.0,
+                    )
+                continue
+            outcomes[slot] = PoolOutcome(
+                res.outcome,
+                cached=False,
+                seed=seed,
+                attempts=res.attempts,
+                faults=tuple(res.faults),
+                retry_s=res.retry_s,
+            )
             if self.cache is not None:
-                key = keys[slot]
-                self.cache.put(key, outcome)
+                # Degraded (measurement-less) outcomes are never admitted:
+                # a warm-cache run must not replay a sensor failure.
+                if not res.outcome.measurement_failed and math.isfinite(
+                    res.outcome.error
+                ):
+                    self.cache.put(key, res.outcome)
                 for duplicate in pending.get(key, ()):
                     outcomes[duplicate] = PoolOutcome(
-                        outcome, cached=True, seed=None
+                        res.outcome, cached=True, seed=None, attempts=0
                     )
         return outcomes  # type: ignore[return-value]
 
+    # -- fresh dispatch under the retry policy ---------------------------------
+
+    def _hang_charge_s(self) -> float:
+        """Simulated time a hung attempt wastes before being reaped, s."""
+        if self.retry.timeout_s is not None:
+            return self.retry.timeout_s
+        if self.injector is not None:
+            return self.injector.hang_s
+        # Hangs only arise from an injector; unreachable without one.
+        return 1800.0  # pragma: no cover
+
     def _run_fresh(
         self, tasks: list[tuple[int, Mapping, int]], early_term: bool
-    ) -> list[EvaluationOutcome]:
+    ) -> list[_FreshResult]:
+        """Run fresh tasks with deterministic fault injection and retries.
+
+        Returns one :class:`_FreshResult` per task, aligned with input
+        order.  Attempt ``a`` of the task seeded ``s`` runs under
+        ``retry_seed(s, a)`` with the fault plan ``injector.draw(s, a)``
+        — both pure functions of seeds — so the outcome (including every
+        failure) is identical on all three backends.
+        """
         if not tasks:
             return []
+        n = len(tasks)
+        states = [_FreshResult() for _ in range(n)]
+        active = list(range(n))
+        while active:
+            dispatch = []
+            for i in active:
+                attempt = states[i].attempts
+                _, config, trial_seed = tasks[i]
+                fault = (
+                    self.injector.draw(trial_seed, attempt)
+                    if self.injector is not None
+                    else None
+                )
+                dispatch.append(
+                    (i, config, retry_seed(trial_seed, attempt), fault)
+                )
+            raw = self._dispatch(dispatch, early_term)
+            still_active = []
+            for (i, _, _, _), res in zip(dispatch, raw):
+                state = states[i]
+                state.attempts += 1
+                event = None
+                if isinstance(res, FaultEvent):
+                    charge = (
+                        self._hang_charge_s()
+                        if res.kind == HANG
+                        else res.cost_s
+                    )
+                    event = (res.kind, charge)
+                elif (
+                    self.retry.timeout_s is not None
+                    and res.cost_s > self.retry.timeout_s
+                ):
+                    # Natural timeout: the evaluation would have outlived
+                    # the per-trial deadline; the pool reaps it there.
+                    event = (TIMEOUT, self.retry.timeout_s)
+                if event is None:
+                    state.outcome = res
+                    continue
+                kind, charge = event
+                state.faults.append(kind)
+                if state.attempts >= self.retry.max_attempts:
+                    state.failure_kind = kind
+                    state.retry_s += charge
+                else:
+                    state.retry_s += charge + self.retry.backoff_s(
+                        state.attempts
+                    )
+                    still_active.append(i)
+            active = still_active
+        return states
+
+    def _dispatch(
+        self, dispatch: list[tuple[int, Mapping, int, object]], early_term: bool
+    ) -> list[EvaluationOutcome | FaultEvent]:
+        """One wave of task executions on the configured backend."""
         if self.backend == "serial":
             return [
-                _evaluate_task(self.objective, config, seed, early_term)
-                for _, config, seed in tasks
+                _evaluate_task(self.objective, config, seed, early_term, fault)
+                for _, config, seed, fault in dispatch
             ]
         executor = self._get_executor()
         futures = [
-            executor.submit(_evaluate_task, self.objective, config, seed, early_term)
-            for _, config, seed in tasks
+            executor.submit(
+                _evaluate_task, self.objective, config, seed, early_term, fault
+            )
+            for _, config, seed, fault in dispatch
         ]
         return [f.result() for f in futures]
+
+    def _replay_fresh(
+        self, tasks: list[tuple[int, Mapping, int]], replay: Sequence
+    ) -> list[_FreshResult]:
+        """Reconstruct fresh results from journal entries (no dispatch)."""
+        if len(replay) != len(tasks):
+            raise ValueError(
+                f"journal replay mismatch: round has {len(tasks)} fresh "
+                f"evaluations but the journal recorded {len(replay)}"
+            )
+        results = []
+        for (_, _, seed), entry in zip(tasks, replay):
+            if int(entry.seed) != int(seed):
+                raise ValueError(
+                    "journal replay mismatch: recorded trial seed "
+                    f"{entry.seed} != recomputed seed {seed} (was the run "
+                    "resumed with different parameters?)"
+                )
+            results.append(
+                _FreshResult(
+                    outcome=entry.outcome,
+                    attempts=int(entry.attempts),
+                    faults=list(entry.faults),
+                    failure_kind=entry.failure_kind,
+                    retry_s=float(entry.retry_s),
+                )
+            )
+        return results
 
     # -- q-parallel time accounting --------------------------------------------
 
@@ -318,9 +564,15 @@ class EvaluationPool:
 
         Fresh trainings run concurrently on the workers, so they cost the
         ``max`` of their individual costs — not the sum the sequential
-        driver would charge.  Cache hits are serial hash probes at
-        ``cache_lookup_s`` each.
+        driver would charge.  A trial's individual cost includes its
+        failed attempts and backoff waits (retries occupy the same worker
+        slot serially); FAILED trials cost exactly their retry charges.
+        Cache hits are serial hash probes at ``cache_lookup_s`` each.
         """
-        fresh = [po.outcome.cost_s for po in outcomes if not po.cached]
+        fresh = [
+            po.total_cost_s
+            for po in outcomes
+            if not po.cached and po.seed is not None
+        ]
         n_cached = sum(1 for po in outcomes if po.cached)
         return n_cached * cache_lookup_s + (max(fresh) if fresh else 0.0)

@@ -9,7 +9,11 @@ per hour), a trial can be:
   before any training (HyperPower variants only; costs milliseconds);
 * ``EARLY_TERMINATED`` — training started but stopped after a few epochs by
   the divergence detector (Section 3.2);
-* ``COMPLETED`` — trained to the full schedule.
+* ``COMPLETED`` — trained to the full schedule;
+* ``CACHED`` — replayed from the trial cache at lookup cost;
+* ``FAILED`` — the evaluation exhausted its retry budget (crashes, hangs,
+  NaN losses, OOMs); its failed attempts and backoff waits were still
+  charged to the clock.
 
 :class:`RunResult` wraps one optimization run and computes everything the
 evaluation section reports: best-feasible-error trajectories over samples
@@ -37,6 +41,11 @@ class TrialStatus(enum.Enum):
     #: Accepted proposal whose outcome was replayed from the trial cache
     #: (a duplicate of an earlier training) at near-zero clock cost.
     CACHED = "cached"
+    #: Accepted proposal whose evaluation exhausted its retry budget
+    #: (worker crashes, hangs, NaN losses, OOMs); no observation exists,
+    #: but the failed attempts and backoff waits were charged to the
+    #: clock and the sample still counts as queried.
+    FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -73,12 +82,28 @@ class Trial:
     feasible_pred: bool | None = None
     #: Feasibility according to hardware measurements (None when unmeasured).
     feasible_meas: bool | None = None
+    #: Evaluation attempts consumed (0 for rejected/cached samples).
+    attempts: int = 0
+    #: Fault kinds hit across the attempts, in order (empty when clean).
+    faults: tuple[str, ...] = ()
+    #: Fault kind that exhausted the retry budget (FAILED samples only).
+    failure_kind: str | None = None
+    #: Simulated time charged to failed attempts plus backoff waits, s
+    #: (included in ``cost_s``).
+    retry_s: float = 0.0
+    #: Whether the hardware measurement failed and the recorded
+    #: power/memory fell back to the predictive models' estimates.
+    measurement_degraded: bool = False
 
     @property
     def was_trained(self) -> bool:
         """Whether this sample carries a training outcome (a cached sample
-        replays one, so it counts — its error is a usable observation)."""
-        return self.status is not TrialStatus.REJECTED_MODEL
+        replays one, so it counts — its error is a usable observation; a
+        FAILED sample carries none)."""
+        return self.status not in (
+            TrialStatus.REJECTED_MODEL,
+            TrialStatus.FAILED,
+        )
 
     @property
     def is_violation(self) -> bool:
@@ -140,6 +165,35 @@ class RunResult:
     def n_cached(self) -> int:
         """Samples whose outcome was replayed from the trial cache."""
         return sum(1 for t in self.trials if t.status is TrialStatus.CACHED)
+
+    # -- failure accounting ------------------------------------------------------
+
+    @property
+    def n_failed(self) -> int:
+        """Samples whose evaluation exhausted its retry budget."""
+        return sum(1 for t in self.trials if t.status is TrialStatus.FAILED)
+
+    @property
+    def n_degraded(self) -> int:
+        """Trained samples whose hardware measurement degraded to the
+        predictive models (transient NVML read failures)."""
+        return sum(1 for t in self.trials if t.measurement_degraded)
+
+    @property
+    def n_attempts(self) -> int:
+        """Total evaluation attempts dispatched across all samples."""
+        return sum(t.attempts for t in self.trials)
+
+    @property
+    def n_faults(self) -> int:
+        """Total faulted attempts absorbed across all samples (recovered
+        retries plus terminal failures)."""
+        return sum(len(t.faults) for t in self.trials)
+
+    @property
+    def retry_time_s(self) -> float:
+        """Simulated time spent on failed attempts and backoff waits, s."""
+        return sum(t.retry_s for t in self.trials)
 
     @property
     def cache_lookups(self) -> int:

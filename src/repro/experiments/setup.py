@@ -19,12 +19,14 @@ fixed-evaluation budgets of 30/50 iterations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
 
 import numpy as np
 
 from ..core.clock import DEFAULT_COST_MODEL, CostModel, SimClock
 from ..core.constraints import GIB, ConstraintSpec
+from ..core.faults import FaultInjector, FaultRates, RetryPolicy
 from ..core.hyperpower import HyperPower, build_method
 from ..core.objective import NNObjective
 from ..core.parallel import EvaluationPool, TrialCache
@@ -194,6 +196,11 @@ class ExperimentSetup:
         workers: int = 1,
         use_cache: bool = True,
         cache: TrialCache | None = None,
+        faults: FaultRates | None = None,
+        fault_seed: int | None = None,
+        retry: RetryPolicy | None = None,
+        journal: str | Path | None = None,
+        resume_from: str | Path | None = None,
         **method_kwargs,
     ) -> RunResult:
         """Build and run one method variant under the given budget.
@@ -210,6 +217,21 @@ class ExperimentSetup:
         same seeded configuration against a populated cache replays every
         training at lookup cost).  The counters copied into the result are
         this run's lookups only, not the shared cache's lifetime totals.
+
+        ``faults`` switches on deterministic fault injection (pool path
+        only): each evaluation attempt may crash, hang, NaN, OOM or lose
+        its hardware measurement at the given per-attempt rates, governed
+        by ``retry`` (timeouts, attempt budget, backoff — defaults to
+        :class:`~repro.core.faults.RetryPolicy`).  The injection stream is
+        seeded by ``fault_seed`` (derived from the setup/run seeds when
+        None), so failures are reproducible across backends and resumes.
+
+        ``journal`` writes a crash-safe JSONL journal of the run (see
+        :class:`~repro.io.RunJournal`); ``resume_from`` replays one left
+        behind by an interrupted run and continues it bit-identically
+        (the journal's recorded parameters must match this call's).  When
+        resuming without an explicit ``journal``, new rounds are appended
+        to the resumed journal itself.
         """
         method = build_method(
             solver,
@@ -226,6 +248,17 @@ class ExperimentSetup:
 
         tag = zlib.crc32(f"{solver}/{variant}".encode("utf-8"))
         objective = self.new_objective(int(run_seed) * 0x10000 + (tag & 0xFFFF))
+        if faults is not None and backend is None:
+            raise ValueError(
+                "fault injection requires a pool backend (the sequential "
+                "paper loop has no retry machinery)"
+            )
+        if fault_seed is None:
+            fault_seed = int(
+                np.random.SeedSequence(
+                    [self.seed, 6, int(run_seed), tag]
+                ).generate_state(1)[0]
+            )
         pool = None
         if backend is not None:
             pool_seed = int(
@@ -241,6 +274,12 @@ class ExperimentSetup:
                 workers=workers,
                 cache=cache,
                 seed=pool_seed,
+                injector=(
+                    None
+                    if faults is None
+                    else FaultInjector(faults, seed=fault_seed)
+                ),
+                retry=retry,
             )
         driver = HyperPower(
             objective, method, variant, self.cost_model, pool=pool
@@ -248,13 +287,68 @@ class ExperimentSetup:
         rng = np.random.default_rng(
             np.random.SeedSequence([self.seed, 4, int(run_seed), tag])
         )
+        run_journal, replay = self._journal_and_replay(
+            journal,
+            resume_from,
+            meta={
+                "setup_seed": self.seed,
+                "dataset": self.dataset_name,
+                "device": self.device_key,
+                "solver": solver,
+                "variant": variant,
+                "run_seed": int(run_seed),
+                "max_evaluations": max_evaluations,
+                "max_time_s": max_time_s,
+                "backend": backend,
+                "workers": int(workers),
+                "faults": None if faults is None else asdict(faults),
+                "fault_seed": None if faults is None else fault_seed,
+                "retry": asdict(RetryPolicy() if retry is None else retry),
+            },
+        )
         try:
             return driver.run(
-                rng, max_evaluations=max_evaluations, max_time_s=max_time_s
+                rng,
+                max_evaluations=max_evaluations,
+                max_time_s=max_time_s,
+                journal=run_journal,
+                replay=replay,
             )
         finally:
+            if run_journal is not None:
+                run_journal.close()
             if pool is not None:
                 pool.close()
+
+    @staticmethod
+    def _journal_and_replay(journal, resume_from, meta):
+        """Open the journal writer and/or replay for one run.
+
+        Imported lazily: :mod:`repro.io` is only needed when journaling is
+        actually requested.
+        """
+        if journal is None and resume_from is None:
+            return None, None
+        from ..io import JournalReplay, RunJournal
+
+        replay = None
+        if resume_from is not None:
+            replay = JournalReplay.load(resume_from)
+            if replay.meta != meta:
+                raise ValueError(
+                    "cannot resume: the journal was written under different "
+                    f"run parameters ({replay.meta!r} != {meta!r})"
+                )
+        if journal is None:
+            run_journal = RunJournal.reopen(resume_from)
+        elif (
+            resume_from is not None
+            and Path(journal).resolve() == Path(resume_from).resolve()
+        ):
+            run_journal = RunJournal.reopen(journal)
+        else:
+            run_journal = RunJournal(journal, meta=meta)
+        return run_journal, replay
 
 
 def quick_setup(

@@ -1,27 +1,50 @@
-"""JSON serialization of runs and studies.
+"""JSON serialization of runs, studies and crash-safe run journals.
 
 Optimization runs are the expensive artifact of this package; these
 helpers persist them (and reload them) so tables and figures can be
 re-rendered — or re-analysed — without re-running anything.  The format is
 plain JSON: one object per :class:`~repro.core.result.RunResult` with its
 trials inlined, NaNs encoded as ``null``.
+
+The journal half (:class:`RunJournal` / :class:`JournalReplay`) protects
+runs *while they execute*: every completed round of trials is appended to
+a JSONL file and fsynced before the next round starts, so a killed
+process loses at most the round in flight.  Resuming replays the journal
+through the driver — proposals, RNG streams and clock charges recompute
+identically while the journaled evaluation results substitute for the
+trainings — and the run continues bit-identically to an uninterrupted one.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
+from dataclasses import dataclass
 from pathlib import Path
 
+import numpy as np
+
+from .core.objective import EvaluationOutcome
 from .core.result import RunResult, Trial, TrialStatus
+from .hwsim.nvml import PowerTrace
+from .hwsim.profiler import HardwareMeasurement
 
 __all__ = [
     "trial_to_dict",
     "trial_from_dict",
+    "measurement_to_dict",
+    "measurement_from_dict",
+    "outcome_to_dict",
+    "outcome_from_dict",
     "run_to_dict",
     "run_from_dict",
     "save_runs",
     "load_runs",
+    "JOURNAL_FORMAT",
+    "RunJournal",
+    "JournalReplay",
+    "ReplayEval",
 ]
 
 
@@ -51,6 +74,11 @@ def trial_to_dict(trial: Trial) -> dict:
         "latency_meas_s": _none_if_nan(trial.latency_meas_s),
         "feasible_pred": trial.feasible_pred,
         "feasible_meas": trial.feasible_meas,
+        "attempts": trial.attempts,
+        "faults": list(trial.faults),
+        "failure_kind": trial.failure_kind,
+        "retry_s": trial.retry_s,
+        "measurement_degraded": trial.measurement_degraded,
     }
 
 
@@ -73,6 +101,81 @@ def trial_from_dict(data: dict) -> Trial:
         latency_meas_s=data.get("latency_meas_s"),
         feasible_pred=data.get("feasible_pred"),
         feasible_meas=data.get("feasible_meas"),
+        attempts=int(data.get("attempts", 0)),
+        faults=tuple(data.get("faults", ())),
+        failure_kind=data.get("failure_kind"),
+        retry_s=float(data.get("retry_s", 0.0)),
+        measurement_degraded=bool(data.get("measurement_degraded", False)),
+    )
+
+
+def measurement_to_dict(measurement: HardwareMeasurement) -> dict:
+    """JSON-ready dictionary for one hardware measurement.
+
+    The raw power-sensor trace is included in full, so a journaled
+    outcome reconstructs bit-identically (floats round-trip exactly
+    through JSON's shortest-repr encoding).
+    """
+    return {
+        "device_name": measurement.device_name,
+        "power_w": measurement.power_w,
+        "memory_bytes": measurement.memory_bytes,
+        "latency_s": measurement.latency_s,
+        "duration_s": measurement.duration_s,
+        "samples_w": [float(s) for s in measurement.power_trace.samples_w],
+        "sample_hz": measurement.power_trace.sample_hz,
+    }
+
+
+def measurement_from_dict(data: dict) -> HardwareMeasurement:
+    """Inverse of :func:`measurement_to_dict`."""
+    return HardwareMeasurement(
+        device_name=data["device_name"],
+        power_w=float(data["power_w"]),
+        memory_bytes=data.get("memory_bytes"),
+        latency_s=float(data["latency_s"]),
+        duration_s=float(data["duration_s"]),
+        power_trace=PowerTrace(
+            samples_w=np.asarray(data["samples_w"], dtype=float),
+            sample_hz=float(data["sample_hz"]),
+        ),
+    )
+
+
+def outcome_to_dict(outcome: EvaluationOutcome) -> dict:
+    """JSON-ready dictionary for one evaluation outcome."""
+    return {
+        "error": outcome.error,
+        "final_error": outcome.final_error,
+        "epochs_run": outcome.epochs_run,
+        "stopped_early": outcome.stopped_early,
+        "diverged": outcome.diverged,
+        "measurement": (
+            None
+            if outcome.measurement is None
+            else measurement_to_dict(outcome.measurement)
+        ),
+        "feasible_meas": outcome.feasible_meas,
+        "cost_s": outcome.cost_s,
+        "measurement_failed": outcome.measurement_failed,
+    }
+
+
+def outcome_from_dict(data: dict) -> EvaluationOutcome:
+    """Inverse of :func:`outcome_to_dict`."""
+    measurement = data.get("measurement")
+    return EvaluationOutcome(
+        error=float(data["error"]),
+        final_error=float(data["final_error"]),
+        epochs_run=int(data["epochs_run"]),
+        stopped_early=bool(data["stopped_early"]),
+        diverged=bool(data["diverged"]),
+        measurement=(
+            None if measurement is None else measurement_from_dict(measurement)
+        ),
+        feasible_meas=data.get("feasible_meas"),
+        cost_s=float(data["cost_s"]),
+        measurement_failed=bool(data.get("measurement_failed", False)),
     )
 
 
@@ -121,3 +224,253 @@ def load_runs(path: str | Path) -> list[RunResult]:
     if payload.get("format") != "repro-runs/1":
         raise ValueError(f"{path}: not a repro runs file")
     return [run_from_dict(r) for r in payload["runs"]]
+
+
+# -- crash-safe run journaling ------------------------------------------------
+
+#: Format tag of the journal header line.
+JOURNAL_FORMAT = "repro-journal/1"
+
+
+def _scan_journal(path: Path) -> tuple[dict, list[dict], dict | None, int]:
+    """Parse a journal file, tolerating a corrupt tail.
+
+    Returns ``(header, rounds, end, keep_bytes)`` where ``keep_bytes`` is
+    the byte length of the valid *round* prefix — the offset a resuming
+    writer truncates to (the end marker, if any, is dropped too: the run
+    is about to continue past it).  A torn or corrupt line (the crash
+    landed mid-write) invalidates itself and everything after it.
+    """
+    raw = path.read_bytes()
+    header: dict | None = None
+    rounds: list[dict] = []
+    end: dict | None = None
+    keep = 0
+    offset = 0
+    for line in raw.split(b"\n"):
+        line_end = offset + len(line) + 1  # + the newline
+        if line_end > len(raw):
+            break  # torn final line (no newline): mid-write crash
+        if line.strip():
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                break
+            if header is None:
+                if record.get("format") != JOURNAL_FORMAT:
+                    raise ValueError(f"{path}: not a repro journal file")
+                header = record
+                keep = line_end
+            elif "round" in record:
+                if end is not None or int(record["round"]) != len(rounds):
+                    break  # out-of-order round: corrupt
+                rounds.append(record)
+                keep = line_end
+            elif "end" in record:
+                end = record
+            else:
+                break
+        offset = line_end
+    if header is None:
+        raise ValueError(f"{path}: not a repro journal file")
+    return header, rounds, end, keep
+
+
+def _eval_entry(pool_outcome) -> dict:
+    """Journal entry for one fresh (dispatched) pool evaluation."""
+    return {
+        "seed": pool_outcome.seed,
+        "attempts": pool_outcome.attempts,
+        "faults": list(pool_outcome.faults),
+        "failure_kind": pool_outcome.failure_kind,
+        "retry_s": pool_outcome.retry_s,
+        "outcome": (
+            None
+            if pool_outcome.outcome is None
+            else outcome_to_dict(pool_outcome.outcome)
+        ),
+    }
+
+
+class RunJournal:
+    """Append-only JSONL journal of a run in progress.
+
+    Line 1 is a header (``{"format": "repro-journal/1", "meta": ...}``);
+    each subsequent line records one completed driver round — the trials
+    it produced plus, on the pool path, the fresh evaluation results
+    needed to replay the round without re-training.  Every line is
+    flushed and fsynced before :meth:`append_round` returns, so a crash
+    loses at most the round in flight; :func:`JournalReplay.load`
+    tolerates (and a resuming :meth:`reopen` truncates) a torn tail.
+    """
+
+    def __init__(self, path: str | Path, meta: dict | None = None):
+        self.path = Path(path)
+        self.meta = {} if meta is None else dict(meta)
+        #: Whether the driver should *not* re-append rounds it is
+        #: replaying from this very file (set by :meth:`reopen`).
+        self.skip_replay = False
+        self.finished = False
+        self._round = 0
+        self._fh = open(self.path, "wb")
+        self._write_line({"format": JOURNAL_FORMAT, "meta": self.meta})
+
+    @classmethod
+    def reopen(cls, path: str | Path) -> "RunJournal":
+        """Reopen an interrupted journal for a resumed run.
+
+        Recovers the valid round prefix (truncating any torn tail and any
+        end marker), then appends the resumed run's new rounds after it.
+        The returned journal has ``skip_replay=True``: the replayed
+        rounds are already on disk.
+        """
+        path = Path(path)
+        header, rounds, _, keep = _scan_journal(path)
+        journal = cls.__new__(cls)
+        journal.path = path
+        journal.meta = dict(header.get("meta", {}))
+        journal.skip_replay = True
+        journal.finished = False
+        journal._round = len(rounds)
+        with open(path, "r+b") as fh:
+            fh.truncate(keep)
+        journal._fh = open(path, "ab")
+        return journal
+
+    def _write_line(self, record: dict) -> None:
+        if self._fh is None:
+            raise ValueError("journal is closed")
+        self._fh.write(json.dumps(record).encode("utf-8") + b"\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def append_round(self, trials, pool_outcomes=None) -> None:
+        """Record one completed driver round, durably.
+
+        ``pool_outcomes`` is the round's full :class:`~repro.core.
+        parallel.PoolOutcome` list (``None`` on the sequential path);
+        only the fresh dispatches — the slots a replay must substitute —
+        are journaled, since cache hits and within-batch duplicates
+        reconstruct themselves from the earlier rounds' outcomes.
+        """
+        record = {
+            "round": self._round,
+            "trials": [trial_to_dict(t) for t in trials],
+            "evals": (
+                None
+                if pool_outcomes is None
+                else [
+                    _eval_entry(po)
+                    for po in pool_outcomes
+                    if not po.cached and po.seed is not None
+                ]
+            ),
+        }
+        self._write_line(record)
+        self._round += 1
+
+    def finish(self, result: RunResult) -> None:
+        """Mark the run complete (a resumed run without an end marker
+        replays every round, then keeps running until its budget)."""
+        self._write_line(
+            {
+                "end": True,
+                "wall_time_s": result.wall_time_s,
+                "n_samples": result.n_samples,
+                "n_failed": result.n_failed,
+            }
+        )
+        self.finished = True
+        self.close()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class ReplayEval:
+    """One journaled fresh evaluation, ready for pool substitution."""
+
+    seed: int
+    outcome: EvaluationOutcome | None
+    attempts: int
+    faults: tuple[str, ...]
+    failure_kind: str | None
+    retry_s: float
+
+
+class JournalReplay:
+    """A recovered journal, in the shape the driver's replay hooks need."""
+
+    def __init__(self, meta: dict, rounds: list[dict], finished: bool):
+        self.meta = meta
+        self._rounds = rounds
+        #: Whether the journal carries the run's end marker — nothing was
+        #: lost, the resumed run will replay to completion and stop.
+        self.finished = finished
+        self._evals = [
+            None
+            if r["evals"] is None
+            else [
+                ReplayEval(
+                    seed=int(e["seed"]),
+                    outcome=(
+                        None
+                        if e["outcome"] is None
+                        else outcome_from_dict(e["outcome"])
+                    ),
+                    attempts=int(e["attempts"]),
+                    faults=tuple(e["faults"]),
+                    failure_kind=e["failure_kind"],
+                    retry_s=float(e["retry_s"]),
+                )
+                for e in r["evals"]
+            ]
+            for r in rounds
+        ]
+
+    @classmethod
+    def load(cls, path: str | Path) -> "JournalReplay":
+        """Recover a journal from disk, dropping any torn tail."""
+        header, rounds, end, _ = _scan_journal(Path(path))
+        return cls(
+            meta=dict(header.get("meta", {})),
+            rounds=rounds,
+            finished=end is not None,
+        )
+
+    @property
+    def n_rounds(self) -> int:
+        """Journaled (replayable) rounds."""
+        return len(self._rounds)
+
+    def pool_evals(self, round_index: int):
+        """The fresh-evaluation substitutions for one round (``None`` on
+        sequential-path rounds, which re-execute deterministically)."""
+        return self._evals[round_index]
+
+    def verify_round(self, round_index: int, trials) -> None:
+        """Check a recomputed round against the journal, field by field.
+
+        The resume contract is bit-identity: every recomputed trial must
+        serialise exactly as the original run journaled it.  A mismatch
+        means the run was resumed under different parameters (or the
+        journal belongs to a different run) and continuing would silently
+        fork history.
+        """
+        recorded = self._rounds[round_index]["trials"]
+        recomputed = [trial_to_dict(t) for t in trials]
+        if recomputed != recorded:
+            raise ValueError(
+                f"journal replay mismatch in round {round_index}: the "
+                "recomputed trials differ from the journaled ones (was the "
+                "run resumed with different parameters?)"
+            )

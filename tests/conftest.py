@@ -1,0 +1,16 @@
+"""Shared fixtures for the test suite."""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def fault_backend():
+    """Worker backend for the fault-injection stress tests.
+
+    CI's faults job runs the ``-m faults`` selection once per backend by
+    setting ``FAULTS_BACKEND``; locally the serial backend keeps the
+    default run fast.
+    """
+    return os.environ.get("FAULTS_BACKEND", "serial")

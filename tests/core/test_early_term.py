@@ -30,6 +30,32 @@ class TestPolicy:
         with pytest.raises(ValueError):
             EarlyTermination(chance_error=0.9, min_improvement=1.5)
 
+    def test_validation_rejects_nan(self):
+        """NaN fails every comparison, so `check_epoch < 1`-style checks
+        used to let it through; the positive-assertion form rejects it."""
+        nan = float("nan")
+        with pytest.raises(ValueError):
+            EarlyTermination(chance_error=nan)
+        with pytest.raises(ValueError):
+            EarlyTermination(chance_error=0.9, check_epoch=nan)
+        with pytest.raises(ValueError):
+            EarlyTermination(chance_error=0.9, min_improvement=nan)
+
+    def test_curve_extrapolation_validation_rejects_nan(self):
+        from repro.core.early_term import CurveExtrapolationTermination
+
+        nan = float("nan")
+        good = dict(target_error=0.1, horizon_epochs=30)
+        CurveExtrapolationTermination(**good)  # sanity: the base is valid
+        for override in (
+            {"target_error": nan},
+            {"horizon_epochs": nan},
+            {"check_epoch": nan},
+            {"grid_size": nan},
+        ):
+            with pytest.raises(ValueError):
+                CurveExtrapolationTermination(**{**good, **override})
+
     def test_no_stop_before_check_epoch(self):
         policy = EarlyTermination(chance_error=0.9, check_epoch=3)
         high = np.array([0.92])

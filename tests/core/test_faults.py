@@ -1,0 +1,389 @@
+"""Fault injection, retry policy, and failure semantics of the pool.
+
+The contract under test: faults are a pure function of seeds (identical
+on every backend, byte-identical no-op when disabled), retries and
+backoff are charged to the simulated clock, exhausted budgets become
+FAILED trials instead of exceptions, and failed measurements degrade to
+the predictive models without poisoning the trial cache.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.faults import (
+    CRASH,
+    FAULT_KINDS,
+    HANG,
+    NAN_LOSS,
+    NVML,
+    OOM,
+    TIMEOUT,
+    FaultInjector,
+    FaultRates,
+    RetryPolicy,
+    TrialFault,
+    retry_seed,
+)
+from repro.core.parallel import EvaluationPool
+from repro.core.result import TrialStatus
+from repro.experiments.setup import quick_setup
+from repro.io import run_to_dict
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return quick_setup(
+        "mnist", "gtx1070", power_budget_w=85.0, memory_budget_gb=1.15,
+        seed=0, profiling_samples=100,
+    )
+
+
+# -- rates and policy validation ---------------------------------------------------
+
+
+class TestFaultRates:
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="crash"):
+            FaultRates(crash=-0.1)
+        with pytest.raises(ValueError, match="hang"):
+            FaultRates(hang=1.5)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="nan-loss"):
+            FaultRates(nan_loss=math.nan)
+
+    def test_rejects_sum_above_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            FaultRates(crash=0.5, hang=0.3, oom=0.3)
+
+    def test_any_active(self):
+        assert not FaultRates().any_active
+        assert FaultRates(nvml=0.01).any_active
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=math.nan)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            backoff_base_s=60.0, backoff_factor=2.0, backoff_max_s=200.0
+        )
+        assert policy.backoff_s(1) == 60.0
+        assert policy.backoff_s(2) == 120.0
+        assert policy.backoff_s(3) == 200.0  # capped, not 240
+        with pytest.raises(ValueError):
+            policy.backoff_s(0)
+
+
+class TestTrialFault:
+    def test_pickles(self):
+        import pickle
+
+        fault = TrialFault(CRASH, cost_s=12.5)
+        clone = pickle.loads(pickle.dumps(fault))
+        assert clone.kind == CRASH and clone.cost_s == 12.5
+
+
+# -- the injector ------------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_draw_is_deterministic(self):
+        injector = FaultInjector(FaultRates(crash=0.3, nvml=0.3), seed=42)
+        for trial_seed in (0, 17, 2**40):
+            for attempt in range(4):
+                a = injector.draw(trial_seed, attempt)
+                b = injector.draw(trial_seed, attempt)
+                assert a == b
+
+    def test_zero_rates_never_fire(self):
+        injector = FaultInjector(FaultRates(), seed=1)
+        assert all(
+            injector.draw(s, a) is None for s in range(50) for a in range(3)
+        )
+
+    def test_rates_are_respected(self):
+        injector = FaultInjector(
+            FaultRates(crash=0.25, nan_loss=0.25), seed=7
+        )
+        draws = [injector.draw(s, 0) for s in range(2000)]
+        kinds = [d.kind for d in draws if d is not None]
+        assert set(kinds) <= {CRASH, NAN_LOSS}
+        rate = len(kinds) / len(draws)
+        assert 0.45 < rate < 0.55
+        fractions = [d.fraction for d in draws if d is not None]
+        assert all(0.0 <= f < 1.0 for f in fractions)
+
+    def test_attempts_draw_independently(self):
+        injector = FaultInjector(FaultRates(crash=0.5), seed=3)
+        plans = [
+            tuple(injector.draw(s, a) is not None for a in range(4))
+            for s in range(100)
+        ]
+        # Some trial must recover on a retry (crash then clean).
+        assert any(p[0] and not p[1] for p in plans)
+
+
+class TestRetrySeed:
+    def test_attempt_zero_is_identity(self):
+        assert retry_seed(12345, 0) == 12345
+
+    def test_retries_are_distinct_and_deterministic(self):
+        seeds = {retry_seed(12345, a) for a in range(4)}
+        assert len(seeds) == 4
+        assert retry_seed(12345, 2) == retry_seed(12345, 2)
+
+
+# -- pool-level failure semantics --------------------------------------------------
+
+
+def _make_pool(setup, rates, retry=None, backend="serial", workers=2, seed=0):
+    objective = setup.new_objective(0)
+    return EvaluationPool(
+        objective,
+        backend=backend,
+        workers=workers,
+        seed=seed,
+        injector=FaultInjector(rates, seed=seed),
+        retry=retry,
+    ), objective
+
+
+def _sample_configs(setup, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [setup.space.sample(rng) for _ in range(n)]
+
+
+class TestPoolFailureSemantics:
+    def test_certain_crash_exhausts_attempts(self, setup):
+        retry = RetryPolicy(max_attempts=3, backoff_base_s=60.0)
+        pool, _ = _make_pool(setup, FaultRates(crash=1.0), retry=retry)
+        (outcome,) = pool.evaluate_batch(_sample_configs(setup, 1))
+        assert outcome.failed
+        assert outcome.outcome is None
+        assert outcome.attempts == 3
+        assert outcome.faults == (CRASH, CRASH, CRASH)
+        assert outcome.failure_kind == CRASH
+        # Two backoff waits (60 + 120) plus whatever the dead attempts
+        # consumed; the terminal attempt is charged without backoff.
+        assert outcome.retry_s > 60.0 + 120.0
+        assert outcome.total_cost_s == outcome.retry_s
+        # A lone failed slot is the batch's wall time.
+        assert (
+            EvaluationPool.batch_wall_time_s([outcome], 0.5)
+            == outcome.retry_s
+        )
+
+    def test_natural_timeout_is_synthesised(self, setup):
+        # Trainings cost minutes of simulated time; a 10 s deadline reaps
+        # every attempt even with no injected faults.
+        retry = RetryPolicy(max_attempts=2, timeout_s=10.0)
+        pool, _ = _make_pool(setup, FaultRates(), retry=retry)
+        (outcome,) = pool.evaluate_batch(_sample_configs(setup, 1))
+        assert outcome.failed
+        assert outcome.faults == (TIMEOUT, TIMEOUT)
+        assert outcome.failure_kind == TIMEOUT
+        # Each reaped attempt is charged exactly the deadline.
+        assert outcome.retry_s == 10.0 + retry.backoff_s(1) + 10.0
+
+    def test_hang_charges_timeout_when_set(self, setup):
+        retry = RetryPolicy(max_attempts=1, timeout_s=500.0)
+        pool, _ = _make_pool(setup, FaultRates(hang=1.0), retry=retry)
+        (outcome,) = pool.evaluate_batch(_sample_configs(setup, 1))
+        assert outcome.faults == (HANG,)
+        assert outcome.retry_s == 500.0
+
+    def test_hang_charges_injector_hang_s_without_timeout(self, setup):
+        objective = setup.new_objective(0)
+        pool = EvaluationPool(
+            objective,
+            backend="serial",
+            seed=0,
+            injector=FaultInjector(FaultRates(hang=1.0), seed=0, hang_s=777.0),
+            retry=RetryPolicy(max_attempts=1),
+        )
+        (outcome,) = pool.evaluate_batch(_sample_configs(setup, 1))
+        assert outcome.retry_s == 777.0
+
+    def test_nvml_degrades_instead_of_failing(self, setup):
+        pool, _ = _make_pool(setup, FaultRates(nvml=1.0))
+        (outcome,) = pool.evaluate_batch(_sample_configs(setup, 1))
+        assert not outcome.failed
+        assert outcome.outcome.measurement is None
+        assert outcome.outcome.measurement_failed
+        assert outcome.attempts == 1
+
+    def test_degraded_outcomes_are_not_cached(self, setup):
+        from repro.core.parallel import TrialCache
+
+        objective = setup.new_objective(0)
+        cache = TrialCache()
+        pool = EvaluationPool(
+            objective,
+            backend="serial",
+            seed=0,
+            cache=cache,
+            injector=FaultInjector(FaultRates(nvml=1.0), seed=0),
+        )
+        pool.evaluate_batch(_sample_configs(setup, 1))
+        assert len(cache) == 0
+
+    def test_failed_outcomes_are_not_cached(self, setup):
+        from repro.core.parallel import TrialCache
+
+        objective = setup.new_objective(0)
+        cache = TrialCache()
+        pool = EvaluationPool(
+            objective,
+            backend="serial",
+            seed=0,
+            cache=cache,
+            injector=FaultInjector(FaultRates(crash=1.0), seed=0),
+            retry=RetryPolicy(max_attempts=2),
+        )
+        configs = _sample_configs(setup, 1)
+        # The same config twice in one batch: the duplicate shares the
+        # failure without paying for it, and nothing enters the cache.
+        outcomes = pool.evaluate_batch([configs[0], dict(configs[0])])
+        assert len(cache) == 0
+        assert all(o.failed for o in outcomes)
+        assert outcomes[1].attempts == 0 and outcomes[1].retry_s == 0.0
+        assert outcomes[1].failure_kind == outcomes[0].failure_kind
+
+
+# -- end-to-end driver runs --------------------------------------------------------
+
+
+@pytest.mark.faults
+class TestDriverUnderFaults:
+    def test_zero_rates_are_a_strict_noop(self, setup, fault_backend):
+        base = setup.run(
+            "Rand", "hyperpower", run_seed=3, max_evaluations=8,
+            backend=fault_backend, workers=2,
+        )
+        zero = setup.run(
+            "Rand", "hyperpower", run_seed=3, max_evaluations=8,
+            backend=fault_backend, workers=2, faults=FaultRates(),
+            retry=RetryPolicy(max_attempts=5, timeout_s=None),
+        )
+        assert json.dumps(run_to_dict(base), sort_keys=True) == json.dumps(
+            run_to_dict(zero), sort_keys=True
+        )
+
+    def test_acceptance_run_survives_five_percent_faults(
+        self, setup, fault_backend
+    ):
+        """ISSUE acceptance: 5% crash + 5% NaN completes without raising,
+        records FAILED trials with their retry/backoff charges, and still
+        finds a feasible incumbent.
+
+        fault_seed 13 is chosen (from the deterministic draw stream) so
+        these 12 trained evaluations hit both a FAILED trial and at least
+        one fault recovered by a retry.
+        """
+        retry = RetryPolicy(max_attempts=2, backoff_base_s=60.0)
+        result = setup.run(
+            "Rand", "hyperpower", run_seed=3, max_evaluations=12,
+            backend=fault_backend, workers=2,
+            faults=FaultRates(crash=0.05, nan_loss=0.05), fault_seed=13,
+            retry=retry,
+        )
+        assert result.n_trained == 12
+        assert result.n_failed >= 1
+        assert result.n_faults > result.n_failed  # some faults recovered
+        assert result.found_feasible
+        for trial in result.trials:
+            if trial.status is TrialStatus.FAILED:
+                assert trial.cost_s == trial.retry_s > retry.backoff_s(1)
+            elif trial.attempts > 1:
+                # A recovered retry: one faulted attempt plus one backoff
+                # wait, charged on top of the final attempt's cost.
+                assert trial.retry_s > retry.backoff_s(1)
+                assert trial.cost_s > trial.retry_s
+        assert result.retry_time_s > 0.0
+
+    def test_failed_trials_are_recorded_not_raised(self, setup, fault_backend):
+        result = setup.run(
+            "Rand", "hyperpower", run_seed=3, max_evaluations=8,
+            backend=fault_backend, workers=2,
+            faults=FaultRates(crash=0.5, nan_loss=0.2), fault_seed=3,
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=60.0),
+        )
+        failed = [
+            t for t in result.trials if t.status is TrialStatus.FAILED
+        ]
+        assert failed, "seed 3 at these rates must produce FAILED trials"
+        for trial in failed:
+            assert not trial.was_trained
+            assert math.isnan(trial.error)
+            assert trial.failure_kind in FAULT_KINDS + (TIMEOUT,)
+            assert trial.attempts == 2
+            assert len(trial.faults) == 2
+            assert trial.cost_s == trial.retry_s > 0.0
+        # FAILED samples count as queried, never as trained.
+        assert result.n_trained == 8
+        assert result.n_samples >= 8 + len(failed)
+
+    def test_degraded_trials_fall_back_to_model_predictions(
+        self, setup, fault_backend
+    ):
+        result = setup.run(
+            "Rand", "hyperpower", run_seed=3, max_evaluations=8,
+            backend=fault_backend, workers=2,
+            faults=FaultRates(nvml=1.0),
+        )
+        degraded = [t for t in result.trials if t.measurement_degraded]
+        assert len(degraded) == 8
+        for trial in degraded:
+            assert trial.was_trained
+            assert trial.power_meas_w == trial.power_pred_w
+            assert trial.memory_meas_bytes == trial.memory_pred_bytes
+            assert trial.latency_meas_s is None
+            assert trial.feasible_meas is not None  # hyperpower has models
+
+    def test_default_variant_degrades_to_unknown_feasibility(
+        self, setup, fault_backend
+    ):
+        result = setup.run(
+            "Rand", "default", run_seed=3, max_evaluations=6,
+            backend=fault_backend, workers=2,
+            faults=FaultRates(nvml=1.0),
+        )
+        degraded = [t for t in result.trials if t.measurement_degraded]
+        assert len(degraded) == 6
+        # Model-free methods have no predictions to fall back on.
+        assert all(t.power_meas_w is None for t in degraded)
+        assert all(t.feasible_meas is None for t in degraded)
+
+    @pytest.mark.slow
+    def test_backends_agree_under_faults(self, setup):
+        """ISSUE acceptance: same fault seed, three backends, identical
+        RunResults — FAILED trials and retry accounting included."""
+        rates = FaultRates(
+            crash=0.3, hang=0.1, nan_loss=0.1, oom=0.1, nvml=0.1
+        )
+        docs = {}
+        for backend in ("serial", "thread", "process"):
+            result = setup.run(
+                "Rand", "hyperpower", run_seed=5, max_evaluations=8,
+                backend=backend, workers=3, faults=rates, fault_seed=11,
+                retry=RetryPolicy(max_attempts=3),
+            )
+            docs[backend] = json.dumps(run_to_dict(result), sort_keys=True)
+        assert docs["serial"] == docs["thread"] == docs["process"]
+        parsed = json.loads(docs["serial"])
+        statuses = {t["status"] for t in parsed["trials"]}
+        assert "failed" in statuses, "rates chosen to force FAILED trials"

@@ -69,8 +69,11 @@ class TestCanonicalKey:
 
 
 class _FakeOutcome:
-    def __init__(self, tag):
+    def __init__(self, tag, error=0.1, measurement="m", measurement_failed=False):
         self.tag = tag
+        self.error = error
+        self.measurement = measurement
+        self.measurement_failed = measurement_failed
 
 
 class TestTrialCacheAccounting:
@@ -108,6 +111,25 @@ class TestTrialCacheAccounting:
     def test_max_size_validation(self):
         with pytest.raises(ValueError, match="max_size"):
             TrialCache(max_size=0)
+
+    def test_rejects_non_finite_errors(self):
+        """A NaN/inf observation must never enter the cache: warm-cache
+        runs would replay the poisoned result forever."""
+        cache = TrialCache()
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ValueError, match="non-finite"):
+                cache.store({"a": 1}, _FakeOutcome("x", error=bad))
+        assert len(cache) == 0
+
+    def test_rejects_degraded_outcomes(self):
+        cache = TrialCache()
+        with pytest.raises(ValueError, match="degraded"):
+            cache.store({"a": 1}, _FakeOutcome("x", measurement=None))
+        with pytest.raises(ValueError, match="degraded"):
+            cache.store(
+                {"a": 1}, _FakeOutcome("x", measurement_failed=True)
+            )
+        assert len(cache) == 0
 
 
 # -- clock accounting of cached trials -------------------------------------------

@@ -1,11 +1,26 @@
 """Tests for repro.io (run serialization)."""
 
+import json
 import math
 
+import numpy as np
 import pytest
 
+from repro.core.faults import CRASH, NAN_LOSS, TIMEOUT
+from repro.core.objective import EvaluationOutcome
 from repro.core.result import RunResult, Trial, TrialStatus
-from repro.io import load_runs, run_from_dict, run_to_dict, save_runs
+from repro.hwsim.nvml import PowerTrace
+from repro.hwsim.profiler import HardwareMeasurement
+from repro.io import (
+    load_runs,
+    measurement_from_dict,
+    measurement_to_dict,
+    outcome_from_dict,
+    outcome_to_dict,
+    run_from_dict,
+    run_to_dict,
+    save_runs,
+)
 
 
 def sample_run():
@@ -41,6 +56,38 @@ def sample_run():
             memory_meas_bytes=1.0e9,
             feasible_pred=True,
             feasible_meas=True,
+            attempts=1,
+        ),
+        Trial(
+            index=2,
+            config={"conv1_features": 10, "learning_rate": 0.3},
+            status=TrialStatus.FAILED,
+            timestamp_s=1500.0,
+            cost_s=420.0,
+            power_pred_w=70.0,
+            feasible_pred=True,
+            attempts=3,
+            faults=(CRASH, TIMEOUT, NAN_LOSS),
+            failure_kind=NAN_LOSS,
+            retry_s=420.0,
+        ),
+        Trial(
+            index=3,
+            config={"conv1_features": 12, "learning_rate": 0.05},
+            status=TrialStatus.COMPLETED,
+            timestamp_s=2200.0,
+            cost_s=700.0,
+            error=0.02,
+            epochs_run=30,
+            diverged=False,
+            power_pred_w=75.0,
+            power_meas_w=75.0,
+            feasible_pred=True,
+            feasible_meas=True,
+            attempts=2,
+            faults=(CRASH,),
+            retry_s=95.0,
+            measurement_degraded=True,
         ),
     ]
     return run
@@ -74,6 +121,100 @@ class TestRoundtrip:
         assert clone.n_trained == run.n_trained
         assert clone.n_violations == run.n_violations
         assert clone.time_to_reach_samples(2) == run.time_to_reach_samples(2)
+
+    def test_failure_fields_roundtrip(self):
+        """Regression: FAILED status, fault kinds, retry counters and the
+        degradation flag must all survive serialisation."""
+        clone = run_from_dict(run_to_dict(sample_run()))
+        failed = clone.trials[2]
+        assert failed.status is TrialStatus.FAILED
+        assert not failed.was_trained
+        assert math.isnan(failed.error)
+        assert failed.attempts == 3
+        assert failed.faults == (CRASH, TIMEOUT, NAN_LOSS)
+        assert failed.failure_kind == NAN_LOSS
+        assert failed.retry_s == 420.0
+        recovered = clone.trials[3]
+        assert recovered.attempts == 2
+        assert recovered.faults == (CRASH,)
+        assert recovered.failure_kind is None
+        assert recovered.measurement_degraded
+        assert clone.n_failed == 1
+        assert clone.n_degraded == 1
+        assert clone.n_attempts == sum(t.attempts for t in sample_run().trials)
+        assert clone.retry_time_s == 515.0
+
+    def test_second_roundtrip_is_byte_stable(self):
+        once = run_to_dict(sample_run())
+        twice = run_to_dict(run_from_dict(once))
+        assert json.dumps(once, sort_keys=True) == json.dumps(
+            twice, sort_keys=True
+        )
+
+
+def sample_measurement():
+    return HardwareMeasurement(
+        device_name="GTX 1070",
+        power_w=81.25,
+        memory_bytes=1.1e9,
+        latency_s=0.004,
+        duration_s=5.0,
+        power_trace=PowerTrace(
+            samples_w=np.array([80.5, 81.0, 82.25]), sample_hz=10.0
+        ),
+    )
+
+
+class TestOutcomeRoundtrip:
+    def test_measurement_roundtrip_is_exact(self):
+        m = sample_measurement()
+        clone = measurement_from_dict(
+            json.loads(json.dumps(measurement_to_dict(m)))
+        )
+        assert clone.device_name == m.device_name
+        assert clone.power_w == m.power_w
+        assert clone.memory_bytes == m.memory_bytes
+        assert clone.latency_s == m.latency_s
+        assert (clone.power_trace.samples_w == m.power_trace.samples_w).all()
+        assert clone.power_trace.sample_hz == m.power_trace.sample_hz
+
+    def test_outcome_roundtrip(self):
+        outcome = EvaluationOutcome(
+            error=0.015,
+            final_error=0.017,
+            epochs_run=30,
+            stopped_early=False,
+            diverged=False,
+            measurement=sample_measurement(),
+            feasible_meas=True,
+            cost_s=612.5,
+        )
+        clone = outcome_from_dict(
+            json.loads(json.dumps(outcome_to_dict(outcome)))
+        )
+        assert clone.error == outcome.error
+        assert clone.cost_s == outcome.cost_s
+        assert clone.measurement.power_w == outcome.measurement.power_w
+        assert not clone.measurement_failed
+
+    def test_degraded_outcome_roundtrip(self):
+        outcome = EvaluationOutcome(
+            error=0.03,
+            final_error=0.03,
+            epochs_run=30,
+            stopped_early=False,
+            diverged=False,
+            measurement=None,
+            feasible_meas=None,
+            cost_s=500.0,
+            measurement_failed=True,
+        )
+        clone = outcome_from_dict(
+            json.loads(json.dumps(outcome_to_dict(outcome)))
+        )
+        assert clone.measurement is None
+        assert clone.feasible_meas is None
+        assert clone.measurement_failed
 
 
 class TestFiles:
