@@ -1,0 +1,108 @@
+"""Benchmark: wall-clock overhead of a fully traced run.
+
+The telemetry acceptance criterion (ISSUE 4) is that instrumentation is
+cheap enough to leave on: a run with a live ``Telemetry`` attached — every
+span recorded, every counter bumped — must cost < 5% wall-clock over the
+identical untraced run, and the screening fast path pinned by
+``bench_screen_batch.py`` must be untouched (the vectorised
+``screen_batch`` kernel itself carries no instrumentation).
+
+Both arms run the same seeded HW-IECI/hyperpower cell, so besides timing
+the bench re-asserts the core invariant: the traced ``RunResult``
+serialises byte-identically to the untraced one.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.experiments.setup import quick_setup
+from repro.io import run_to_dict
+from repro.telemetry import Telemetry
+
+from _shared import write_artifact
+
+MAX_OVERHEAD = 0.05
+TIMING_REPEATS = 5
+BUDGET = 12
+
+
+def _build_setup():
+    return quick_setup(
+        "mnist",
+        "gtx1070",
+        power_budget_w=85.0,
+        memory_budget_gb=1.15,
+        seed=0,
+        profiling_samples=100,
+    )
+
+
+def _best_time(fn, repeats: int = TIMING_REPEATS) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, result = elapsed, out
+    return best, result
+
+
+def test_traced_run_overhead_is_small():
+    setup = _build_setup()
+    kwargs = dict(run_seed=1, max_evaluations=BUDGET, cache=None)
+
+    def untraced():
+        return setup.run("HW-IECI", "hyperpower", **kwargs)
+
+    def traced():
+        telemetry = Telemetry()
+        result = setup.run(
+            "HW-IECI", "hyperpower", telemetry=telemetry, **kwargs
+        )
+        return result, telemetry
+
+    untraced()  # warm imports and allocator pools before timing
+    t_plain, plain = _best_time(untraced)
+    t_traced, (traced_result, telemetry) = _best_time(traced)
+
+    # Tracing must never perturb the run itself.
+    plain_json = json.dumps(run_to_dict(plain), sort_keys=True)
+    traced_json = json.dumps(run_to_dict(traced_result), sort_keys=True)
+    assert plain_json == traced_json, "tracing changed the serialised run"
+    assert telemetry.tracer.spans, "traced arm recorded no spans"
+
+    overhead = t_traced / t_plain - 1.0
+    assert overhead < MAX_OVERHEAD, (
+        f"traced run {overhead * 100:.1f}% slower than untraced "
+        f"(budget {MAX_OVERHEAD * 100:.0f}%): untraced {t_plain * 1e3:.1f} ms, "
+        f"traced {t_traced * 1e3:.1f} ms"
+    )
+
+    write_artifact(
+        "telemetry_overhead.txt",
+        "\n".join(
+            [
+                f"evaluations        {BUDGET}",
+                f"spans recorded     {len(telemetry.tracer.spans)}",
+                f"results identical  {plain_json == traced_json}",
+                f"untraced time      {t_plain * 1e3:.1f} ms",
+                f"traced time        {t_traced * 1e3:.1f} ms",
+                f"overhead           {overhead * 100:+.1f}%",
+            ]
+        )
+        + "\n",
+    )
+
+
+if __name__ == "__main__":
+    from pathlib import Path
+
+    test_traced_run_overhead_is_small()
+    print(
+        (
+            Path(__file__).resolve().parent / "out" / "telemetry_overhead.txt"
+        ).read_text()
+    )

@@ -163,6 +163,13 @@ def _cmd_run(args) -> None:
         kwargs["journal"] = args.journal
     if args.resume:
         kwargs["resume_from"] = args.resume
+    telemetry = None
+    if args.trace_out or args.metrics_out:
+        # Created only now so a --warm-cache pre-run stays untraced.
+        from .telemetry import Telemetry
+
+        telemetry = Telemetry()
+        kwargs["telemetry"] = telemetry
     result = setup.run(args.solver, args.variant, run_seed=args.run_seed, **kwargs)
     print(
         f"{args.solver}/{args.variant} on {args.pair}: "
@@ -183,6 +190,27 @@ def _cmd_run(args) -> None:
             f"{result.n_faults} faulted attempts absorbed, "
             f"{result.retry_time_s:.0f}s of retries/backoff charged"
         )
+    if telemetry is not None:
+        from .telemetry import write_metrics, write_trace
+
+        meta = {
+            "pair": args.pair,
+            "solver": args.solver,
+            "variant": args.variant,
+            "seed": args.seed,
+            "run_seed": args.run_seed,
+        }
+        if args.trace_out:
+            path = write_trace(args.trace_out, telemetry.tracer, meta=meta)
+            print(
+                f"saved trace to {path} ({telemetry.tracer.n_spans} spans, "
+                f"{telemetry.tracer.dropped} dropped)"
+            )
+        if args.metrics_out:
+            path = write_metrics(
+                args.metrics_out, telemetry.metrics.snapshot(), meta=meta
+            )
+            print(f"saved metrics to {path}")
     if args.out:
         path = save_runs([result], args.out)
         print(f"saved run to {path}")
@@ -269,6 +297,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume an interrupted run from its journal "
                         "(continues bit-identically; appends to the same "
                         "journal unless --journal names another file)")
+    p.add_argument("--trace-out", default=None,
+                   help="write a JSONL span trace of the run (tracing never "
+                        "changes the run's results)")
+    p.add_argument("--metrics-out", default=None,
+                   help="write the run's metrics snapshot as JSON")
     p.add_argument("--out", default=None, help="save the run as JSON")
     return parser
 

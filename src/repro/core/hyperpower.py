@@ -25,6 +25,8 @@ import numpy as np
 
 from ..models.hw_models import MemoryModel, PowerModel
 from ..space.space import SearchSpace
+from ..telemetry.metrics import NOOP_METRICS
+from ..telemetry.tracer import NOOP_TRACER
 from .acquisition import HWCWEI, HWIECI
 from .clock import DEFAULT_COST_MODEL, CostModel
 from .constraints import ConstraintSpec, GPConstraintModel, ModelConstraintChecker
@@ -144,6 +146,7 @@ class HyperPower:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         early_term: bool | None = None,
         pool: EvaluationPool | None = None,
+        telemetry=None,
     ):
         """``early_term`` overrides the variant's default (HyperPower on,
         default off) — used by the ablation benches to isolate the two
@@ -156,6 +159,13 @@ class HyperPower:
         clock q-parallel wall time — the ``max`` over the concurrent
         trainings, not their sum.  ``pool=None`` keeps the paper's
         sequential Figure 2 loop, bit-for-bit.
+
+        ``telemetry`` (a :class:`~repro.telemetry.Telemetry` bundle)
+        switches on span tracing and metrics: the driver binds the
+        tracer to the objective's simulated clock and threads it through
+        the method, objective and pool.  Tracing only *reads* the clock
+        and RNG state, never consumes either, so traced and untraced
+        runs are byte-identical; the default is the shared no-op pair.
         """
         if variant not in VARIANTS:
             raise ValueError(
@@ -175,6 +185,35 @@ class HyperPower:
         if early_term is None:
             early_term = variant == "hyperpower"
         self.early_term = early_term
+
+        # -- telemetry threading ------------------------------------------
+        # The driver is the one component that sees every layer of a run,
+        # so it owns handing the tracer/registry to its collaborators.
+        self.telemetry = telemetry
+        if telemetry is None:
+            self.tracer = NOOP_TRACER
+            self.metrics = NOOP_METRICS
+        else:
+            self.tracer = telemetry.tracer
+            self.metrics = telemetry.metrics
+            if self.tracer.clock is None:
+                self.tracer.clock = objective.clock
+        objective.tracer = self.tracer
+        method.tracer = self.tracer
+        if pool is not None:
+            pool.bind_metrics(self.metrics)
+        metrics = self.metrics
+        self._m_trials = {
+            status: metrics.counter(f"trials.{status.value}")
+            for status in TrialStatus
+        }
+        self._m_rejections = metrics.counter("screen.rejections")
+        self._m_silent_checks = metrics.counter("screen.silent_checks")
+        self._m_gp_fits = metrics.counter("gp.refits")
+        self._m_gp_appends = metrics.counter("gp.appends")
+        self._m_attempts = metrics.counter("eval.attempts")
+        self._m_faults = metrics.counter("retry.faults")
+        self._m_retry_s = metrics.counter("retry.time_s")
 
     # -- trial recording -----------------------------------------------------------
 
@@ -196,20 +235,27 @@ class HyperPower:
         )
         state.trials.append(trial)
         result.trials.append(trial)
+        self._m_trials[TrialStatus.REJECTED_MODEL].inc()
+        self._m_rejections.inc()
 
     def _record_evaluation(
         self, state: SearchState, result: RunResult, proposal: Proposal
     ) -> None:
         clock = self.objective.clock
         clock.advance(self.cost_model.proposal_s)
-        outcome = self.objective.evaluate(
-            proposal.config, early_term=self.early_term
-        )
-        status = (
-            TrialStatus.EARLY_TERMINATED
-            if outcome.stopped_early
-            else TrialStatus.COMPLETED
-        )
+        with self.tracer.span("trial", index=len(state.trials)) as span:
+            # The objective emits the nested train/measure spans.
+            outcome = self.objective.evaluate(
+                proposal.config, early_term=self.early_term
+            )
+            status = (
+                TrialStatus.EARLY_TERMINATED
+                if outcome.stopped_early
+                else TrialStatus.COMPLETED
+            )
+            span.set(status=status.value, feasible_meas=outcome.feasible_meas)
+            if not math.isnan(outcome.error):
+                span.set(error=outcome.error)
         trial = Trial(
             index=len(state.trials),
             config=dict(proposal.config),
@@ -233,6 +279,8 @@ class HyperPower:
         state.trained_configs.append(dict(proposal.config))
         state.trained_errors.append(outcome.error)
         state.trained_feasible.append(outcome.feasible_meas)
+        self._m_trials[status].inc()
+        self._m_attempts.inc()
 
     def _record_batch(
         self,
@@ -240,6 +288,7 @@ class HyperPower:
         result: RunResult,
         proposals: list[Proposal],
         pool_outcomes: list[PoolOutcome],
+        batch_t0: float,
     ) -> None:
         """Record one q-parallel round of pool evaluations.
 
@@ -248,6 +297,13 @@ class HyperPower:
         ``cost_s`` still records its individual cost (lookup cost for
         cache hits, retry and backoff charges included for faulted
         evaluations).
+
+        ``batch_t0`` is the simulated time at which the round's
+        evaluations started (before the wall-time charge).  Workers run
+        in other processes and cannot share the tracer, so the driver
+        synthesizes the per-trial ``trial > {retry, train, measure}``
+        spans here from each outcome's recorded costs — identical across
+        the serial/thread/process backends by construction.
 
         Failure semantics: a slot that exhausted its retry budget becomes
         a ``FAILED`` trial — no observation, nothing appended to the
@@ -258,9 +314,31 @@ class HyperPower:
         ``measurement_degraded=True``.
         """
         clock = self.objective.clock
+        tracer = self.tracer
         for proposal, pool_outcome in zip(proposals, pool_outcomes):
             outcome = pool_outcome.outcome
+            self._m_attempts.inc(pool_outcome.attempts)
+            self._m_faults.inc(len(pool_outcome.faults))
+            self._m_retry_s.inc(pool_outcome.retry_s)
             if pool_outcome.failed:
+                sid = tracer.record(
+                    "trial",
+                    batch_t0,
+                    batch_t0 + pool_outcome.retry_s,
+                    index=len(state.trials),
+                    status=TrialStatus.FAILED.value,
+                    failure_kind=pool_outcome.failure_kind,
+                )
+                if pool_outcome.retry_s > 0:
+                    tracer.record(
+                        "retry",
+                        batch_t0,
+                        batch_t0 + pool_outcome.retry_s,
+                        parent=sid,
+                        attempts=pool_outcome.attempts,
+                        faults=list(pool_outcome.faults),
+                    )
+                self._m_trials[TrialStatus.FAILED].inc()
                 trial = Trial(
                     index=len(state.trials),
                     config=dict(proposal.config),
@@ -310,6 +388,43 @@ class HyperPower:
                 latency_meas = outcome.measurement.latency_s
                 feasible_meas = outcome.feasible_meas
                 degraded = False
+            attrs = {
+                "index": len(state.trials),
+                "status": status.value,
+                "feasible_meas": feasible_meas,
+            }
+            if not math.isnan(outcome.error):
+                attrs["error"] = outcome.error
+            sid = tracer.record("trial", batch_t0, batch_t0 + cost, **attrs)
+            if status is not TrialStatus.CACHED:
+                train_t0 = batch_t0
+                if pool_outcome.retry_s > 0:
+                    tracer.record(
+                        "retry",
+                        batch_t0,
+                        batch_t0 + pool_outcome.retry_s,
+                        parent=sid,
+                        attempts=pool_outcome.attempts,
+                        faults=list(pool_outcome.faults),
+                    )
+                    train_t0 = batch_t0 + pool_outcome.retry_s
+                trial_t1 = batch_t0 + cost
+                measure_s = (
+                    outcome.measurement.duration_s
+                    if outcome.measurement is not None
+                    else 0.0
+                )
+                tracer.record(
+                    "train",
+                    train_t0,
+                    trial_t1 - measure_s,
+                    parent=sid,
+                    epochs=epochs_run,
+                    stopped_early=outcome.stopped_early,
+                )
+                if outcome.measurement is not None:
+                    tracer.record("measure", trial_t1 - measure_s, trial_t1, parent=sid)
+            self._m_trials[status].inc()
             trial = Trial(
                 index=len(state.trials),
                 config=dict(proposal.config),
@@ -393,6 +508,14 @@ class HyperPower:
             chance_error=self.objective.trainer.dataset.chance_error,
         )
 
+        run_span = self.tracer.span(
+            "run",
+            method=self.method.name,
+            variant=self.variant,
+            dataset=result.dataset,
+            device=result.device,
+        )
+        run_span.__enter__()
         round_index = 0
         while True:
             if clock.exceeded(max_time_s):
@@ -415,29 +538,45 @@ class HyperPower:
                         round_size, max_evaluations - state.n_trained
                     )
 
+            round_span = self.tracer.span("round", index=round_index)
+            round_span.__enter__()
             trials_before = len(result.trials)
             proposals: list[Proposal] = []
             for _ in range(round_size):
-                proposal = self.method.propose(state, rng)
-                if proposal.silent_model_checks:
-                    clock.advance(
-                        self.cost_model.pool_check_s
-                        * proposal.silent_model_checks
+                with self.tracer.span("propose") as propose_span:
+                    proposal = self.method.propose(state, rng)
+                    if proposal.silent_model_checks:
+                        clock.advance(
+                            self.cost_model.pool_check_s
+                            * proposal.silent_model_checks
+                        )
+                    if proposal.gp_fits:
+                        clock.advance(
+                            proposal.gp_fits
+                            * self.cost_model.gp_fit_s(state.n_trained)
+                        )
+                    if proposal.gp_appends:
+                        clock.advance(
+                            proposal.gp_appends
+                            * self.cost_model.gp_append_s(state.n_trained)
+                        )
+                    propose_span.set(
+                        silent_checks=proposal.silent_model_checks,
+                        gp_fits=proposal.gp_fits,
+                        gp_appends=proposal.gp_appends,
+                        rejections=len(proposal.rejected),
                     )
-                if proposal.gp_fits:
-                    clock.advance(
-                        proposal.gp_fits
-                        * self.cost_model.gp_fit_s(state.n_trained)
-                    )
-                if proposal.gp_appends:
-                    clock.advance(
-                        proposal.gp_appends
-                        * self.cost_model.gp_append_s(state.n_trained)
-                    )
-                for rejected in proposal.rejected:
-                    self._record_rejection(state, result, rejected)
-                    if len(state.trials) >= self.MAX_SAMPLES:
-                        break
+                    self._m_silent_checks.inc(proposal.silent_model_checks)
+                    self._m_gp_fits.inc(proposal.gp_fits)
+                    self._m_gp_appends.inc(proposal.gp_appends)
+                    if proposal.rejected:
+                        with self.tracer.span(
+                            "screen", rejections=len(proposal.rejected)
+                        ):
+                            for rejected in proposal.rejected:
+                                self._record_rejection(state, result, rejected)
+                                if len(state.trials) >= self.MAX_SAMPLES:
+                                    break
                 proposals.append(proposal)
                 if len(state.trials) >= self.MAX_SAMPLES:
                     break
@@ -457,12 +596,15 @@ class HyperPower:
                         replay.pool_evals(round_index) if replaying else None
                     ),
                 )
+                batch_t0 = clock.now_s
                 clock.advance(
                     self.pool.batch_wall_time_s(
                         pool_outcomes, self.cost_model.cache_lookup_s
                     )
                 )
-                self._record_batch(state, result, proposals, pool_outcomes)
+                self._record_batch(
+                    state, result, proposals, pool_outcomes, batch_t0
+                )
 
             if replaying:
                 replay.verify_round(
@@ -474,8 +616,12 @@ class HyperPower:
                 journal.append_round(
                     result.trials[trials_before:], pool_outcomes
                 )
+            round_span.set(trials=len(result.trials) - trials_before)
+            round_span.__exit__(None, None, None)
             round_index += 1
 
+        run_span.set(rounds=round_index, samples=len(result.trials))
+        run_span.__exit__(None, None, None)
         result.wall_time_s = clock.now_s
         profile = getattr(self.method, "surrogate_profile", None)
         if profile is not None:
@@ -485,6 +631,8 @@ class HyperPower:
             # a shared (warm) cache carries counts from earlier runs.
             result.cache_hits = self.pool.hits
             result.cache_misses = self.pool.misses
+        if self.telemetry is not None:
+            result.telemetry = self.telemetry.snapshot()
         if journal is not None:
             journal.finish(result)
         return result

@@ -34,6 +34,7 @@ from ..gp.gp import GaussianProcess
 from ..gp.kernels import Matern52
 from ..gp.profile import SurrogateProfile
 from ..space.space import Configuration, SearchSpace
+from ..telemetry.tracer import NOOP_TRACER
 from .acquisition import Acquisition
 from .constraints import GPConstraintModel, ModelConstraintChecker
 from .result import Trial
@@ -177,6 +178,12 @@ class SearchMethod(ABC):
 
     #: Paper name of the solver (``'Rand'``, ``'HW-IECI'``, ...).
     name = "method"
+
+    #: Rebound by the driver when telemetry is on; proposing never
+    #: advances the simulated clock, so method-side spans (``gp_fit``,
+    #: ``acquisition``) have zero simulated duration and carry their
+    #: real cost in ``wall_ms``.
+    tracer = NOOP_TRACER
 
     def __init__(self, space: SearchSpace):
         self.space = space
@@ -578,16 +585,18 @@ class BayesianOptimizer(SearchMethod):
             restarts = self.gp_restarts
             if self.warm_start and n >= self.n_init + self.burn_in:
                 restarts = min(restarts, 1)
-            gp.fit(X, y, restarts=restarts, rng=rng)
+            with self.tracer.span("gp_fit", n_obs=n, restarts=restarts):
+                gp.fit(X, y, restarts=restarts, rng=rng)
             self._gp = gp
             self._gp_n = n
             self._last_refit_n = n
             return gp, 1, 0
-        appends = 0
-        for i in range(self._gp_n, n):
-            self._gp.append(X[i], y[i])
-            appends += 1
-        self._gp_n = n
+        appends = n - self._gp_n
+        if appends:
+            with self.tracer.span("gp_append", n_obs=n, appends=appends):
+                for i in range(self._gp_n, n):
+                    self._gp.append(X[i], y[i])
+            self._gp_n = n
         return self._gp, 0, appends
 
     def _refit_learned_constraints(self, state: SearchState) -> int:
@@ -643,8 +652,11 @@ class BayesianOptimizer(SearchMethod):
         incumbent = state.incumbent_error()
         candidates = self._candidate_pool(state, rng)
         X_cand = self.space.encode_many(candidates)
-        with self.surrogate_profile.timeit("acquisition"):
-            scores = self.acquisition.score(candidates, X_cand, gp, incumbent)
+        with self.tracer.span("acquisition", candidates=len(candidates)):
+            with self.surrogate_profile.timeit("acquisition"):
+                scores = self.acquisition.score(
+                    candidates, X_cand, gp, incumbent
+                )
 
         if np.max(scores) > 0:
             config = candidates[int(np.argmax(scores))]

@@ -24,6 +24,7 @@ import numpy as np
 from ..hwsim.profiler import HardwareMeasurement, HardwareProfiler
 from ..nn.builder import build_network
 from ..space.space import SearchSpace
+from ..telemetry.tracer import NOOP_TRACER
 from ..trainsim.trainer import TrainingSimulator
 from .clock import SimClock
 from .constraints import ConstraintSpec
@@ -80,6 +81,9 @@ class NNObjective:
         self.spec = spec
         self.clock = clock
         self._rng = rng
+        #: Bound by the driver when telemetry is on; tracing only reads
+        #: the clock, so traced evaluations stay byte-identical.
+        self.tracer = NOOP_TRACER
         if early_termination is None:
             early_termination = EarlyTermination(
                 chance_error=trainer.dataset.chance_error
@@ -115,7 +119,16 @@ class NNObjective:
         )
 
         cost = result.wall_time_s + measurement.duration_s
+        t0 = self.clock.now_s
         self.clock.advance(cost)
+        self.tracer.record(
+            "train",
+            t0,
+            t0 + result.wall_time_s,
+            epochs=result.epochs_run,
+            stopped_early=result.stopped_early,
+        )
+        self.tracer.record("measure", t0 + result.wall_time_s, t0 + cost)
         return EvaluationOutcome(
             error=result.best_error,
             final_error=result.final_error,

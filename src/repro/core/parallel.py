@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..telemetry.metrics import NOOP_METRICS
 from .faults import (
     HANG,
     TIMEOUT,
@@ -294,6 +295,22 @@ class EvaluationPool:
         self.misses = 0
         self._counter = 0
         self._executor: Executor | None = None
+        self.bind_metrics(NOOP_METRICS)
+
+    def bind_metrics(self, metrics) -> None:
+        """Attach a metrics registry (the driver calls this).
+
+        Pool metrics record only deterministic quantities — lookup counts,
+        dispatch waves, occupancy fractions — so snapshots are identical
+        across the serial/thread/process backends.
+        """
+        self._m_cache_hits = metrics.counter("cache.hits")
+        self._m_cache_misses = metrics.counter("cache.misses")
+        self._m_waves = metrics.counter("pool.waves")
+        self._m_dispatched = metrics.counter("pool.dispatched")
+        self._m_occupancy = metrics.histogram(
+            "pool.occupancy", bounds=(0.25, 0.5, 0.75, 1.0)
+        )
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -368,16 +385,19 @@ class EvaluationPool:
                 # Duplicate within this batch: reuse the in-flight result.
                 self.cache.hits += 1
                 self.hits += 1
+                self._m_cache_hits.inc()
                 pending[key].append(i)
                 continue
             cached = self.cache.get(key)
             if cached is not None:
                 self.hits += 1
+                self._m_cache_hits.inc()
                 outcomes[i] = PoolOutcome(
                     cached, cached=True, seed=None, attempts=0
                 )
             else:
                 self.misses += 1
+                self._m_cache_misses.inc()
                 pending[key] = []
                 fresh.append((i, config, self._next_seed()))
 
@@ -472,6 +492,9 @@ class EvaluationPool:
                 dispatch.append(
                     (i, config, retry_seed(trial_seed, attempt), fault)
                 )
+            self._m_waves.inc()
+            self._m_dispatched.inc(len(dispatch))
+            self._m_occupancy.observe(len(dispatch) / self.workers)
             raw = self._dispatch(dispatch, early_term)
             still_active = []
             for (i, _, _, _), res in zip(dispatch, raw):

@@ -138,6 +138,12 @@ class RunResult:
     #: excluded from :func:`~repro.io.run_to_dict`, whose output must stay
     #: byte-identical across identically-seeded re-runs.
     surrogate_timings: dict = field(default_factory=dict)
+    #: Telemetry summary of a traced run (the metrics snapshot plus span
+    #: buffer counts — see :meth:`repro.telemetry.Telemetry.snapshot`);
+    #: empty for untraced runs.  Every value is simulated-deterministic,
+    #: but the field is still excluded from :func:`~repro.io.run_to_dict`
+    #: so traced and untraced runs serialise identically.
+    telemetry: dict = field(default_factory=dict)
 
     # -- counting ----------------------------------------------------------------
 
@@ -208,8 +214,14 @@ class RunResult:
         return self.cache_hits / self.cache_lookups
 
     def violation_counts(self) -> np.ndarray:
-        """Cumulative violations after each queried sample (Figure 4 center)."""
-        return np.cumsum([1 if t.is_violation else 0 for t in self.trials])
+        """Cumulative violations after each queried sample (Figure 4 center).
+
+        Always integer-typed — ``np.cumsum`` of an empty list would
+        otherwise silently switch to float64 for empty runs.
+        """
+        return np.cumsum(
+            [1 if t.is_violation else 0 for t in self.trials], dtype=np.int64
+        )
 
     # -- best-error trajectories ----------------------------------------------
 

@@ -201,6 +201,7 @@ class ExperimentSetup:
         retry: RetryPolicy | None = None,
         journal: str | Path | None = None,
         resume_from: str | Path | None = None,
+        telemetry=None,
         **method_kwargs,
     ) -> RunResult:
         """Build and run one method variant under the given budget.
@@ -232,6 +233,11 @@ class ExperimentSetup:
         (the journal's recorded parameters must match this call's).  When
         resuming without an explicit ``journal``, new rounds are appended
         to the resumed journal itself.
+
+        ``telemetry`` (a :class:`~repro.telemetry.Telemetry` bundle)
+        switches on span tracing and run metrics; tracing never touches
+        the clock or any RNG stream, so the result is byte-identical to
+        an untraced run (modulo ``RunResult.telemetry`` itself).
         """
         method = build_method(
             solver,
@@ -282,7 +288,12 @@ class ExperimentSetup:
                 retry=retry,
             )
         driver = HyperPower(
-            objective, method, variant, self.cost_model, pool=pool
+            objective,
+            method,
+            variant,
+            self.cost_model,
+            pool=pool,
+            telemetry=telemetry,
         )
         rng = np.random.default_rng(
             np.random.SeedSequence([self.seed, 4, int(run_seed), tag])

@@ -13,13 +13,14 @@ process loses at most the round in flight.  Resuming replays the journal
 through the driver — proposals, RNG streams and clock charges recompute
 identically while the journaled evaluation results substitute for the
 trainings — and the run continues bit-identically to an uninterrupted one.
+The per-line durability and torn-tail recovery come from
+:mod:`repro.telemetry.jsonl`, the same machinery behind span-trace export.
 """
 
 from __future__ import annotations
 
 import json
 import math
-import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -29,6 +30,7 @@ from .core.objective import EvaluationOutcome
 from .core.result import RunResult, Trial, TrialStatus
 from .hwsim.nvml import PowerTrace
 from .hwsim.profiler import HardwareMeasurement
+from .telemetry.jsonl import JsonlWriter, scan_jsonl
 
 __all__ = [
     "trial_to_dict",
@@ -239,38 +241,29 @@ def _scan_journal(path: Path) -> tuple[dict, list[dict], dict | None, int]:
     the byte length of the valid *round* prefix — the offset a resuming
     writer truncates to (the end marker, if any, is dropped too: the run
     is about to continue past it).  A torn or corrupt line (the crash
-    landed mid-write) invalidates itself and everything after it.
+    landed mid-write) invalidates itself and everything after it
+    (:func:`~repro.telemetry.jsonl.scan_jsonl` handles that layer; this
+    function adds the journal's header/round-ordering rules).
     """
-    raw = path.read_bytes()
     header: dict | None = None
     rounds: list[dict] = []
     end: dict | None = None
     keep = 0
-    offset = 0
-    for line in raw.split(b"\n"):
-        line_end = offset + len(line) + 1  # + the newline
-        if line_end > len(raw):
-            break  # torn final line (no newline): mid-write crash
-        if line.strip():
-            try:
-                record = json.loads(line.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                break
-            if header is None:
-                if record.get("format") != JOURNAL_FORMAT:
-                    raise ValueError(f"{path}: not a repro journal file")
-                header = record
-                keep = line_end
-            elif "round" in record:
-                if end is not None or int(record["round"]) != len(rounds):
-                    break  # out-of-order round: corrupt
-                rounds.append(record)
-                keep = line_end
-            elif "end" in record:
-                end = record
-            else:
-                break
-        offset = line_end
+    for record, line_end in scan_jsonl(path.read_bytes()):
+        if header is None:
+            if record.get("format") != JOURNAL_FORMAT:
+                raise ValueError(f"{path}: not a repro journal file")
+            header = record
+            keep = line_end
+        elif "round" in record:
+            if end is not None or int(record["round"]) != len(rounds):
+                break  # out-of-order round: corrupt
+            rounds.append(record)
+            keep = line_end
+        elif "end" in record:
+            end = record
+        else:
+            break
     if header is None:
         raise ValueError(f"{path}: not a repro journal file")
     return header, rounds, end, keep
@@ -312,7 +305,7 @@ class RunJournal:
         self.skip_replay = False
         self.finished = False
         self._round = 0
-        self._fh = open(self.path, "wb")
+        self._writer = JsonlWriter(self.path)
         self._write_line({"format": JOURNAL_FORMAT, "meta": self.meta})
 
     @classmethod
@@ -334,15 +327,13 @@ class RunJournal:
         journal._round = len(rounds)
         with open(path, "r+b") as fh:
             fh.truncate(keep)
-        journal._fh = open(path, "ab")
+        journal._writer = JsonlWriter(path, append=True)
         return journal
 
     def _write_line(self, record: dict) -> None:
-        if self._fh is None:
+        if self._writer is None:
             raise ValueError("journal is closed")
-        self._fh.write(json.dumps(record).encode("utf-8") + b"\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        self._writer.write(record)
 
     def append_round(self, trials, pool_outcomes=None) -> None:
         """Record one completed driver round, durably.
@@ -384,9 +375,9 @@ class RunJournal:
         self.close()
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
 
     def __enter__(self) -> "RunJournal":
         return self

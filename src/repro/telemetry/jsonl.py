@@ -1,0 +1,81 @@
+"""Durable JSONL plumbing shared by the run journal and the trace exporter.
+
+Both crash-safe artifacts of this package — the run journal
+(:class:`~repro.io.RunJournal`) and the span trace
+(:func:`~repro.telemetry.export.write_trace`) — are append-only JSONL
+files with the same durability contract: every line is flushed and fsynced
+before the writer moves on, so a killed process loses at most the line in
+flight, and the reader tolerates (and can locate) a torn tail.  This
+module is that contract, factored out so the two formats cannot drift:
+
+* :class:`JsonlWriter` — one JSON object per line, fsync per line;
+* :func:`scan_jsonl` — parse a file's intact-line prefix, stopping at the
+  first torn or corrupt line and reporting the byte offset a resuming
+  writer may truncate to.
+
+It deliberately imports nothing from the rest of the package, so every
+layer (including :mod:`repro.io`) can build on it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["JsonlWriter", "scan_jsonl"]
+
+
+class JsonlWriter:
+    """Append-only JSONL writer with per-line flush + fsync."""
+
+    def __init__(self, path: str | Path, append: bool = False, fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self._fh = open(self.path, "ab" if append else "wb")
+
+    def write(self, record: dict) -> None:
+        """Write one record durably (flushed and fsynced before returning)."""
+        if self._fh is None:
+            raise ValueError(f"{self.path}: writer is closed")
+        self._fh.write(json.dumps(record).encode("utf-8") + b"\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def scan_jsonl(raw: bytes) -> list[tuple[dict, int]]:
+    """Parse the intact-record prefix of a JSONL byte string.
+
+    Returns ``(record, end_offset)`` pairs for every complete, valid
+    line, where ``end_offset`` is the byte offset just past the record's
+    newline — the offset a resuming writer truncates to in order to keep
+    the file through that record.  A torn final line (no trailing
+    newline: the crash landed mid-write), a non-UTF-8 line or a non-JSON
+    line invalidates itself and everything after it; blank lines are
+    skipped.
+    """
+    records: list[tuple[dict, int]] = []
+    offset = 0
+    for line in raw.split(b"\n"):
+        line_end = offset + len(line) + 1  # + the newline
+        if line_end > len(raw):
+            break  # torn final line (no newline): mid-write crash
+        if line.strip():
+            try:
+                records.append((json.loads(line.decode("utf-8")), line_end))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                break
+        offset = line_end
+    return records

@@ -1,8 +1,34 @@
 """Shared fixtures for the test suite."""
 
 import os
+from pathlib import Path
 
 import pytest
+
+#: Directory holding the committed golden telemetry fixtures.
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden telemetry fixtures from the current code "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def regen_golden(request):
+    """Whether this run regenerates the golden fixtures."""
+    return request.config.getoption("--regen-golden")
+
+
+@pytest.fixture(scope="session")
+def golden_dir():
+    """Directory of the committed golden telemetry fixtures."""
+    return GOLDEN_DIR
 
 
 @pytest.fixture(scope="session")
@@ -14,3 +40,15 @@ def fault_backend():
     default run fast.
     """
     return os.environ.get("FAULTS_BACKEND", "serial")
+
+
+@pytest.fixture(scope="session")
+def telemetry_backend():
+    """Worker backend for the pooled golden-trace tests.
+
+    CI's telemetry job runs the ``-m telemetry`` selection once per
+    backend by setting ``TELEMETRY_BACKEND``; the committed goldens were
+    generated on the serial backend, so passing under every backend *is*
+    the cross-backend trace-identity guarantee.
+    """
+    return os.environ.get("TELEMETRY_BACKEND", "serial")

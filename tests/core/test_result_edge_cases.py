@@ -1,0 +1,121 @@
+"""Empty- and degenerate-run edge cases of :class:`RunResult`.
+
+Aggregation code feeds these series straight into NumPy reductions, so
+an empty run must yield well-typed empty arrays and guarded ratios — no
+division-by-zero, no empty-array warnings, no silent dtype switches.
+Every test runs under warnings-as-errors to pin that.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.result import RunResult, Trial, TrialStatus
+
+pytestmark = pytest.mark.filterwarnings("error")
+
+
+def _empty_run() -> RunResult:
+    return RunResult(
+        method="Rand", variant="default", dataset="mnist", device="gtx1070"
+    )
+
+
+def _rejected(index: int) -> Trial:
+    return Trial(
+        index=index,
+        config={"x": index},
+        status=TrialStatus.REJECTED_MODEL,
+        timestamp_s=float(index),
+        cost_s=0.1,
+    )
+
+
+class TestEmptyRun:
+    def test_counts_are_zero(self):
+        run = _empty_run()
+        assert run.n_samples == 0
+        assert run.n_trained == 0
+        assert run.n_completed == 0
+        assert run.n_violations == 0
+        assert run.n_cached == 0
+        assert run.n_failed == 0
+        assert run.n_degraded == 0
+        assert run.n_attempts == 0
+        assert run.n_faults == 0
+        assert run.retry_time_s == 0.0
+
+    def test_cache_hit_rate_guards_zero_lookups(self):
+        run = _empty_run()
+        assert run.cache_lookups == 0
+        assert run.cache_hit_rate == 0.0
+
+    def test_cache_hit_rate_with_lookups(self):
+        run = _empty_run()
+        run.cache_hits, run.cache_misses = 3, 1
+        assert run.cache_hit_rate == 0.75
+
+    def test_best_error_falls_back_to_chance(self):
+        run = _empty_run()
+        assert run.best_feasible_error == run.chance_error
+        assert not run.found_feasible
+
+    def test_series_are_empty_and_well_typed(self):
+        run = _empty_run()
+        curve = run.best_error_vs_samples()
+        assert curve.shape == (0,)
+        assert curve.dtype == np.float64
+        times, values = run.best_error_vs_time()
+        assert times.shape == values.shape == (0,)
+        assert times.dtype == values.dtype == np.float64
+        violations = run.violation_counts()
+        assert violations.shape == (0,)
+        assert violations.dtype == np.int64
+
+    def test_reductions_over_empty_series_stay_guarded(self):
+        # What aggregation code does downstream — must not warn or raise.
+        run = _empty_run()
+        assert np.sum(run.violation_counts()) == 0
+        assert run.best_error_vs_samples().size == 0
+
+    def test_time_queries(self):
+        run = _empty_run()
+        assert run.time_to_reach_samples(1) == math.inf
+        assert run.time_to_reach_error(0.1) == math.inf
+        with pytest.raises(ValueError):
+            run.time_to_reach_samples(0)
+
+    def test_telemetry_defaults_empty(self):
+        assert _empty_run().telemetry == {}
+
+
+class TestAllRejectedRun:
+    """A run whose every sample was screened out: queried but untrained."""
+
+    def _run(self) -> RunResult:
+        run = _empty_run()
+        run.trials = [_rejected(i) for i in range(4)]
+        return run
+
+    def test_counts(self):
+        run = self._run()
+        assert run.n_samples == 4
+        assert run.n_trained == 0
+        assert run.best_feasible_error == run.chance_error
+
+    def test_series_hold_chance_and_int_zeros(self):
+        run = self._run()
+        assert np.all(run.best_error_vs_samples() == run.chance_error)
+        times, values = run.best_error_vs_time()
+        assert list(times) == [0.0, 1.0, 2.0, 3.0]
+        assert np.all(values == run.chance_error)
+        violations = run.violation_counts()
+        assert violations.dtype == np.int64
+        assert list(violations) == [0, 0, 0, 0]
+
+    def test_nan_errors_never_pollute_the_curve(self):
+        run = self._run()
+        # Rejected trials carry NaN errors by construction.
+        assert all(math.isnan(t.error) for t in run.trials)
+        assert not np.isnan(run.best_error_vs_samples()).any()

@@ -64,6 +64,48 @@ class TestCanonicalKey:
         shuffled = dict(items[i] for i in rng.permutation(len(items)))
         assert canonical_config_key(config) == canonical_config_key(shuffled)
 
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ivalue=st.integers(-(2**31), 2**31),
+        fvalue=st.floats(allow_nan=False, allow_infinity=False),
+        bvalue=st.booleans(),
+    )
+    def test_numpy_representation_invariance_property(
+        self, ivalue, fvalue, bvalue
+    ):
+        """Value-equal configs hash equal whatever scalar type carries them.
+
+        Covers the exact situation the pool produces: NumPy scalars coming
+        out of samplers versus native numbers coming out of JSON replays.
+        """
+        native = {"i": ivalue, "f": fvalue, "b": bvalue}
+        numpy_typed = {
+            "i": np.int64(ivalue),
+            "f": np.float64(fvalue),
+            "b": np.bool_(bvalue),
+        }
+        assert canonical_config_key(native) == canonical_config_key(
+            numpy_typed
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        value=st.floats(allow_nan=False, allow_infinity=False),
+        delta=st.floats(min_value=1e-12, max_value=1e6),
+    )
+    def test_distinct_floats_hash_differently_property(self, value, delta):
+        """Floats hash by shortest round-trip repr, so any two *different*
+        float values — however close — get different keys."""
+        other = value + delta
+        if other == value:  # delta vanished in rounding: same value
+            assert canonical_config_key({"x": value}) == canonical_config_key(
+                {"x": other}
+            )
+        else:
+            assert canonical_config_key({"x": value}) != canonical_config_key(
+                {"x": other}
+            )
+
 
 # -- hit/miss accounting ---------------------------------------------------------
 

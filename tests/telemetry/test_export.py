@@ -1,0 +1,115 @@
+"""Unit tests for trace/metrics export: round-trips, torn tails, diffs."""
+
+import json
+
+import pytest
+
+from repro.core.clock import SimClock
+from repro.telemetry import (
+    Tracer,
+    diff_traces,
+    load_trace,
+    normalize_trace,
+    span_from_dict,
+    span_to_dict,
+    write_metrics,
+    write_trace,
+)
+
+
+def _small_tracer():
+    clock = SimClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("run", method="Rand"):
+        clock.advance(10.0)
+        tracer.record("trial", 0.0, 10.0, status="completed", error=0.05)
+    return tracer
+
+
+def test_trace_round_trip(tmp_path):
+    tracer = _small_tracer()
+    path = write_trace(tmp_path / "run.trace.jsonl", tracer, meta={"cell": "x"})
+    trace = load_trace(path)
+    assert trace.complete
+    assert trace.dropped == 0
+    assert trace.meta == {"cell": "x"}
+    assert [s.name for s in trace.spans] == ["trial", "run"]
+    # Dict round-trip is exact, floats included.
+    for original, loaded in zip(tracer.spans, trace.spans):
+        assert span_to_dict(original) == span_to_dict(loaded)
+    # Hierarchy helpers.
+    (root,) = trace.roots()
+    assert root.name == "run"
+    assert [s.name for s in trace.children(root.span_id)] == ["trial"]
+    assert len(trace) == 2
+
+
+def test_load_trace_tolerates_torn_tail(tmp_path):
+    tracer = _small_tracer()
+    path = write_trace(tmp_path / "run.trace.jsonl", tracer)
+    raw = path.read_bytes()
+    # Tear into the end marker: spans survive, completeness is lost.
+    path.write_bytes(raw[: raw.rfind(b"\n", 0, len(raw) - 1) + 5])
+    trace = load_trace(path)
+    assert not trace.complete
+    assert [s.name for s in trace.spans] == ["trial", "run"]
+
+
+def test_load_trace_rejects_foreign_files(tmp_path):
+    path = tmp_path / "not-a-trace.jsonl"
+    path.write_text('{"format": "something-else"}\n', encoding="utf-8")
+    with pytest.raises(ValueError, match="not a repro trace"):
+        load_trace(path)
+    path.write_text("", encoding="utf-8")
+    with pytest.raises(ValueError, match="not a repro trace"):
+        load_trace(path)
+
+
+def test_span_from_dict_defaults():
+    span = span_from_dict({"id": 3, "name": "trial", "t0_s": 1, "t1_s": 2})
+    assert span.parent_id is None
+    assert span.wall_ms == 0.0
+    assert span.attrs == {}
+
+
+def test_normalize_strips_wall_time_only():
+    record = span_to_dict(_small_tracer().spans[1])
+    (normalized,) = normalize_trace([record])
+    assert "wall_ms" not in normalized
+    assert normalized["name"] == "run"
+    # The input record is not mutated.
+    assert "wall_ms" in record
+
+
+def test_diff_traces_reports_actionable_mismatches():
+    base = normalize_trace([span_to_dict(s) for s in _small_tracer().spans])
+    assert diff_traces(base, base) == []
+
+    changed = [dict(r) for r in base]
+    changed[0]["t1_s"] = 11.0
+    (mismatch,) = diff_traces(base, changed)
+    assert "span[0]" in mismatch
+    assert "'trial'" in mismatch
+    assert "t1_s" in mismatch
+    assert "11.0" in mismatch
+
+    shorter = base[:1]
+    mismatches = diff_traces(base, shorter)
+    assert any("span count differs" in m for m in mismatches)
+
+
+def test_diff_traces_caps_output():
+    base = [{"id": i, "name": "s", "value": i} for i in range(40)]
+    other = [{"id": i, "name": "s", "value": i + 1} for i in range(40)]
+    mismatches = diff_traces(base, other, max_mismatches=5)
+    assert len(mismatches) == 6
+    assert "stopping after 5 mismatches" in mismatches[-1]
+
+
+def test_write_metrics_round_trip(tmp_path):
+    snapshot = {"trials": {"type": "counter", "value": 3}}
+    path = write_metrics(tmp_path / "m.json", snapshot, meta={"cell": "x"})
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["format"] == "repro-metrics/1"
+    assert payload["meta"] == {"cell": "x"}
+    assert payload["metrics"] == snapshot

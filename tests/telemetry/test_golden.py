@@ -1,0 +1,176 @@
+"""Golden-run regression suite: committed traces of all eight cells.
+
+Every solver/variant cell runs the MNIST preset under a small budget with
+tracing on; the resulting span trace — simulated timestamps, hierarchy,
+deterministic attributes, metrics snapshot — must match the committed
+golden fixture field by field.  Any drift in proposal RNG consumption,
+clock accounting, screening order or GP scheduling shows up here as a
+precise span-level diff instead of a downstream trajectory change.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python -m pytest tests/telemetry/test_golden.py --regen-golden
+
+and review the fixture diff like any other code change.
+
+The pooled tests honour ``TELEMETRY_BACKEND`` (serial/thread/process).
+The committed goldens were generated on the serial backend, so a green
+run under every backend is the cross-backend trace-identity guarantee.
+"""
+
+import json
+
+import pytest
+
+from repro.core.hyperpower import SOLVERS, VARIANTS
+from repro.experiments.setup import quick_setup
+from repro.io import run_to_dict
+from repro.telemetry import (
+    TRACE_FORMAT,
+    Telemetry,
+    diff_traces,
+    load_trace,
+    normalize_trace,
+    span_to_dict,
+)
+
+#: n_init=5, so seven evaluations exercise both the initial design and
+#: the surrogate-driven rounds (gp_fit/acquisition spans) of the BO cells.
+GOLDEN_BUDGET = 7
+POOL_BUDGET = 8
+POOL_WORKERS = 3
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return quick_setup(
+        "mnist", "gtx1070", power_budget_w=85.0, memory_budget_gb=1.15,
+        seed=0, profiling_samples=100,
+    )
+
+
+def _traced_run(setup, solver, variant, **kwargs):
+    telemetry = Telemetry()
+    result = setup.run(solver, variant, telemetry=telemetry, **kwargs)
+    records = normalize_trace(
+        [span_to_dict(span) for span in telemetry.tracer.spans]
+    )
+    return result, telemetry, records
+
+
+def _write_golden(path, records, meta) -> None:
+    lines = [{"format": TRACE_FORMAT, "meta": meta}]
+    lines.extend(records)
+    lines.append({"end": True, "n_spans": len(records), "dropped": 0})
+    path.write_text(
+        "".join(json.dumps(line, sort_keys=True) + "\n" for line in lines),
+        encoding="utf-8",
+    )
+
+
+def _check_golden(golden_dir, name, records, meta, regen) -> None:
+    path = golden_dir / f"{name}.trace.jsonl"
+    if regen:
+        _write_golden(path, records, meta)
+        return
+    assert path.exists(), (
+        f"missing golden fixture {path.name}; generate it with "
+        "pytest --regen-golden"
+    )
+    golden = load_trace(path)
+    assert golden.complete, f"{path.name}: torn golden fixture"
+    expected = normalize_trace([span_to_dict(s) for s in golden.spans])
+    mismatches = diff_traces(expected, records)
+    assert not mismatches, (
+        f"trace drift against {path.name} (if the behaviour change is "
+        "intentional, regenerate with pytest --regen-golden):\n  "
+        + "\n  ".join(mismatches)
+    )
+    assert golden.meta["metrics"] == meta["metrics"], (
+        f"metrics drift against {path.name}: expected "
+        f"{golden.meta['metrics']!r}, got {meta['metrics']!r}"
+    )
+
+
+def _cell_id(solver, variant):
+    return f"{solver}__{variant}"
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("solver", sorted(SOLVERS))
+def test_sequential_cell_matches_golden(
+    setup, golden_dir, regen_golden, solver, variant
+):
+    result, telemetry, records = _traced_run(
+        setup, solver, variant, max_evaluations=GOLDEN_BUDGET
+    )
+    assert result.n_trained == GOLDEN_BUDGET
+    meta = {
+        "cell": _cell_id(solver, variant),
+        "budget": GOLDEN_BUDGET,
+        "metrics": telemetry.metrics.snapshot(),
+    }
+    _check_golden(
+        golden_dir, _cell_id(solver, variant), records, meta, regen_golden
+    )
+
+
+def test_pool_trace_matches_golden(
+    setup, golden_dir, regen_golden, telemetry_backend
+):
+    """The pooled driver's synthesized spans replay the serial golden."""
+    result, telemetry, records = _traced_run(
+        setup,
+        "HW-IECI",
+        "hyperpower",
+        max_evaluations=POOL_BUDGET,
+        backend=telemetry_backend,
+        workers=POOL_WORKERS,
+    )
+    assert result.n_trained == POOL_BUDGET
+    meta = {
+        "cell": f"pool__HW-IECI__hyperpower__{POOL_WORKERS}w",
+        "budget": POOL_BUDGET,
+        "metrics": telemetry.metrics.snapshot(),
+    }
+    _check_golden(golden_dir, "pool__HW-IECI__hyperpower", records, meta, regen_golden)
+
+
+def test_backends_emit_identical_traces(setup):
+    """Serial and thread pools produce the same normalized trace and the
+    same metrics snapshot (the process backend rides through the CI
+    lane's TELEMETRY_BACKEND matrix against the committed golden)."""
+    traces, metrics, results = {}, {}, {}
+    for backend in ("serial", "thread"):
+        result, telemetry, records = _traced_run(
+            setup,
+            "Rand",
+            "hyperpower",
+            max_evaluations=POOL_BUDGET,
+            backend=backend,
+            workers=POOL_WORKERS,
+        )
+        traces[backend] = records
+        metrics[backend] = telemetry.metrics.snapshot()
+        results[backend] = json.dumps(run_to_dict(result), sort_keys=True)
+    assert not diff_traces(traces["serial"], traces["thread"])
+    assert metrics["serial"] == metrics["thread"]
+    assert results["serial"] == results["thread"]
+
+
+def test_tracing_leaves_results_byte_identical(setup):
+    """The acceptance invariant: tracing must not perturb a run."""
+    plain = setup.run(
+        "HW-CWEI", "hyperpower", max_evaluations=GOLDEN_BUDGET
+    )
+    traced, telemetry, _ = _traced_run(
+        setup, "HW-CWEI", "hyperpower", max_evaluations=GOLDEN_BUDGET
+    )
+    assert json.dumps(run_to_dict(plain), sort_keys=True) == json.dumps(
+        run_to_dict(traced), sort_keys=True
+    )
+    assert telemetry.tracer.n_spans > 0
+    assert plain.telemetry == {}
+    assert traced.telemetry["metrics"]

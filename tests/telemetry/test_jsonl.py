@@ -1,0 +1,69 @@
+"""Unit tests for the shared durable-JSONL machinery."""
+
+import json
+
+import pytest
+
+from repro.telemetry import JsonlWriter, scan_jsonl
+
+
+def test_writer_appends_fsynced_lines(tmp_path):
+    path = tmp_path / "records.jsonl"
+    with JsonlWriter(path) as writer:
+        writer.write({"a": 1})
+        writer.write({"b": [1, 2]})
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert [json.loads(line) for line in lines] == [{"a": 1}, {"b": [1, 2]}]
+
+
+def test_writer_append_mode_preserves_existing(tmp_path):
+    path = tmp_path / "records.jsonl"
+    with JsonlWriter(path) as writer:
+        writer.write({"a": 1})
+    with JsonlWriter(path, append=True) as writer:
+        writer.write({"b": 2})
+    records = [record for record, _ in scan_jsonl(path.read_bytes())]
+    assert records == [{"a": 1}, {"b": 2}]
+    # Truncate mode starts over.
+    with JsonlWriter(path) as writer:
+        writer.write({"c": 3})
+    records = [record for record, _ in scan_jsonl(path.read_bytes())]
+    assert records == [{"c": 3}]
+
+
+def test_writer_rejects_use_after_close(tmp_path):
+    writer = JsonlWriter(tmp_path / "records.jsonl")
+    writer.write({"a": 1})
+    writer.close()
+    writer.close()  # idempotent
+    with pytest.raises(ValueError, match="closed"):
+        writer.write({"b": 2})
+
+
+def test_scan_returns_per_record_offsets():
+    raw = b'{"a": 1}\n{"b": 2}\n'
+    scanned = scan_jsonl(raw)
+    assert [record for record, _ in scanned] == [{"a": 1}, {"b": 2}]
+    offsets = [end for _, end in scanned]
+    assert offsets == [9, 18]
+    # Each offset is a valid truncation point: re-scanning the prefix
+    # yields exactly the records before it.
+    for i, end in enumerate(offsets):
+        assert [r for r, _ in scan_jsonl(raw[:end])] == [
+            record for record, _ in scanned[: i + 1]
+        ]
+
+
+def test_scan_drops_torn_tail_and_everything_after():
+    assert scan_jsonl(b"") == []
+    # Torn final line (no newline): dropped.
+    assert [r for r, _ in scan_jsonl(b'{"a": 1}\n{"b":')] == [{"a": 1}]
+    # Corrupt JSON mid-file invalidates itself and the valid-looking rest.
+    raw = b'{"a": 1}\nnot json\n{"c": 3}\n'
+    assert [r for r, _ in scan_jsonl(raw)] == [{"a": 1}]
+    # Non-UTF-8 bytes behave the same way.
+    raw = b'{"a": 1}\n\xff\xfe\n{"c": 3}\n'
+    assert [r for r, _ in scan_jsonl(raw)] == [{"a": 1}]
+    # Blank lines are skipped, not fatal.
+    raw = b'{"a": 1}\n\n{"c": 3}\n'
+    assert [r for r, _ in scan_jsonl(raw)] == [{"a": 1}, {"c": 3}]

@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the durable-JSONL formats.
+
+The crash-safety story of both the run journal and the trace exporter
+rests on two claims about the shared JSONL machinery:
+
+* *round-trip*: whatever records a writer emits, a scan of the file gets
+  back exactly, and
+* *prefix-recovery*: truncating the file at **any** byte offset — a torn
+  write, a crash mid-``fsync`` — loses at most the record in flight, and
+  the scan never misparses, raises, or resurrects partial data.
+
+These properties quantify over arbitrary record contents; the
+truncation-point enumeration inside each example is exhaustive over the
+last record's bytes, not sampled.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import SimClock
+from repro.telemetry import (
+    JsonlWriter,
+    Tracer,
+    load_trace,
+    scan_jsonl,
+    span_to_dict,
+    write_trace,
+)
+
+#: JSON-ready scalar values (no NaN/inf: JSONL stays strict-parseable).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**53), 2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+
+#: Flat JSON-ready records, like journal rounds and span lines.
+_records = st.lists(
+    st.dictionaries(st.text(min_size=1, max_size=10), _scalars, max_size=5),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(records=_records)
+def test_writer_scan_round_trip(tmp_path_factory, records):
+    path = tmp_path_factory.mktemp("jsonl") / "records.jsonl"
+    with JsonlWriter(path) as writer:
+        for record in records:
+            writer.write(record)
+    scanned = scan_jsonl(path.read_bytes())
+    assert [record for record, _ in scanned] == records
+    # The recorded end offsets tile the file exactly.
+    raw = path.read_bytes()
+    assert scanned[-1][1] == len(raw)
+
+
+@settings(max_examples=50, deadline=None)
+@given(records=_records)
+def test_truncation_at_every_byte_of_last_record(tmp_path_factory, records):
+    """Tearing anywhere inside the last record drops it and nothing else."""
+    path = tmp_path_factory.mktemp("jsonl") / "records.jsonl"
+    with JsonlWriter(path) as writer:
+        for record in records:
+            writer.write(record)
+    raw = path.read_bytes()
+    scanned = scan_jsonl(raw)
+    last_start = scanned[-2][1] if len(scanned) > 1 else 0
+    expected_prefix = records[:-1]
+    for offset in range(last_start, len(raw)):
+        survivors = [record for record, _ in scan_jsonl(raw[:offset])]
+        assert survivors == expected_prefix, f"truncation at byte {offset}"
+    # Only the full file yields the full record list.
+    assert [record for record, _ in scan_jsonl(raw)] == records
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    spans=st.lists(
+        st.tuples(
+            st.sampled_from(["round", "trial", "train", "gp_fit"]),
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            st.dictionaries(
+                st.text(min_size=1, max_size=8), _scalars, max_size=3
+            ),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_trace_export_round_trip(tmp_path_factory, spans):
+    """Arbitrary span payloads survive export + reload byte-exactly."""
+    tracer = Tracer(clock=SimClock())
+    for name, t0, dt, attrs in spans:
+        tracer.record(name, t0, t0 + dt, **attrs)
+    path = tmp_path_factory.mktemp("trace") / "run.trace.jsonl"
+    write_trace(path, tracer, meta={"n": len(spans)})
+    trace = load_trace(path)
+    assert trace.complete
+    assert trace.meta == {"n": len(spans)}
+    assert [span_to_dict(s) for s in trace.spans] == [
+        span_to_dict(s) for s in tracer.spans
+    ]
+    # Truncating the end marker still recovers every span.
+    raw = path.read_bytes()
+    torn = raw[: raw.rfind(b"\n", 0, len(raw) - 1) + 1]
+    path.write_bytes(torn)
+    reloaded = load_trace(path)
+    assert not reloaded.complete
+    assert [span_to_dict(s) for s in reloaded.spans] == [
+        span_to_dict(s) for s in tracer.spans
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=_records)
+def test_scan_agrees_with_json_loads_on_clean_files(records):
+    """On an untorn file the scan is exactly line-wise ``json.loads``."""
+    raw = "".join(json.dumps(r) + "\n" for r in records).encode("utf-8")
+    assert [record for record, _ in scan_jsonl(raw)] == records

@@ -1,0 +1,70 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.telemetry import NOOP_METRICS, MetricsRegistry
+from repro.telemetry.metrics import _NOOP_METRIC
+
+
+def test_counter_accumulates_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("trials")
+    counter.inc()
+    counter.inc(4)
+    counter.inc(0.5)  # simulated seconds are fair game
+    assert counter.value == 5.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_last_write_wins():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("occupancy")
+    assert gauge.value is None
+    gauge.set(0.5)
+    gauge.set(0.75)
+    assert gauge.value == 0.75
+
+
+def test_histogram_buckets_and_summary():
+    registry = MetricsRegistry()
+    hist = registry.histogram("cost", bounds=(1.0, 10.0))
+    for value in (0.5, 1.0, 5.0, 100.0):
+        hist.observe(value)
+    snap = hist.snapshot()
+    assert snap["buckets"] == [2, 1, 1]  # <=1, <=10, overflow
+    assert snap["count"] == 4
+    assert snap["sum"] == 106.5
+    assert (snap["min"], snap["max"]) == (0.5, 100.0)
+    with pytest.raises(ValueError):
+        registry.histogram("bad", bounds=())
+    with pytest.raises(ValueError):
+        registry.histogram("unsorted", bounds=(2.0, 1.0))
+
+
+def test_get_or_create_is_stable_and_kind_checked():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    with pytest.raises(ValueError):
+        registry.gauge("a")
+    assert len(registry) == 1
+
+
+def test_snapshot_is_sorted_and_json_ready():
+    registry = MetricsRegistry()
+    registry.counter("b").inc()
+    registry.gauge("a").set(2)
+    snap = registry.snapshot()
+    assert list(snap) == ["a", "b"]
+    assert snap["a"] == {"type": "gauge", "value": 2}
+    assert snap["b"] == {"type": "counter", "value": 1}
+
+
+def test_noop_registry_accepts_everything_and_stores_nothing():
+    assert NOOP_METRICS.enabled is False
+    assert NOOP_METRICS.counter("x") is _NOOP_METRIC
+    NOOP_METRICS.counter("x").inc(5)
+    NOOP_METRICS.gauge("y").set(1)
+    NOOP_METRICS.histogram("z").observe(2.0)
+    assert len(NOOP_METRICS) == 0
+    assert NOOP_METRICS.snapshot() == {}

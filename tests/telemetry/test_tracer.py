@@ -1,0 +1,79 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.core.clock import SimClock
+from repro.telemetry import NOOP_TRACER, Tracer
+from repro.telemetry.tracer import _NOOP_SPAN
+
+
+def test_span_nesting_records_parents_and_clock():
+    clock = SimClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("run") as run_span:
+        clock.advance(10.0)
+        with tracer.span("round", index=0):
+            clock.advance(5.0)
+        run_span.set(rounds=1)
+    # Children close (and append) before their parents.
+    assert [s.name for s in tracer.spans] == ["round", "run"]
+    round_span, run_span = tracer.spans
+    assert run_span.parent_id is None
+    assert round_span.parent_id == run_span.span_id
+    assert run_span.span_id < round_span.span_id  # ids in opening order
+    assert (run_span.t0_s, run_span.t1_s) == (0.0, 15.0)
+    assert (round_span.t0_s, round_span.t1_s) == (10.0, 15.0)
+    assert round_span.duration_s == 5.0
+    assert run_span.attrs == {"rounds": 1}
+    assert round_span.attrs == {"index": 0}
+    assert run_span.wall_ms >= 0.0
+
+
+def test_record_synthesizes_spans_with_explicit_times():
+    tracer = Tracer(clock=SimClock())
+    with tracer.span("round"):
+        trial_id = tracer.record("trial", 3.0, 9.0, status="completed")
+        child_id = tracer.record("train", 3.0, 8.0, parent=trial_id)
+    trial, train, round_ = (
+        tracer.spans[0],
+        tracer.spans[1],
+        tracer.spans[2],
+    )
+    assert trial.span_id == trial_id
+    assert trial.parent_id == round_.span_id  # defaults to the open span
+    assert train.span_id == child_id
+    assert train.parent_id == trial_id
+    assert trial.attrs == {"status": "completed"}
+    assert train.wall_ms == 0.0
+    # Outside any open span, a record is a root.
+    root_id = tracer.record("orphan", 0.0, 1.0)
+    assert tracer.spans[-1].parent_id is None
+    assert tracer.spans[-1].span_id == root_id
+
+
+def test_unbound_tracer_reads_time_zero():
+    tracer = Tracer()
+    with tracer.span("run"):
+        pass
+    assert (tracer.spans[0].t0_s, tracer.spans[0].t1_s) == (0.0, 0.0)
+
+
+def test_buffer_bound_counts_drops():
+    tracer = Tracer(max_spans=2)
+    for i in range(5):
+        tracer.record(f"s{i}", 0.0, 1.0)
+    assert tracer.n_spans == 2
+    assert tracer.dropped == 3
+    assert [s.name for s in tracer.spans] == ["s0", "s1"]
+    with pytest.raises(ValueError):
+        Tracer(max_spans=0)
+
+
+def test_noop_tracer_is_inert_and_shared():
+    assert NOOP_TRACER.enabled is False
+    assert NOOP_TRACER.span("run", anything=1) is _NOOP_SPAN
+    with NOOP_TRACER.span("run") as span:
+        span.set(ignored=True)
+    assert NOOP_TRACER.record("trial", 0.0, 1.0) is None
+    assert NOOP_TRACER.n_spans == 0
+    assert list(NOOP_TRACER.spans) == []
