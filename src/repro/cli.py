@@ -121,6 +121,10 @@ def _cmd_run(args) -> None:
     kwargs["gp_restarts"] = args.gp_restarts
     kwargs["gp_refit_every"] = args.gp_refit_every
     kwargs["gp_warm_start"] = args.gp_warm_start
+    if args.scheduler == "async" and args.backend is None:
+        raise SystemExit("--scheduler async requires --backend")
+    kwargs["scheduler"] = args.scheduler
+    kwargs["fantasy"] = args.fantasy
     if args.backend is not None:
         if args.workers < 1:
             raise SystemExit("--workers must be >= 1")
@@ -264,6 +268,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "EvaluationPool (default: paper's sequential loop)")
     p.add_argument("--workers", type=int, default=1,
                    help="concurrent trainings per round (with --backend)")
+    p.add_argument("--scheduler", default="sync", choices=["sync", "async"],
+                   help="'sync' (default): round-barrier loop, byte-identical "
+                        "to prior releases; 'async': event-driven scheduler "
+                        "refilling workers the moment a trial completes "
+                        "(requires --backend)")
+    p.add_argument("--fantasy", default="cl-min",
+                   choices=["cl-min", "cl-mean", "none"],
+                   help="constant-liar strategy the BO solvers use for "
+                        "in-flight trials under --scheduler async")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the config-hash trial cache (with --backend)")
     p.add_argument("--warm-cache", action="store_true",

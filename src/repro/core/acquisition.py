@@ -53,8 +53,15 @@ def expected_improvement(
     mean = np.asarray(mean, dtype=float)
     variance = np.asarray(variance, dtype=float)
     sigma = np.sqrt(np.maximum(variance, 1e-18))
-    gamma = (incumbent - mean) / sigma
+    improvement = incumbent - mean
+    # Degenerate marginals (sigma -> 0, e.g. a candidate coinciding with an
+    # observation under a near-noiseless GP) collapse to their mean: EI is
+    # the deterministic improvement, not the 0/0 z-score that would turn
+    # into NaN (or an overflowing gamma) under the closed form below.
+    degenerate = sigma <= 1e-9
+    gamma = improvement / np.where(degenerate, 1.0, sigma)
     ei = sigma * (gamma * norm.cdf(gamma) + norm.pdf(gamma))
+    ei = np.where(degenerate, np.maximum(improvement, 0.0), ei)
     return np.maximum(ei, 0.0)
 
 

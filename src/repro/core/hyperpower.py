@@ -71,6 +71,7 @@ def build_method(
     gp_refit_every: int = 1,
     gp_warm_start: bool = False,
     gp_burn_in: int = 15,
+    fantasy: str = "cl-min",
 ) -> SearchMethod:
     """Construct one of the eight method variants.
 
@@ -79,7 +80,8 @@ def build_method(
     knobs configure the BO solvers' surrogate hot path (restart count,
     hyper-refit cadence, warm starting — see
     :class:`~repro.core.methods.BayesianOptimizer`) and are ignored by the
-    model-free solvers.
+    model-free solvers, as is ``fantasy`` (the BO solvers' constant-liar
+    strategy for in-flight trials under the asynchronous scheduler).
     """
     if solver not in SOLVERS:
         raise ValueError(f"unknown solver {solver!r}; expected one of {SOLVERS}")
@@ -109,6 +111,7 @@ def build_method(
             refit_every=gp_refit_every,
             warm_start=gp_warm_start,
             burn_in=gp_burn_in,
+            fantasy=fantasy,
         )
 
     # Default (constraint-unaware-a-priori) variants.
@@ -128,6 +131,7 @@ def build_method(
         refit_every=gp_refit_every,
         warm_start=gp_warm_start,
         burn_in=gp_burn_in,
+        fantasy=fantasy,
     )
 
 
@@ -214,6 +218,11 @@ class HyperPower:
         self._m_attempts = metrics.counter("eval.attempts")
         self._m_faults = metrics.counter("retry.faults")
         self._m_retry_s = metrics.counter("retry.time_s")
+        # Async-only instruments are created lazily so synchronous runs
+        # (whose metric snapshots are pinned by the golden suite) never
+        # register them.
+        self._m_gp_fantasies = None
+        self._m_occupancy_gauge = None
 
     # -- trial recording -----------------------------------------------------------
 
@@ -452,6 +461,76 @@ class HyperPower:
             state.trained_errors.append(outcome.error)
             state.trained_feasible.append(feasible_meas)
 
+    # -- proposing ------------------------------------------------------------------
+
+    def _propose_one(
+        self,
+        state: SearchState,
+        result: RunResult,
+        rng: np.random.Generator,
+        pending=None,
+    ) -> Proposal:
+        """One proposal: method call, clock charges, screening records.
+
+        This is the propose block shared by both schedulers.  ``pending``
+        (async only) is the list of in-flight configurations forwarded to
+        pending-aware methods; the synchronous path leaves it ``None`` and
+        calls ``propose(state, rng)`` with two arguments, so duck-typed
+        two-argument methods keep working there.
+        """
+        clock = self.objective.clock
+        with self.tracer.span("propose") as propose_span:
+            if pending:
+                proposal = self.method.propose(state, rng, list(pending))
+            else:
+                proposal = self.method.propose(state, rng)
+            if proposal.silent_model_checks:
+                clock.advance(
+                    self.cost_model.pool_check_s
+                    * proposal.silent_model_checks
+                )
+            if proposal.gp_fits:
+                clock.advance(
+                    proposal.gp_fits
+                    * self.cost_model.gp_fit_s(state.n_trained)
+                )
+            if proposal.gp_appends:
+                clock.advance(
+                    proposal.gp_appends
+                    * self.cost_model.gp_append_s(state.n_trained)
+                )
+            fantasies = getattr(proposal, "gp_fantasies", 0)
+            if fantasies:
+                # Constant-liar conditioning is rank-1 appends on a copy
+                # of the surrogate — same unit cost as a real append.
+                clock.advance(
+                    fantasies * self.cost_model.gp_append_s(state.n_trained)
+                )
+                propose_span.set(gp_fantasies=fantasies)
+                if self._m_gp_fantasies is None:
+                    self._m_gp_fantasies = self.metrics.counter(
+                        "gp.fantasies"
+                    )
+                self._m_gp_fantasies.inc(fantasies)
+            propose_span.set(
+                silent_checks=proposal.silent_model_checks,
+                gp_fits=proposal.gp_fits,
+                gp_appends=proposal.gp_appends,
+                rejections=len(proposal.rejected),
+            )
+            self._m_silent_checks.inc(proposal.silent_model_checks)
+            self._m_gp_fits.inc(proposal.gp_fits)
+            self._m_gp_appends.inc(proposal.gp_appends)
+            if proposal.rejected:
+                with self.tracer.span(
+                    "screen", rejections=len(proposal.rejected)
+                ):
+                    for rejected in proposal.rejected:
+                        self._record_rejection(state, result, rejected)
+                        if len(state.trials) >= self.MAX_SAMPLES:
+                            break
+        return proposal
+
     # -- main loop ------------------------------------------------------------------
 
     def run(
@@ -461,6 +540,7 @@ class HyperPower:
         max_time_s: float | None = None,
         journal=None,
         replay=None,
+        scheduler: str = "sync",
     ) -> RunResult:
         """Run the optimization until a budget is exhausted.
 
@@ -492,11 +572,27 @@ class HyperPower:
             an uninterrupted one.  Requires the pool path (``pool=None``
             replays by deterministic re-execution, which verifies the
             journal but re-spends the evaluation compute).
+        scheduler:
+            ``"sync"`` (the default) runs the round-barrier loop —
+            byte-identical to every release before the scheduler existed.
+            ``"async"`` runs the event-driven scheduler: workers are
+            refilled the moment a trial completes, proposals condition on
+            the in-flight set (constant-liar fantasies for the BO
+            solvers), and one journal round is written per completion
+            event.  Requires the pool path.
         """
         if max_evaluations is None and max_time_s is None:
             raise ValueError("need max_evaluations and/or max_time_s")
         if max_evaluations is not None and max_evaluations < 1:
             raise ValueError("max_evaluations must be >= 1")
+        if scheduler not in ("sync", "async"):
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected 'sync' or 'async'"
+            )
+        if scheduler == "async" and self.pool is None:
+            raise ValueError(
+                "the asynchronous scheduler requires an evaluation pool"
+            )
 
         clock = self.objective.clock
         state = SearchState()
@@ -516,6 +612,44 @@ class HyperPower:
             device=result.device,
         )
         run_span.__enter__()
+        if scheduler == "async":
+            rounds = self._run_async(
+                state, result, rng, max_evaluations, max_time_s, journal, replay
+            )
+        else:
+            rounds = self._run_sync(
+                state, result, rng, max_evaluations, max_time_s, journal, replay
+            )
+
+        run_span.set(rounds=rounds, samples=len(result.trials))
+        run_span.__exit__(None, None, None)
+        result.wall_time_s = clock.now_s
+        profile = getattr(self.method, "surrogate_profile", None)
+        if profile is not None:
+            result.surrogate_timings = profile.as_dict()
+        if self.pool is not None and self.pool.cache is not None:
+            # The pool's own counters, not the cache's lifetime totals:
+            # a shared (warm) cache carries counts from earlier runs.
+            result.cache_hits = self.pool.hits
+            result.cache_misses = self.pool.misses
+        if self.telemetry is not None:
+            result.telemetry = self.telemetry.snapshot()
+        if journal is not None:
+            journal.finish(result)
+        return result
+
+    def _run_sync(
+        self,
+        state: SearchState,
+        result: RunResult,
+        rng: np.random.Generator,
+        max_evaluations: int | None,
+        max_time_s: float | None,
+        journal,
+        replay,
+    ) -> int:
+        """The round-barrier loop of Figure 2; returns rounds run."""
+        clock = self.objective.clock
         round_index = 0
         while True:
             if clock.exceeded(max_time_s):
@@ -543,41 +677,7 @@ class HyperPower:
             trials_before = len(result.trials)
             proposals: list[Proposal] = []
             for _ in range(round_size):
-                with self.tracer.span("propose") as propose_span:
-                    proposal = self.method.propose(state, rng)
-                    if proposal.silent_model_checks:
-                        clock.advance(
-                            self.cost_model.pool_check_s
-                            * proposal.silent_model_checks
-                        )
-                    if proposal.gp_fits:
-                        clock.advance(
-                            proposal.gp_fits
-                            * self.cost_model.gp_fit_s(state.n_trained)
-                        )
-                    if proposal.gp_appends:
-                        clock.advance(
-                            proposal.gp_appends
-                            * self.cost_model.gp_append_s(state.n_trained)
-                        )
-                    propose_span.set(
-                        silent_checks=proposal.silent_model_checks,
-                        gp_fits=proposal.gp_fits,
-                        gp_appends=proposal.gp_appends,
-                        rejections=len(proposal.rejected),
-                    )
-                    self._m_silent_checks.inc(proposal.silent_model_checks)
-                    self._m_gp_fits.inc(proposal.gp_fits)
-                    self._m_gp_appends.inc(proposal.gp_appends)
-                    if proposal.rejected:
-                        with self.tracer.span(
-                            "screen", rejections=len(proposal.rejected)
-                        ):
-                            for rejected in proposal.rejected:
-                                self._record_rejection(state, result, rejected)
-                                if len(state.trials) >= self.MAX_SAMPLES:
-                                    break
-                proposals.append(proposal)
+                proposals.append(self._propose_one(state, result, rng))
                 if len(state.trials) >= self.MAX_SAMPLES:
                     break
 
@@ -619,23 +719,122 @@ class HyperPower:
             round_span.set(trials=len(result.trials) - trials_before)
             round_span.__exit__(None, None, None)
             round_index += 1
+        return round_index
 
-        run_span.set(rounds=round_index, samples=len(result.trials))
-        run_span.__exit__(None, None, None)
-        result.wall_time_s = clock.now_s
-        profile = getattr(self.method, "surrogate_profile", None)
-        if profile is not None:
-            result.surrogate_timings = profile.as_dict()
-        if self.pool is not None and self.pool.cache is not None:
-            # The pool's own counters, not the cache's lifetime totals:
-            # a shared (warm) cache carries counts from earlier runs.
-            result.cache_hits = self.pool.hits
-            result.cache_misses = self.pool.misses
-        if self.telemetry is not None:
-            result.telemetry = self.telemetry.snapshot()
-        if journal is not None:
-            journal.finish(result)
-        return result
+    def _run_async(
+        self,
+        state: SearchState,
+        result: RunResult,
+        rng: np.random.Generator,
+        max_evaluations: int | None,
+        max_time_s: float | None,
+        journal,
+        replay,
+    ) -> int:
+        """The event-driven scheduler; returns completion events run.
+
+        No round barrier: whenever a worker slot is free (and budget
+        remains) the driver proposes against the current state *plus* the
+        in-flight set and dispatches immediately; otherwise it advances
+        the simulated clock to the earliest in-flight completion and
+        records that trial.  With one worker the dispatch→complete
+        alternation reproduces the synchronous loop trial for trial.
+
+        Each completion event is journaled as its own round (the trials
+        recorded since the previous event — model-rejections from the
+        proposals in between plus the completed trial — and the fresh
+        evaluation result, if any).  Journal evals land in *completion*
+        order while a resumed run re-consumes them in *submission* order,
+        so replay substitution is keyed by the recomputed trial seed.
+        """
+        clock = self.objective.clock
+        pool = self.pool
+        replay_map = None
+        n_replay_rounds = 0
+        if replay is not None:
+            n_replay_rounds = replay.n_rounds
+            replay_map = {}
+            for i in range(n_replay_rounds):
+                for e in replay.pool_evals(i) or ():
+                    replay_map[int(e.seed)] = e
+        inflight: dict[int, tuple[Proposal, float]] = {}
+        event_index = 0
+        busy_s = 0.0
+        t0 = clock.now_s
+        journal_mark = len(result.trials)
+        sched_span = self.tracer.span("schedule", workers=pool.workers)
+        sched_span.__enter__()
+        while True:
+            can_dispatch = (
+                pool.n_inflight < pool.workers
+                and not clock.exceeded(max_time_s)
+                and (
+                    max_evaluations is None
+                    or state.n_trained + len(inflight) < max_evaluations
+                )
+                and len(state.trials) < self.MAX_SAMPLES
+            )
+            if can_dispatch:
+                pending = [inflight[t][0].config for t in sorted(inflight)]
+                proposal = self._propose_one(
+                    state, result, rng, pending=pending
+                )
+                clock.advance(self.cost_model.proposal_s)
+                ticket = pool.submit(
+                    proposal.config,
+                    clock.now_s,
+                    early_term=self.early_term,
+                    cache_lookup_s=self.cost_model.cache_lookup_s,
+                    replay=replay_map,
+                )
+                inflight[ticket] = (proposal, clock.now_s)
+                self.tracer.record(
+                    "dispatch",
+                    clock.now_s,
+                    clock.now_s,
+                    ticket=ticket,
+                    inflight=len(inflight),
+                )
+                continue
+            if not inflight:
+                break
+            completion = pool.next_completion()
+            proposal, dispatch_t0 = inflight.pop(completion.ticket)
+            clock.advance(max(0.0, completion.finish_s - clock.now_s))
+            busy_s += completion.busy_s
+            self.tracer.record(
+                "complete",
+                completion.finish_s,
+                completion.finish_s,
+                ticket=completion.ticket,
+                inflight=len(inflight),
+            )
+            self._record_batch(
+                state,
+                result,
+                [proposal],
+                [completion.outcome],
+                batch_t0=dispatch_t0,
+            )
+            replaying = replay is not None and event_index < n_replay_rounds
+            if replaying:
+                replay.verify_round(event_index, result.trials[journal_mark:])
+            if journal is not None and not (
+                replaying and journal.skip_replay
+            ):
+                journal.append_round(
+                    result.trials[journal_mark:], [completion.outcome]
+                )
+            journal_mark = len(result.trials)
+            event_index += 1
+        makespan = clock.now_s - t0
+        occupancy = busy_s / (pool.workers * makespan) if makespan > 0 else 0.0
+        if self._m_occupancy_gauge is None:
+            self._m_occupancy_gauge = self.metrics.gauge("schedule.occupancy")
+        self._m_occupancy_gauge.set(occupancy)
+        sched_span.set(events=event_index, occupancy=occupancy)
+        sched_span.__exit__(None, None, None)
+        return event_index
 
     # -- the headline answer --------------------------------------------------------
 

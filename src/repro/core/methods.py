@@ -25,7 +25,9 @@ and records trials.
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -124,11 +126,24 @@ class Proposal:
     #: Number of rank-1 posterior appends performed instead of full fits
     #: (refit scheduling; charged at the much cheaper append cost).
     gp_appends: int = 0
+    #: Number of constant-liar fantasy observations appended onto a *copy*
+    #: of the surrogate for in-flight trials (async scheduling; charged at
+    #: the append cost).
+    gp_fantasies: int = 0
     #: Predictions for the chosen config (None without models).
     power_pred_w: float | None = None
     memory_pred_bytes: float | None = None
     #: Model feasibility of the chosen config (None when unchecked).
     feasible_pred: bool | None = None
+
+
+def _config_key(config: Mapping) -> tuple:
+    """Hashable identity of a configuration (pending-set membership)."""
+    return tuple(sorted(config.items()))
+
+
+def _pending_keys(pending: Sequence[Mapping]) -> frozenset:
+    return frozenset(_config_key(c) for c in pending)
 
 
 def _predictions(checker, config) -> tuple[float | None, float | None]:
@@ -190,9 +205,21 @@ class SearchMethod(ABC):
 
     @abstractmethod
     def propose(
-        self, state: SearchState, rng: np.random.Generator
+        self,
+        state: SearchState,
+        rng: np.random.Generator,
+        pending: Sequence[Configuration] = (),
     ) -> Proposal:
-        """Choose the next configuration to evaluate."""
+        """Choose the next configuration to evaluate.
+
+        ``pending`` lists configurations currently in flight on the
+        asynchronous scheduler.  Methods must not re-propose a pending
+        configuration (it would collapse to a cache hit on completion);
+        the Bayesian optimizer additionally conditions its surrogate on
+        fantasized outcomes for them (constant liar).  The synchronous
+        driver never passes it, so duck-typed two-argument methods keep
+        working there.
+        """
 
 
 class _ModelScreeningMixin:
@@ -217,10 +244,22 @@ class _ModelScreeningMixin:
         self,
         draw_many,
         checker: ModelConstraintChecker | None,
+        pending_keys: frozenset = frozenset(),
     ) -> tuple[Configuration, list[RejectedProposal], float | None, float | None, bool | None]:
-        """Draw chunks from ``draw_many(n)`` until the models accept one."""
+        """Draw chunks from ``draw_many(n)`` until the models accept one.
+
+        Candidates matching an in-flight configuration (``pending_keys``)
+        are skipped without being recorded — they were already counted as
+        queried samples when first dispatched.
+        """
         if checker is None:
-            return draw_many(1)[0], [], None, None, None
+            config = draw_many(1)[0]
+            if pending_keys:
+                for _ in range(self.max_rejects):
+                    if _config_key(config) not in pending_keys:
+                        break
+                    config = draw_many(1)[0]
+            return config, [], None, None, None
         rejected: list[RejectedProposal] = []
         remaining = self.max_rejects + 1
         while remaining > 0:
@@ -232,11 +271,17 @@ class _ModelScreeningMixin:
                 p = _pred_at(power, i)
                 m = _pred_at(memory, i)
                 if accept[i]:
+                    if pending_keys and _config_key(config) in pending_keys:
+                        continue
                     return config, rejected, p, m, True
                 rejected.append(RejectedProposal(config, p, m))
         # Budget exhausted: evaluate the last draw anyway (flagged invalid).
-        last = rejected.pop()
-        return last.config, rejected, last.power_pred_w, last.memory_pred_bytes, False
+        if rejected:
+            last = rejected.pop()
+            return last.config, rejected, last.power_pred_w, last.memory_pred_bytes, False
+        # Degenerate space where every accepted draw is already in flight:
+        # duplicate the last one rather than loop forever.
+        return config, [], p, m, True
 
 
 class RandomSearch(_ModelScreeningMixin, SearchMethod):
@@ -252,9 +297,11 @@ class RandomSearch(_ModelScreeningMixin, SearchMethod):
         super().__init__(space)
         self.checker = checker
 
-    def propose(self, state, rng):
+    def propose(self, state, rng, pending=()):
         config, rejected, power, memory, feasible = self._screen(
-            lambda n: self.space.sample_many(n, rng), self.checker
+            lambda n: self.space.sample_many(n, rng),
+            self.checker,
+            _pending_keys(pending),
         )
         return Proposal(
             config=config,
@@ -298,7 +345,7 @@ class RandomWalk(_ModelScreeningMixin, SearchMethod):
             best = state.best_any()
         return None if best is None else best[0]
 
-    def propose(self, state, rng):
+    def propose(self, state, rng, pending=()):
         incumbent = self._incumbent(state)
         if incumbent is None:
             draw_many = lambda n: self.space.sample_many(n, rng)  # noqa: E731
@@ -308,7 +355,7 @@ class RandomWalk(_ModelScreeningMixin, SearchMethod):
                 for _ in range(n)
             ]
         config, rejected, power, memory, feasible = self._screen(
-            draw_many, self.checker
+            draw_many, self.checker, _pending_keys(pending)
         )
         return Proposal(
             config=config,
@@ -393,15 +440,26 @@ class GridSearch(_ModelScreeningMixin, SearchMethod):
                 (config, bool(accept[i]), _pred_at(power, i), _pred_at(memory, i))
             )
 
-    def propose(self, state, rng):
+    def propose(self, state, rng, pending=()):
+        pending_keys = _pending_keys(pending)
         if self.checker is None:
-            return Proposal(config=self._advance())
+            config = self._advance()
+            if pending_keys:
+                # Skip grid points currently in flight (bounded: a finite
+                # pending set cannot cover the ever-refining grid).
+                for _ in range(self.max_rejects):
+                    if _config_key(config) not in pending_keys:
+                        break
+                    config = self._advance()
+            return Proposal(config=config)
         rejected: list[RejectedProposal] = []
         for _ in range(self.max_rejects + 1):
             if not self._pending:
                 self._refill_pending()
             config, ok, power, memory = self._pending.pop(0)
             if ok:
+                if pending_keys and _config_key(config) in pending_keys:
+                    continue
                 return Proposal(
                     config=config,
                     rejected=tuple(rejected),
@@ -411,6 +469,9 @@ class GridSearch(_ModelScreeningMixin, SearchMethod):
                 )
             rejected.append(RejectedProposal(config, power, memory))
         # Budget exhausted: evaluate the last grid point anyway.
+        if not rejected:
+            # Every accepted point was in flight: duplicate the last one.
+            return Proposal(config=config, feasible_pred=True)
         last = rejected.pop()
         return Proposal(
             config=last.config,
@@ -463,6 +524,14 @@ class BayesianOptimizer(SearchMethod):
     burn_in:
         Trained observations past ``n_init`` after which a warm-started
         refit drops to a single restart.
+    fantasy:
+        How the asynchronous scheduler's in-flight trials condition the
+        surrogate: ``"cl-min"`` (constant liar at the incumbent error —
+        optimistic, spreads the batch), ``"cl-mean"`` (liar at the mean
+        observed error), or ``"none"`` (pending trials only excluded from
+        the candidate pool, never fantasized).  Fantasies are rank-1
+        appends onto a *copy* of the persistent surrogate, so the
+        synchronous path and the refit schedule are untouched.
     """
 
     name = "BO"
@@ -481,6 +550,7 @@ class BayesianOptimizer(SearchMethod):
         refit_every: int = 1,
         warm_start: bool = False,
         burn_in: int = 15,
+        fantasy: str = "cl-min",
     ):
         super().__init__(space)
         if model_checker is not None and learned_constraints is not None:
@@ -494,6 +564,8 @@ class BayesianOptimizer(SearchMethod):
             raise ValueError("refit_every must be >= 1")
         if gp_restarts < 0 or burn_in < 0:
             raise ValueError("gp_restarts and burn_in must be >= 0")
+        if fantasy not in ("cl-min", "cl-mean", "none"):
+            raise ValueError("fantasy must be 'cl-min', 'cl-mean' or 'none'")
         self.acquisition = acquisition
         self.model_checker = model_checker
         self.learned_constraints = learned_constraints
@@ -505,6 +577,7 @@ class BayesianOptimizer(SearchMethod):
         self.refit_every = refit_every
         self.warm_start = warm_start
         self.burn_in = burn_in
+        self.fantasy = fantasy
         self.name = acquisition.name
         #: Per-stage wall-clock timings of the surrogate hot path.
         self.surrogate_profile = SurrogateProfile()
@@ -519,16 +592,27 @@ class BayesianOptimizer(SearchMethod):
     screen_chunk = 64
 
     def _screened_random(
-        self, rng: np.random.Generator, limit: int = 5000
+        self,
+        rng: np.random.Generator,
+        limit: int = 5000,
+        pending_keys: frozenset = frozenset(),
     ) -> tuple[Configuration, int]:
         """A uniform config passing the a-priori models, and checks spent.
 
         Draws are screened chunk-wise through ``indicator_batch``; the
         returned check count is the number of candidates *examined* (what a
         serial loop would have charged the clock for), not the number drawn.
+        Accepted candidates already in flight (``pending_keys``) are
+        passed over.
         """
         if self.model_checker is None:
-            return self.space.sample(rng), 0
+            config = self.space.sample(rng)
+            if pending_keys:
+                for _ in range(limit):
+                    if _config_key(config) not in pending_keys:
+                        break
+                    config = self.space.sample(rng)
+            return config, 0
         checks = 0
         config = None
         while checks < limit:
@@ -538,6 +622,8 @@ class BayesianOptimizer(SearchMethod):
             for i, config in enumerate(configs):
                 checks += 1
                 if accept[i]:
+                    if pending_keys and _config_key(config) in pending_keys:
+                        continue
                     return config, checks
         return config, checks
 
@@ -627,10 +713,40 @@ class BayesianOptimizer(SearchMethod):
 
     # -- proposal -------------------------------------------------------------------
 
-    def propose(self, state, rng):
+    def _fantasize(
+        self, gp: GaussianProcess, state: SearchState, pending
+    ) -> tuple[GaussianProcess, int]:
+        """Condition a *copy* of the surrogate on lies for pending trials.
+
+        Constant-liar batch BO: each in-flight configuration is appended
+        with a fantasy observation (the incumbent error for ``cl-min``,
+        the mean observed error for ``cl-mean``), deflating EI around
+        points whose outcome is already being bought.  ``append`` rebinds
+        the posterior arrays rather than mutating them, so a shallow copy
+        leaves the persistent surrogate untouched.
+        """
+        if not pending or self.fantasy == "none":
+            return gp, 0
+        errors = np.asarray(state.trained_errors, dtype=float)
+        if self.fantasy == "cl-min":
+            lie = state.incumbent_error()
+            if lie is None:
+                lie = float(np.mean(errors))
+        else:
+            lie = float(np.mean(errors))
+        gp_f = copy.copy(gp)
+        with self.tracer.span("fantasy", pending=len(pending), lie=lie):
+            for config in pending:
+                gp_f.append(self.space.encode(config), lie)
+        return gp_f, len(pending)
+
+    def propose(self, state, rng, pending=()):
+        pending_keys = _pending_keys(pending)
         # Initial design: random (model-screened in HyperPower variants).
         if state.n_trained < self.n_init:
-            config, checks = self._screened_random(rng)
+            config, checks = self._screened_random(
+                rng, pending_keys=pending_keys
+            )
             power, memory = _predictions(self.model_checker, config)
             feasible = (
                 self.model_checker.indicator(config)
@@ -648,6 +764,7 @@ class BayesianOptimizer(SearchMethod):
         gp_fits = self._refit_learned_constraints(state)
         gp, fits, appends = self._surrogate(state, rng)
         gp_fits += fits
+        gp, fantasies = self._fantasize(gp, state, pending)
 
         incumbent = state.incumbent_error()
         candidates = self._candidate_pool(state, rng)
@@ -657,6 +774,14 @@ class BayesianOptimizer(SearchMethod):
                 scores = self.acquisition.score(
                     candidates, X_cand, gp, incumbent
                 )
+        if pending_keys:
+            # Never re-propose an in-flight point: zero its score.
+            dup = np.fromiter(
+                (_config_key(c) in pending_keys for c in candidates),
+                dtype=bool,
+                count=len(candidates),
+            )
+            scores = np.where(dup, 0.0, scores)
 
         if np.max(scores) > 0:
             config = candidates[int(np.argmax(scores))]
@@ -664,7 +789,9 @@ class BayesianOptimizer(SearchMethod):
         else:
             # Acquisition saturated (all candidates gated out or EI = 0):
             # fall back to a screened random draw to keep exploring.
-            config, checks = self._screened_random(rng)
+            config, checks = self._screened_random(
+                rng, pending_keys=pending_keys
+            )
 
         power, memory = _predictions(self.model_checker, config)
         feasible = (
@@ -677,6 +804,7 @@ class BayesianOptimizer(SearchMethod):
             silent_model_checks=checks,
             gp_fits=gp_fits,
             gp_appends=appends,
+            gp_fantasies=fantasies,
             power_pred_w=power,
             memory_pred_bytes=memory,
             feasible_pred=feasible,

@@ -27,6 +27,7 @@ them without giving up the framework's determinism guarantees:
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
 import math
 from collections.abc import Mapping, Sequence
@@ -52,6 +53,7 @@ __all__ = [
     "canonical_config_key",
     "TrialCache",
     "PoolOutcome",
+    "AsyncCompletion",
     "EvaluationPool",
 ]
 
@@ -188,6 +190,9 @@ class PoolOutcome:
     failure_kind: str | None = None
     #: Simulated time charged to failed attempts plus backoff waits, s.
     retry_s: float = 0.0
+    #: The backoff-wait portion of ``retry_s`` — simulated seconds the
+    #: worker slot sat *idle* between attempts, not doing real work.
+    backoff_s: float = 0.0
 
     @property
     def failed(self) -> bool:
@@ -210,6 +215,31 @@ class _FreshResult:
     faults: list[str] = field(default_factory=list)
     failure_kind: str | None = None
     retry_s: float = 0.0
+    backoff_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class AsyncCompletion:
+    """One finished asynchronous trial, popped in completion order."""
+
+    #: Submission-order ticket returned by :meth:`EvaluationPool.submit`.
+    ticket: int
+    #: Simulated time at which the trial finished and freed its worker.
+    finish_s: float
+    #: The trial's result, in the same shape the batch path produces.
+    outcome: PoolOutcome
+    #: Worker-busy simulated seconds (backoff waits excluded), for
+    #: occupancy accounting.
+    busy_s: float
+
+
+@dataclass
+class _Inflight:
+    """Bookkeeping for a fresh asynchronous dispatch until it is popped."""
+
+    result: _FreshResult
+    key: str | None
+    finish_s: float
 
 
 def _evaluate_task(
@@ -295,6 +325,12 @@ class EvaluationPool:
         self.misses = 0
         self._counter = 0
         self._executor: Executor | None = None
+        #: Asynchronous-mode state: a completion-ordered event heap keyed
+        #: ``(finish_s, ticket)`` plus the in-flight fresh dispatches by
+        #: canonical key (for duplicate sharing and deferred cache puts).
+        self._events: list = []
+        self._inflight_by_key: dict[str, _Inflight] = {}
+        self._ticket = 0
         self.bind_metrics(NOOP_METRICS)
 
     def bind_metrics(self, metrics) -> None:
@@ -302,8 +338,12 @@ class EvaluationPool:
 
         Pool metrics record only deterministic quantities — lookup counts,
         dispatch waves, occupancy fractions — so snapshots are identical
-        across the serial/thread/process backends.
+        across the serial/thread/process backends.  The ``pool.
+        retry_wait_s`` backoff counter is created lazily on the first
+        backoff charge, so fault-free runs snapshot exactly the metrics
+        they always did.
         """
+        self._metrics = metrics
         self._m_cache_hits = metrics.counter("cache.hits")
         self._m_cache_misses = metrics.counter("cache.misses")
         self._m_waves = metrics.counter("pool.waves")
@@ -311,6 +351,21 @@ class EvaluationPool:
         self._m_occupancy = metrics.histogram(
             "pool.occupancy", bounds=(0.25, 0.5, 0.75, 1.0)
         )
+        self._m_retry_wait = None
+
+    def _charge_retry_wait(self, seconds: float) -> None:
+        """Count backoff sleeps separately from real work.
+
+        Backoff is *waiting*, not computing: charging it to the occupancy
+        accounting would make a stalling pool look busy.  It lands on its
+        own ``pool.retry_wait_s`` counter instead, registered on first use
+        so it only appears in runs that actually backed off.
+        """
+        if seconds <= 0:
+            return
+        if self._m_retry_wait is None:
+            self._m_retry_wait = self._metrics.counter("pool.retry_wait_s")
+        self._m_retry_wait.inc(seconds)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -416,6 +471,7 @@ class EvaluationPool:
                     faults=tuple(res.faults),
                     failure_kind=res.failure_kind,
                     retry_s=res.retry_s,
+                    backoff_s=res.backoff_s,
                 )
                 # Within-batch duplicates of a failed evaluation share the
                 # failure but carry no charge of their own (the original
@@ -438,6 +494,7 @@ class EvaluationPool:
                 attempts=res.attempts,
                 faults=tuple(res.faults),
                 retry_s=res.retry_s,
+                backoff_s=res.backoff_s,
             )
             if self.cache is not None:
                 # Degraded (measurement-less) outcomes are never admitted:
@@ -464,7 +521,10 @@ class EvaluationPool:
         return 1800.0  # pragma: no cover
 
     def _run_fresh(
-        self, tasks: list[tuple[int, Mapping, int]], early_term: bool
+        self,
+        tasks: list[tuple[int, Mapping, int]],
+        early_term: bool,
+        wave_metrics: bool = True,
     ) -> list[_FreshResult]:
         """Run fresh tasks with deterministic fault injection and retries.
 
@@ -473,6 +533,10 @@ class EvaluationPool:
         ``retry_seed(s, a)`` with the fault plan ``injector.draw(s, a)``
         — both pure functions of seeds — so the outcome (including every
         failure) is identical on all three backends.
+
+        ``wave_metrics=False`` (the asynchronous path, where "waves" are
+        single-trial retries rather than batch rounds) skips the per-wave
+        wave/occupancy observations; dispatch counts are always recorded.
         """
         if not tasks:
             return []
@@ -492,9 +556,10 @@ class EvaluationPool:
                 dispatch.append(
                     (i, config, retry_seed(trial_seed, attempt), fault)
                 )
-            self._m_waves.inc()
+            if wave_metrics:
+                self._m_waves.inc()
+                self._m_occupancy.observe(len(dispatch) / self.workers)
             self._m_dispatched.inc(len(dispatch))
-            self._m_occupancy.observe(len(dispatch) / self.workers)
             raw = self._dispatch(dispatch, early_term)
             still_active = []
             for (i, _, _, _), res in zip(dispatch, raw):
@@ -524,9 +589,10 @@ class EvaluationPool:
                     state.failure_kind = kind
                     state.retry_s += charge
                 else:
-                    state.retry_s += charge + self.retry.backoff_s(
-                        state.attempts
-                    )
+                    backoff = self.retry.backoff_s(state.attempts)
+                    state.retry_s += charge + backoff
+                    state.backoff_s += backoff
+                    self._charge_retry_wait(backoff)
                     still_active.append(i)
             active = still_active
         return states
@@ -573,9 +639,178 @@ class EvaluationPool:
                     faults=list(entry.faults),
                     failure_kind=entry.failure_kind,
                     retry_s=float(entry.retry_s),
+                    backoff_s=float(getattr(entry, "backoff_s", 0.0)),
                 )
             )
         return results
+
+    # -- asynchronous (event-driven) dispatch ----------------------------------
+
+    @property
+    def n_inflight(self) -> int:
+        """Trials submitted but not yet popped via :meth:`next_completion`."""
+        return len(self._events)
+
+    def submit(
+        self,
+        config: Mapping,
+        now_s: float,
+        early_term: bool = False,
+        cache_lookup_s: float = 0.0,
+        replay=None,
+    ) -> int:
+        """Dispatch one trial onto a worker slot at simulated time ``now_s``.
+
+        The asynchronous counterpart of :meth:`evaluate_batch`: the trial's
+        result (including its full retry/backoff history) is computed
+        eagerly — it is a pure function of the submission-order seed — and
+        an event is queued at the simulated time the trial will *finish*.
+        :meth:`next_completion` pops events in completion order, freeing
+        the slot the moment its trial ends instead of at a round barrier.
+
+        Cache hits finish after one ``cache_lookup_s``; a duplicate of an
+        *in-flight* config waits for the original dispatch and then reads
+        its result at lookup cost (counted as a cache hit, exactly like a
+        within-batch duplicate on the batch path).  The cache itself is
+        only populated when the original completion is popped, so a
+        submission never observes a result from its simulated future.
+
+        ``replay`` is a ``{trial_seed: ReplayEval}`` mapping from a
+        recovered journal; a fresh dispatch whose recomputed seed is in it
+        substitutes the journaled result instead of re-executing (async
+        completions journal out of submission order, so the lookup is by
+        seed, not position).  Returns the trial's submission-order ticket.
+        """
+        if self.n_inflight >= self.workers:
+            raise RuntimeError(
+                f"all {self.workers} workers are busy; pop a completion "
+                "before submitting more work"
+            )
+        ticket = self._ticket
+        self._ticket += 1
+        key = None if self.cache is None else self.cache.key(config)
+
+        if key is not None and key in self._inflight_by_key:
+            # Duplicate of an in-flight config: wait for it, then share.
+            origin = self._inflight_by_key[key]
+            self.cache.hits += 1
+            self.hits += 1
+            self._m_cache_hits.inc()
+            res = origin.result
+            if res.outcome is None:
+                outcome = PoolOutcome(
+                    None,
+                    cached=False,
+                    seed=None,
+                    attempts=0,
+                    faults=tuple(res.faults),
+                    failure_kind=res.failure_kind,
+                    retry_s=0.0,
+                )
+            else:
+                outcome = PoolOutcome(
+                    res.outcome, cached=True, seed=None, attempts=0
+                )
+            finish_s = max(origin.finish_s, now_s) + cache_lookup_s
+            self._push_event(
+                ticket, finish_s, outcome, busy_s=cache_lookup_s
+            )
+            return ticket
+
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._m_cache_hits.inc()
+                outcome = PoolOutcome(
+                    cached, cached=True, seed=None, attempts=0
+                )
+                self._push_event(
+                    ticket,
+                    now_s + cache_lookup_s,
+                    outcome,
+                    busy_s=cache_lookup_s,
+                )
+                return ticket
+            self.misses += 1
+            self._m_cache_misses.inc()
+
+        seed = self._next_seed()
+        replay_eval = None if replay is None else replay.get(int(seed))
+        if replay_eval is not None:
+            res = _FreshResult(
+                outcome=replay_eval.outcome,
+                attempts=int(replay_eval.attempts),
+                faults=list(replay_eval.faults),
+                failure_kind=replay_eval.failure_kind,
+                retry_s=float(replay_eval.retry_s),
+                backoff_s=float(getattr(replay_eval, "backoff_s", 0.0)),
+            )
+        else:
+            res = self._run_fresh(
+                [(0, config, seed)], early_term, wave_metrics=False
+            )[0]
+        outcome = PoolOutcome(
+            res.outcome,
+            cached=False,
+            seed=seed,
+            attempts=res.attempts,
+            faults=tuple(res.faults),
+            failure_kind=res.failure_kind,
+            retry_s=res.retry_s,
+            backoff_s=res.backoff_s,
+        )
+        finish_s = now_s + outcome.total_cost_s
+        entry = _Inflight(result=res, key=key, finish_s=finish_s)
+        if key is not None:
+            self._inflight_by_key[key] = entry
+        self._push_event(
+            ticket,
+            finish_s,
+            outcome,
+            busy_s=outcome.total_cost_s - res.backoff_s,
+            entry=entry,
+        )
+        return ticket
+
+    def _push_event(
+        self, ticket, finish_s, outcome, busy_s, entry=None
+    ) -> None:
+        # (finish_s, ticket) is a unique sort key, so equal finish times
+        # break deterministically by submission order (= trial id order)
+        # and the payload is never compared.
+        completion = AsyncCompletion(
+            ticket=ticket, finish_s=finish_s, outcome=outcome, busy_s=busy_s
+        )
+        heapq.heappush(self._events, (finish_s, ticket, completion, entry))
+
+    def next_completion(self) -> AsyncCompletion:
+        """Pop the earliest in-flight completion, freeing its worker.
+
+        Completions come back in nondecreasing ``finish_s`` order (ties by
+        ticket).  Popping a fresh dispatch is the moment its result
+        becomes observable: only then does its outcome enter the trial
+        cache.
+        """
+        if not self._events:
+            raise RuntimeError("no trials in flight")
+        _, _, completion, entry = heapq.heappop(self._events)
+        if entry is not None:
+            if (
+                entry.key is not None
+                and self._inflight_by_key.get(entry.key) is entry
+            ):
+                del self._inflight_by_key[entry.key]
+            res = entry.result
+            if (
+                self.cache is not None
+                and entry.key is not None
+                and res.outcome is not None
+                and not res.outcome.measurement_failed
+                and math.isfinite(res.outcome.error)
+            ):
+                self.cache.put(entry.key, res.outcome)
+        return completion
 
     # -- q-parallel time accounting --------------------------------------------
 

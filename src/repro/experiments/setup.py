@@ -202,6 +202,7 @@ class ExperimentSetup:
         journal: str | Path | None = None,
         resume_from: str | Path | None = None,
         telemetry=None,
+        scheduler: str = "sync",
         **method_kwargs,
     ) -> RunResult:
         """Build and run one method variant under the given budget.
@@ -238,6 +239,13 @@ class ExperimentSetup:
         switches on span tracing and run metrics; tracing never touches
         the clock or any RNG stream, so the result is byte-identical to
         an untraced run (modulo ``RunResult.telemetry`` itself).
+
+        ``scheduler="async"`` (pool path only) replaces the round-barrier
+        loop with the event-driven scheduler: workers are refilled the
+        moment a trial completes and proposals condition on the in-flight
+        set — see :meth:`~repro.core.hyperpower.HyperPower.run`.  The BO
+        solvers' constant-liar strategy is selected with the
+        ``fantasy`` method kwarg (``"cl-min"``/``"cl-mean"``/``"none"``).
         """
         method = build_method(
             solver,
@@ -258,6 +266,11 @@ class ExperimentSetup:
             raise ValueError(
                 "fault injection requires a pool backend (the sequential "
                 "paper loop has no retry machinery)"
+            )
+        if scheduler == "async" and backend is None:
+            raise ValueError(
+                "the asynchronous scheduler requires a pool backend "
+                "(pass backend='serial'/'thread'/'process')"
             )
         if fault_seed is None:
             fault_seed = int(
@@ -315,6 +328,7 @@ class ExperimentSetup:
                 "faults": None if faults is None else asdict(faults),
                 "fault_seed": None if faults is None else fault_seed,
                 "retry": asdict(RetryPolicy() if retry is None else retry),
+                "scheduler": scheduler,
             },
         )
         try:
@@ -324,6 +338,7 @@ class ExperimentSetup:
                 max_time_s=max_time_s,
                 journal=run_journal,
                 replay=replay,
+                scheduler=scheduler,
             )
         finally:
             if run_journal is not None:

@@ -277,6 +277,7 @@ def _eval_entry(pool_outcome) -> dict:
         "faults": list(pool_outcome.faults),
         "failure_kind": pool_outcome.failure_kind,
         "retry_s": pool_outcome.retry_s,
+        "backoff_s": getattr(pool_outcome, "backoff_s", 0.0),
         "outcome": (
             None
             if pool_outcome.outcome is None
@@ -396,6 +397,7 @@ class ReplayEval:
     faults: tuple[str, ...]
     failure_kind: str | None
     retry_s: float
+    backoff_s: float = 0.0
 
 
 class JournalReplay:
@@ -422,6 +424,7 @@ class JournalReplay:
                     faults=tuple(e["faults"]),
                     failure_kind=e["failure_kind"],
                     retry_s=float(e["retry_s"]),
+                    backoff_s=float(e.get("backoff_s", 0.0)),
                 )
                 for e in r["evals"]
             ]

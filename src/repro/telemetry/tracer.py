@@ -156,6 +156,7 @@ class Tracer:
         name: str,
         t0_s: float,
         t1_s: float,
+        /,
         parent: int | None = None,
         **attrs,
     ) -> int:
@@ -167,6 +168,10 @@ class Tracer:
         reconstructed from their outcomes.  ``parent`` defaults to the
         innermost open span.  Returns the new span's id so children can
         be attached to it.
+
+        The first three parameters are positional-only so attribute
+        names like ``name`` never collide with them; ``parent`` is the
+        one reserved attribute key.
         """
         if parent is None and self._stack:
             parent = self._stack[-1]
@@ -215,7 +220,7 @@ class NoopTracer:
     def span(self, name: str, **attrs) -> _NoopSpan:
         return _NOOP_SPAN
 
-    def record(self, name, t0_s, t1_s, parent=None, **attrs) -> None:
+    def record(self, name, t0_s, t1_s, /, parent=None, **attrs) -> None:
         return None
 
 

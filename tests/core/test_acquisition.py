@@ -57,6 +57,27 @@ class TestExpectedImprovementFormula:
         high = expected_improvement(mean, var, 0.8)[0]
         assert high > low
 
+    def test_degenerate_mixed_with_regular_never_nan(self):
+        # A zero-variance candidate amid regular ones must not poison the
+        # batch with the 0/0 z-score (or an overflowing gamma).
+        mean = np.array([0.1, 0.5, 0.9, 0.3])
+        var = np.array([0.0, 0.04, 1e-30, 0.01])
+        ei = expected_improvement(mean, var, 0.5)
+        assert np.all(np.isfinite(ei))
+        assert ei[0] == pytest.approx(0.4, abs=1e-9)  # max(y+ - mu, 0)
+        assert ei[2] == pytest.approx(0.0, abs=1e-9)
+        assert np.all(ei >= 0.0)
+
+    def test_degenerate_huge_improvement_no_overflow(self):
+        # Underflow (exp of a hugely negative z-score flushing to zero) is
+        # the correct tail behaviour; only overflow/invalid/divide are bugs.
+        with np.errstate(over="raise", invalid="raise", divide="raise"):
+            ei = expected_improvement(
+                np.array([-1e6]), np.array([1e-24]), 0.0
+            )
+        assert np.isfinite(ei[0])
+        assert ei[0] == pytest.approx(1e6)
+
 
 class _StubChecker:
     """Feasibility by a simple threshold on config['x']."""

@@ -144,6 +144,26 @@ class TestGPConstraintModel:
         p_high = model.satisfaction_probability(data.configs[high_idx])
         assert p_low > p_high
 
+    def test_batch_matches_scalar_probabilities(self, fitted):
+        space, _, _, data = fitted
+        spec = ConstraintSpec(power_budget_w=85.0)
+        model = GPConstraintModel(space, spec)
+        for config, measured in zip(data.configs[:30], data.power_w[:30]):
+            model.observe(config, measured, None)
+        model.refit(np.random.default_rng(7))
+        configs = data.configs[30:50]
+        serial = np.array(
+            [model.satisfaction_probability(c) for c in configs]
+        )
+        batch = np.asarray(model.satisfaction_probability_batch(configs))
+        # The batch path evaluates the Gaussian CDF on the whole vector at
+        # once; summation order inside erf differs from the scalar path by
+        # a few ULP, amplified deep in the tails — hence 1e-8, not exact.
+        np.testing.assert_allclose(batch, serial, rtol=1e-8)
+        assert np.asarray(
+            model.satisfaction_probability_batch([])
+        ).shape == (0,)
+
     def test_nan_measurements_skipped(self, fitted):
         space, *_ = fitted
         spec = ConstraintSpec(power_budget_w=85.0)

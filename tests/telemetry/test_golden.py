@@ -18,6 +18,7 @@ The committed goldens were generated on the serial backend, so a green
 run under every backend is the cross-backend trace-identity guarantee.
 """
 
+import hashlib
 import json
 
 import pytest
@@ -39,6 +40,23 @@ from repro.telemetry import (
 GOLDEN_BUDGET = 7
 POOL_BUDGET = 8
 POOL_WORKERS = 3
+ASYNC_WORKERS = 4
+
+#: Byte-level pins of the fixtures that predate the asynchronous
+#: scheduler.  The async path must leave every synchronous golden
+#: untouched — not just span-equal, byte-for-byte identical.  Update a
+#: hash only together with an intentional regeneration of its fixture.
+SYNC_FIXTURE_SHA256 = {
+    "HW-CWEI__default.trace.jsonl": "4a8dbe846c51d53b1b0465f4fe7bd24f91106dcc85d3e4283f4c5951a9e368cb",
+    "HW-CWEI__hyperpower.trace.jsonl": "83dbd8c55574980183203b260fb6832ac2f94b9ff9736b41e24fe3d9637ac9a2",
+    "HW-IECI__default.trace.jsonl": "7832dae08d596f507a95f58fc5fdc1f7987ca03d07dc310e291ed58124d6dacf",
+    "HW-IECI__hyperpower.trace.jsonl": "b8faac424173c630241d6f72825f604cf8efe67ac250bec41c72f678789633cd",
+    "Rand-Walk__default.trace.jsonl": "d876bc1f6c5abd8add75c6323555e562c76b0365219ebdf5528e69dc61058d3a",
+    "Rand-Walk__hyperpower.trace.jsonl": "f87a6ccdbdb608274256550261a58d9b5aaf13123327100bdfa0806968edb34a",
+    "Rand__default.trace.jsonl": "28efab0b594c8a54e01e4e3bbf7e5562c3eebb778f61cf312a9f881fb3a21a2b",
+    "Rand__hyperpower.trace.jsonl": "59c59189238e8b524b9d0057f6e47d9ed04688b19337262392863f89953b062a",
+    "pool__HW-IECI__hyperpower.trace.jsonl": "56082910d16376e21f73d754a3137724380380bf1c897e11d3bb4cf14551360a",
+}
 
 pytestmark = pytest.mark.telemetry
 
@@ -136,6 +154,45 @@ def test_pool_trace_matches_golden(
         "metrics": telemetry.metrics.snapshot(),
     }
     _check_golden(golden_dir, "pool__HW-IECI__hyperpower", records, meta, regen_golden)
+
+
+def test_async_trace_matches_golden(
+    setup, golden_dir, regen_golden, telemetry_backend
+):
+    """The event-driven scheduler's schedule/dispatch/complete spans,
+    fantasy accounting and occupancy gauge replay the committed golden."""
+    result, telemetry, records = _traced_run(
+        setup,
+        "HW-IECI",
+        "hyperpower",
+        max_evaluations=POOL_BUDGET,
+        backend=telemetry_backend,
+        workers=ASYNC_WORKERS,
+        scheduler="async",
+    )
+    assert result.n_trained == POOL_BUDGET
+    meta = {
+        "cell": f"async__HW-IECI__hyperpower__{ASYNC_WORKERS}w",
+        "budget": POOL_BUDGET,
+        "metrics": telemetry.metrics.snapshot(),
+    }
+    _check_golden(
+        golden_dir, "async__HW-IECI__hyperpower", records, meta, regen_golden
+    )
+
+
+def test_sync_fixtures_byte_identical(golden_dir, regen_golden):
+    """The synchronous goldens predating the async scheduler are pinned
+    byte-for-byte: the async path may add fixtures, never reshape them."""
+    if regen_golden:
+        pytest.skip("regenerating fixtures; byte pins do not apply")
+    for name, expected in SYNC_FIXTURE_SHA256.items():
+        digest = hashlib.sha256((golden_dir / name).read_bytes()).hexdigest()
+        assert digest == expected, (
+            f"{name} changed on disk; the asynchronous scheduler must not "
+            "perturb synchronous traces (update the pin only alongside an "
+            "intentional --regen-golden)"
+        )
 
 
 def test_backends_emit_identical_traces(setup):
