@@ -1,0 +1,139 @@
+"""Benchmark: multi-tenant study-service throughput (ISSUE 6).
+
+Acceptance gate: one :class:`~repro.service.StudyStore` holding 100
+concurrent studies must sustain **>= 1000 suggest/observe ops/s** with
+per-event fsync durability on, and a kill at a request boundary must
+resume every one of the 100 studies bit-exactly.
+
+The op stream interleaves the studies in a seeded random order — each op
+is one service request (a suggest, or the observe resolving the study's
+oldest pending ticket), the same shape the HTTP front end serves.  The
+throughput phase uses the model-free solvers (Rand/Rand-Walk): they make
+the journal + store machinery the bottleneck being measured, not GP
+algebra.  Results land in ``benchmarks/out/BENCH_service.json``
+(uploaded as a CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.study import TrialReport
+from repro.service import StudySpec, StudyStore
+from repro.space.params import ContinuousParameter, IntegerParameter
+from repro.space.space import SearchSpace
+
+from _shared import write_artifact
+
+N_STUDIES = 100
+PAIRS_PER_STUDY = 10  # suggest+observe pairs, so 20 ops per study
+MIN_OPS_PER_S = 1000.0
+
+
+def _space() -> SearchSpace:
+    return SearchSpace(
+        [
+            IntegerParameter("units", 0, 512),
+            ContinuousParameter("lr", 1e-4, 1.0, log=True),
+        ]
+    )
+
+
+def _spec(i: int) -> StudySpec:
+    return StudySpec(
+        name=f"bench-{i:03d}",
+        space=_space(),
+        solver="Rand" if i % 2 == 0 else "Rand-Walk",
+        seed=i,
+    )
+
+
+def _report(study_index: int, ticket: int) -> dict:
+    return TrialReport(
+        error=round(0.7 - 0.0005 * ticket - 0.001 * study_index, 6),
+        cost_s=8.0,
+        epochs_run=3,
+        power_w=50.0 + (study_index + ticket) % 45,
+    ).to_dict()
+
+
+def test_service_throughput_and_kill_resume():
+    root = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    results: dict = {
+        "n_studies": N_STUDIES,
+        "pairs_per_study": PAIRS_PER_STUDY,
+        "fsync": True,
+        "min_ops_per_s": MIN_OPS_PER_S,
+    }
+    try:
+        store = StudyStore(root, fsync=True)
+        for i in range(N_STUDIES):
+            store.create_study(_spec(i))
+
+        rng = np.random.default_rng(0)
+        schedule = rng.permutation(
+            np.repeat(np.arange(N_STUDIES), 2 * PAIRS_PER_STUDY)
+        )
+        pending: dict[int, list[int]] = {i: [] for i in range(N_STUDIES)}
+
+        t0 = time.perf_counter()
+        for index in schedule:
+            index = int(index)
+            name = f"bench-{index:03d}"
+            queue = pending[index]
+            if queue:
+                ticket = queue.pop(0)
+                store.observe(name, ticket, _report(index, ticket))
+            else:
+                (suggestion,) = store.suggest(name, 1)
+                queue.append(suggestion["ticket"])
+        elapsed = time.perf_counter() - t0
+
+        n_ops = len(schedule)
+        ops_per_s = n_ops / elapsed
+        results["n_ops"] = int(n_ops)
+        results["elapsed_s"] = round(elapsed, 4)
+        results["ops_per_s"] = round(ops_per_s, 1)
+
+        reference = {
+            f"bench-{i:03d}": store.trials(f"bench-{i:03d}")
+            for i in range(N_STUDIES)
+        }
+        # Kill at a request boundary (close without any special shutdown
+        # path — the journal is already durable line by line) and resume.
+        store.close()
+        t0 = time.perf_counter()
+        resumed = StudyStore(root, fsync=True)
+        drift = [
+            name
+            for name, trials in reference.items()
+            if resumed.trials(name) != trials
+        ]
+        results["resume_s"] = round(time.perf_counter() - t0, 4)
+        results["resume_drift"] = drift
+        resumed.close()
+
+        write_artifact(
+            "BENCH_service.json", json.dumps(results, indent=2) + "\n"
+        )
+        assert not drift, f"kill-and-resume drifted in {len(drift)} studies"
+        assert ops_per_s >= MIN_OPS_PER_S, (
+            f"sustained only {ops_per_s:.0f} suggest/observe ops/s "
+            f"(gate: {MIN_OPS_PER_S:.0f})"
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    test_service_throughput_and_kill_resume()
+    print(
+        (Path(__file__).resolve().parent / "out" / "BENCH_service.json")
+        .read_text()
+    )

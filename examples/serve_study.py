@@ -1,0 +1,95 @@
+"""Run a study server and optimize against it over HTTP.
+
+The ask/tell service inverts the library's usual control flow: instead
+of handing HyperPower an objective to call, *you* own the training loop
+— ask the server for configurations, train them wherever you like,
+report the measurements back.  The server journals every exchange, so a
+crash (or a deliberate restart, as below) resumes each study bit-exactly.
+
+Run:  python examples/serve_study.py
+"""
+
+import math
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.core.study import TrialReport
+from repro.service import (
+    StudyClient,
+    StudyQuota,
+    StudyServer,
+    StudySpec,
+    StudyStore,
+)
+from repro.space.params import ContinuousParameter, IntegerParameter
+from repro.space.space import SearchSpace
+
+root = Path(tempfile.mkdtemp()) / "studies"
+
+
+def start_server() -> tuple[StudyServer, StudyStore, int]:
+    """An in-process server; `repro serve --root ...` does the same job."""
+    store = StudyStore(root)
+    server = StudyServer(("127.0.0.1", 0), store)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server, store, server.server_address[1]
+
+
+def train(config: dict) -> TrialReport:
+    """Stand-in for your real training job (anywhere, any framework)."""
+    units, lr = config["units"], config["lr"]
+    error = 0.08 + 0.4 * (math.log10(lr) + 2.5) ** 2 + 12.0 / units
+    return TrialReport(
+        error=round(error, 6),
+        cost_s=30.0 + 0.5 * units,
+        epochs_run=5,
+        power_w=35.0 + 0.2 * units,  # measured on your hardware
+        memory_bytes=int(2e8 + 4e6 * units),
+    )
+
+
+server, store, port = start_server()
+client = StudyClient("127.0.0.1", port)
+
+spec = StudySpec(
+    name="mnist-sweep",
+    space=SearchSpace(
+        [
+            IntegerParameter("units", 16, 256),
+            ContinuousParameter("lr", 1e-4, 1e-1, log=True),
+        ]
+    ),
+    solver="HW-CWEI",
+    seed=0,
+    power_budget_w=75.0,  # enforced on the measurements you report
+    quota=StudyQuota(max_trials=64, max_pending=4),
+)
+client.create_study(spec)
+
+for _ in range(12):
+    (suggestion,) = client.suggest("mnist-sweep")
+    client.observe("mnist-sweep", suggestion["ticket"], train(suggestion["config"]))
+
+status = client.status("mnist-sweep")
+best = status["best"]
+print(
+    f"served study '{status['name']}' over http://127.0.0.1:{port}/ : "
+    f"{status['n_trained']} trials via {status['solver']}"
+)
+print(
+    f"best so far: {best['error'] * 100:.2f}% error at "
+    f"units={best['config']['units']}, lr={best['config']['lr']:.2e}"
+)
+
+# Kill the server and resume from the on-disk journal: nothing is lost.
+reference = client.trials("mnist-sweep")
+client.close()
+server.shutdown()
+server.server_close()
+store.close()
+
+resumed = StudyStore(root)
+assert resumed.trials("mnist-sweep") == reference
+print(f"resumed {len(reference)} trials bit-exact after restart")
+resumed.close()

@@ -220,6 +220,52 @@ def _cmd_run(args) -> None:
         print(f"saved run to {path}")
 
 
+def _cmd_serve(args) -> None:
+    from .service import StudyServer, StudyStore
+
+    telemetry = None
+    if args.trace_out or args.metrics_out:
+        from .telemetry import Telemetry
+
+        telemetry = Telemetry()
+    store = StudyStore(
+        args.root,
+        fsync=not args.no_fsync,
+        metrics=None if telemetry is None else telemetry.metrics,
+    )
+    server = StudyServer((args.host, args.port), store, telemetry=telemetry)
+    host, port = server.server_address[:2]
+    # Parsed by clients launching the server as a subprocess; flush so
+    # they see it before the first request.
+    print(f"serving study store {args.root} at http://{host}:{port}/", flush=True)
+
+    def _term(signum, frame):  # SIGTERM drains like Ctrl-C: dump, then exit
+        raise KeyboardInterrupt
+
+    import signal
+
+    previous = signal.signal(signal.SIGTERM, _term)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.shutdown()
+        server.server_close()
+        store.close()
+        if telemetry is not None:
+            from .telemetry import write_metrics, write_trace
+
+            meta = {"root": str(args.root)}
+            if args.trace_out:
+                write_trace(args.trace_out, telemetry.tracer, meta=meta)
+            if args.metrics_out:
+                write_metrics(
+                    args.metrics_out, telemetry.metrics.snapshot(), meta=meta
+                )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -316,6 +362,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None,
                    help="write the run's metrics snapshot as JSON")
     p.add_argument("--out", default=None, help="save the run as JSON")
+
+    p = sub.add_parser("serve", help="serve a multi-study ask/tell service")
+    p.add_argument("--root", required=True,
+                   help="directory holding the per-study journals")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="TCP port (0 lets the OS pick; the chosen port is "
+                        "printed on startup)")
+    p.add_argument("--no-fsync", action="store_true",
+                   help="skip the per-event fsync (faster, but a host crash "
+                        "may lose the tail of a study journal)")
+    p.add_argument("--trace-out", default=None,
+                   help="write a JSONL span trace of served requests on exit")
+    p.add_argument("--metrics-out", default=None,
+                   help="write the service metrics snapshot as JSON on exit")
     return parser
 
 
@@ -344,6 +405,8 @@ def main(argv: list[str] | None = None) -> int:
         _cmd_fig4(args)
     elif args.command == "run":
         _cmd_run(args)
+    elif args.command == "serve":
+        _cmd_serve(args)
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown command {args.command!r}")
     return 0

@@ -232,6 +232,8 @@ class ModelConstraintChecker:
         NumPy call — this is what makes constraint checks "~free" at batch
         scale, per the paper's economics.
         """
+        if self.space is None:
+            return None, None
         Z = self._structural_batch(configs, validate)
         power = (
             self.power_model.predict_batch(Z)
@@ -258,6 +260,11 @@ class ModelConstraintChecker:
         magnitude below the residual margins).
         """
         n = len(configs)
+        # No models implies no budgets (the constructor enforces the
+        # pairing), so a model-free checker accepts everything — the
+        # service builds such checkers for studies it cannot profile.
+        if self.space is None:
+            return np.ones(n, dtype=bool), None, None
         Z = self._structural_batch(configs, validate)
         spec = self.spec
         accept = np.ones(n, dtype=bool)
@@ -290,6 +297,8 @@ class ModelConstraintChecker:
     ) -> np.ndarray:
         """Vectorised :meth:`satisfaction_probability` over a candidate set."""
         n = len(configs)
+        if self.space is None:
+            return np.ones(n, dtype=float)
         Z = self._structural_batch(configs, validate)
         spec = self.spec
         probability = np.ones(n, dtype=float)

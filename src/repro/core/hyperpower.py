@@ -15,6 +15,11 @@ HW-IECI) in either variant:
 
 and runs the sequential loop of Figure 2 against the simulated clock,
 recording every queried sample as a :class:`~repro.core.result.Trial`.
+
+The proposing/recording core lives in :class:`~repro.core.study.Study`
+(the open ask/tell API); this module owns the *closed-loop* drivers — the
+synchronous round-barrier scheduler and the event-driven asynchronous
+scheduler — which are thin loops over ``suggest``/``observe``.
 """
 
 from __future__ import annotations
@@ -32,22 +37,19 @@ from .clock import DEFAULT_COST_MODEL, CostModel
 from .constraints import ConstraintSpec, GPConstraintModel, ModelConstraintChecker
 from .methods import (
     BayesianOptimizer,
-    Proposal,
     RandomSearch,
     RandomWalk,
     SearchMethod,
-    SearchState,
 )
 from .objective import NNObjective
-from .parallel import EvaluationPool, PoolOutcome
-from .result import RunResult, Trial, TrialStatus
+from .parallel import EvaluationPool
+from .result import RunResult
+from .study import VARIANTS, Study, Suggestion, register_run_metrics
 
 __all__ = ["SOLVERS", "VARIANTS", "build_method", "HyperPower"]
 
 #: The four solvers of Section 3.5.
 SOLVERS = ("Rand", "Rand-Walk", "HW-CWEI", "HW-IECI")
-#: The two implementations compared throughout Section 5.
-VARIANTS = ("default", "hyperpower")
 
 #: Default random-walk neighbourhood size (unit-cube units).  The paper
 #: highlights how sensitive Rand-Walk is to this choice; this value lets
@@ -140,7 +142,7 @@ class HyperPower:
 
     #: Hard cap on queried samples, protecting against runaway rejection
     #: loops under very tight budgets.
-    MAX_SAMPLES = 500_000
+    MAX_SAMPLES = Study.MAX_SAMPLES
 
     def __init__(
         self,
@@ -206,330 +208,38 @@ class HyperPower:
         method.tracer = self.tracer
         if pool is not None:
             pool.bind_metrics(self.metrics)
-        metrics = self.metrics
-        self._m_trials = {
-            status: metrics.counter(f"trials.{status.value}")
-            for status in TrialStatus
-        }
-        self._m_rejections = metrics.counter("screen.rejections")
-        self._m_silent_checks = metrics.counter("screen.silent_checks")
-        self._m_gp_fits = metrics.counter("gp.refits")
-        self._m_gp_appends = metrics.counter("gp.appends")
-        self._m_attempts = metrics.counter("eval.attempts")
-        self._m_faults = metrics.counter("retry.faults")
-        self._m_retry_s = metrics.counter("retry.time_s")
-        # Async-only instruments are created lazily so synchronous runs
+        # Register the per-run instruments up front so even an idle
+        # driver's snapshot carries the full set at zero.  The study
+        # re-registers the same names per run (get-or-create).
+        register_run_metrics(self.metrics)
+        # Async-only instrument, created lazily so synchronous runs
         # (whose metric snapshots are pinned by the golden suite) never
-        # register them.
-        self._m_gp_fantasies = None
+        # register it.
         self._m_occupancy_gauge = None
 
-    # -- trial recording -----------------------------------------------------------
+    def open_study(self, rng: np.random.Generator) -> Study:
+        """Open an ask/tell :class:`~repro.core.study.Study` over this
+        driver's method, objective and telemetry.
 
-    def _record_rejection(
-        self, state: SearchState, result: RunResult, rejected
-    ) -> None:
-        clock = self.objective.clock
-        cost = self.cost_model.proposal_s + self.cost_model.model_check_s
-        clock.advance(cost)
-        trial = Trial(
-            index=len(state.trials),
-            config=dict(rejected.config),
-            status=TrialStatus.REJECTED_MODEL,
-            timestamp_s=clock.now_s,
-            cost_s=cost,
-            power_pred_w=rejected.power_pred_w,
-            memory_pred_bytes=rejected.memory_pred_bytes,
-            feasible_pred=False,
-        )
-        state.trials.append(trial)
-        result.trials.append(trial)
-        self._m_trials[TrialStatus.REJECTED_MODEL].inc()
-        self._m_rejections.inc()
-
-    def _record_evaluation(
-        self, state: SearchState, result: RunResult, proposal: Proposal
-    ) -> None:
-        clock = self.objective.clock
-        clock.advance(self.cost_model.proposal_s)
-        with self.tracer.span("trial", index=len(state.trials)) as span:
-            # The objective emits the nested train/measure spans.
-            outcome = self.objective.evaluate(
-                proposal.config, early_term=self.early_term
-            )
-            status = (
-                TrialStatus.EARLY_TERMINATED
-                if outcome.stopped_early
-                else TrialStatus.COMPLETED
-            )
-            span.set(status=status.value, feasible_meas=outcome.feasible_meas)
-            if not math.isnan(outcome.error):
-                span.set(error=outcome.error)
-        trial = Trial(
-            index=len(state.trials),
-            config=dict(proposal.config),
-            status=status,
-            timestamp_s=clock.now_s,
-            cost_s=outcome.cost_s,
-            error=outcome.error,
-            epochs_run=outcome.epochs_run,
-            diverged=outcome.diverged,
-            power_pred_w=proposal.power_pred_w,
-            memory_pred_bytes=proposal.memory_pred_bytes,
-            power_meas_w=outcome.measurement.power_w,
-            memory_meas_bytes=outcome.measurement.memory_bytes,
-            latency_meas_s=outcome.measurement.latency_s,
-            feasible_pred=proposal.feasible_pred,
-            feasible_meas=outcome.feasible_meas,
-            attempts=1,
-        )
-        state.trials.append(trial)
-        result.trials.append(trial)
-        state.trained_configs.append(dict(proposal.config))
-        state.trained_errors.append(outcome.error)
-        state.trained_feasible.append(outcome.feasible_meas)
-        self._m_trials[status].inc()
-        self._m_attempts.inc()
-
-    def _record_batch(
-        self,
-        state: SearchState,
-        result: RunResult,
-        proposals: list[Proposal],
-        pool_outcomes: list[PoolOutcome],
-        batch_t0: float,
-    ) -> None:
-        """Record one q-parallel round of pool evaluations.
-
-        The clock was already advanced by the round's wall time, so every
-        trial in the round shares the round-end timestamp; each trial's
-        ``cost_s`` still records its individual cost (lookup cost for
-        cache hits, retry and backoff charges included for faulted
-        evaluations).
-
-        ``batch_t0`` is the simulated time at which the round's
-        evaluations started (before the wall-time charge).  Workers run
-        in other processes and cannot share the tracer, so the driver
-        synthesizes the per-trial ``trial > {retry, train, measure}``
-        spans here from each outcome's recorded costs — identical across
-        the serial/thread/process backends by construction.
-
-        Failure semantics: a slot that exhausted its retry budget becomes
-        a ``FAILED`` trial — no observation, nothing appended to the
-        trained lists, the run continues.  A slot whose hardware
-        measurement failed (transient NVML error) *degrades*: the trial
-        keeps its training outcome but records the model-predicted
-        power/memory (when the method has models) with
-        ``measurement_degraded=True``.
+        ``run`` opens one of these internally per call; external callers
+        can drive the returned study directly and obtain results
+        byte-identical to the closed loop.
         """
-        clock = self.objective.clock
-        tracer = self.tracer
-        for proposal, pool_outcome in zip(proposals, pool_outcomes):
-            outcome = pool_outcome.outcome
-            self._m_attempts.inc(pool_outcome.attempts)
-            self._m_faults.inc(len(pool_outcome.faults))
-            self._m_retry_s.inc(pool_outcome.retry_s)
-            if pool_outcome.failed:
-                sid = tracer.record(
-                    "trial",
-                    batch_t0,
-                    batch_t0 + pool_outcome.retry_s,
-                    index=len(state.trials),
-                    status=TrialStatus.FAILED.value,
-                    failure_kind=pool_outcome.failure_kind,
-                )
-                if pool_outcome.retry_s > 0:
-                    tracer.record(
-                        "retry",
-                        batch_t0,
-                        batch_t0 + pool_outcome.retry_s,
-                        parent=sid,
-                        attempts=pool_outcome.attempts,
-                        faults=list(pool_outcome.faults),
-                    )
-                self._m_trials[TrialStatus.FAILED].inc()
-                trial = Trial(
-                    index=len(state.trials),
-                    config=dict(proposal.config),
-                    status=TrialStatus.FAILED,
-                    timestamp_s=clock.now_s,
-                    cost_s=pool_outcome.retry_s,
-                    power_pred_w=proposal.power_pred_w,
-                    memory_pred_bytes=proposal.memory_pred_bytes,
-                    feasible_pred=proposal.feasible_pred,
-                    attempts=pool_outcome.attempts,
-                    faults=pool_outcome.faults,
-                    failure_kind=pool_outcome.failure_kind,
-                    retry_s=pool_outcome.retry_s,
-                )
-                state.trials.append(trial)
-                result.trials.append(trial)
-                continue
-            if pool_outcome.cached:
-                status = TrialStatus.CACHED
-                cost = self.cost_model.cache_lookup_s
-                epochs_run = 0
-            else:
-                status = (
-                    TrialStatus.EARLY_TERMINATED
-                    if outcome.stopped_early
-                    else TrialStatus.COMPLETED
-                )
-                cost = outcome.cost_s + pool_outcome.retry_s
-                epochs_run = outcome.epochs_run
-            if outcome.measurement is None:
-                # Degradation ladder: measured -> model-predicted ->
-                # unknown.  The predictions come from the proposal, so
-                # model-free (default-variant) methods degrade to unknown.
-                power_meas = proposal.power_pred_w
-                memory_meas = proposal.memory_pred_bytes
-                latency_meas = None
-                if power_meas is None and memory_meas is None:
-                    feasible_meas = None
-                else:
-                    feasible_meas = self.objective.spec.measured_feasible(
-                        power_meas, memory_meas, None
-                    )
-                degraded = True
-            else:
-                power_meas = outcome.measurement.power_w
-                memory_meas = outcome.measurement.memory_bytes
-                latency_meas = outcome.measurement.latency_s
-                feasible_meas = outcome.feasible_meas
-                degraded = False
-            attrs = {
-                "index": len(state.trials),
-                "status": status.value,
-                "feasible_meas": feasible_meas,
-            }
-            if not math.isnan(outcome.error):
-                attrs["error"] = outcome.error
-            sid = tracer.record("trial", batch_t0, batch_t0 + cost, **attrs)
-            if status is not TrialStatus.CACHED:
-                train_t0 = batch_t0
-                if pool_outcome.retry_s > 0:
-                    tracer.record(
-                        "retry",
-                        batch_t0,
-                        batch_t0 + pool_outcome.retry_s,
-                        parent=sid,
-                        attempts=pool_outcome.attempts,
-                        faults=list(pool_outcome.faults),
-                    )
-                    train_t0 = batch_t0 + pool_outcome.retry_s
-                trial_t1 = batch_t0 + cost
-                measure_s = (
-                    outcome.measurement.duration_s
-                    if outcome.measurement is not None
-                    else 0.0
-                )
-                tracer.record(
-                    "train",
-                    train_t0,
-                    trial_t1 - measure_s,
-                    parent=sid,
-                    epochs=epochs_run,
-                    stopped_early=outcome.stopped_early,
-                )
-                if outcome.measurement is not None:
-                    tracer.record("measure", trial_t1 - measure_s, trial_t1, parent=sid)
-            self._m_trials[status].inc()
-            trial = Trial(
-                index=len(state.trials),
-                config=dict(proposal.config),
-                status=status,
-                timestamp_s=clock.now_s,
-                cost_s=cost,
-                error=outcome.error,
-                epochs_run=epochs_run,
-                diverged=outcome.diverged,
-                power_pred_w=proposal.power_pred_w,
-                memory_pred_bytes=proposal.memory_pred_bytes,
-                power_meas_w=power_meas,
-                memory_meas_bytes=memory_meas,
-                latency_meas_s=latency_meas,
-                feasible_pred=proposal.feasible_pred,
-                feasible_meas=feasible_meas,
-                attempts=pool_outcome.attempts,
-                faults=pool_outcome.faults,
-                retry_s=pool_outcome.retry_s,
-                measurement_degraded=degraded,
-            )
-            state.trials.append(trial)
-            result.trials.append(trial)
-            state.trained_configs.append(dict(proposal.config))
-            state.trained_errors.append(outcome.error)
-            state.trained_feasible.append(feasible_meas)
-
-    # -- proposing ------------------------------------------------------------------
-
-    def _propose_one(
-        self,
-        state: SearchState,
-        result: RunResult,
-        rng: np.random.Generator,
-        pending=None,
-    ) -> Proposal:
-        """One proposal: method call, clock charges, screening records.
-
-        This is the propose block shared by both schedulers.  ``pending``
-        (async only) is the list of in-flight configurations forwarded to
-        pending-aware methods; the synchronous path leaves it ``None`` and
-        calls ``propose(state, rng)`` with two arguments, so duck-typed
-        two-argument methods keep working there.
-        """
-        clock = self.objective.clock
-        with self.tracer.span("propose") as propose_span:
-            if pending:
-                proposal = self.method.propose(state, rng, list(pending))
-            else:
-                proposal = self.method.propose(state, rng)
-            if proposal.silent_model_checks:
-                clock.advance(
-                    self.cost_model.pool_check_s
-                    * proposal.silent_model_checks
-                )
-            if proposal.gp_fits:
-                clock.advance(
-                    proposal.gp_fits
-                    * self.cost_model.gp_fit_s(state.n_trained)
-                )
-            if proposal.gp_appends:
-                clock.advance(
-                    proposal.gp_appends
-                    * self.cost_model.gp_append_s(state.n_trained)
-                )
-            fantasies = getattr(proposal, "gp_fantasies", 0)
-            if fantasies:
-                # Constant-liar conditioning is rank-1 appends on a copy
-                # of the surrogate — same unit cost as a real append.
-                clock.advance(
-                    fantasies * self.cost_model.gp_append_s(state.n_trained)
-                )
-                propose_span.set(gp_fantasies=fantasies)
-                if self._m_gp_fantasies is None:
-                    self._m_gp_fantasies = self.metrics.counter(
-                        "gp.fantasies"
-                    )
-                self._m_gp_fantasies.inc(fantasies)
-            propose_span.set(
-                silent_checks=proposal.silent_model_checks,
-                gp_fits=proposal.gp_fits,
-                gp_appends=proposal.gp_appends,
-                rejections=len(proposal.rejected),
-            )
-            self._m_silent_checks.inc(proposal.silent_model_checks)
-            self._m_gp_fits.inc(proposal.gp_fits)
-            self._m_gp_appends.inc(proposal.gp_appends)
-            if proposal.rejected:
-                with self.tracer.span(
-                    "screen", rejections=len(proposal.rejected)
-                ):
-                    for rejected in proposal.rejected:
-                        self._record_rejection(state, result, rejected)
-                        if len(state.trials) >= self.MAX_SAMPLES:
-                            break
-        return proposal
+        return Study(
+            self.method,
+            self.variant,
+            clock=self.objective.clock,
+            rng=rng,
+            cost_model=self.cost_model,
+            objective=self.objective,
+            early_term=self.early_term,
+            dataset=self.objective.dataset_name,
+            device=self.objective.device_name,
+            chance_error=self.objective.trainer.dataset.chance_error,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            max_samples=self.MAX_SAMPLES,
+        )
 
     # -- main loop ------------------------------------------------------------------
 
@@ -594,15 +304,8 @@ class HyperPower:
                 "the asynchronous scheduler requires an evaluation pool"
             )
 
-        clock = self.objective.clock
-        state = SearchState()
-        result = RunResult(
-            method=self.method.name,
-            variant=self.variant,
-            dataset=self.objective.dataset_name,
-            device=self.objective.device_name,
-            chance_error=self.objective.trainer.dataset.chance_error,
-        )
+        study = self.open_study(rng)
+        result = study.result
 
         run_span = self.tracer.span(
             "run",
@@ -614,19 +317,16 @@ class HyperPower:
         run_span.__enter__()
         if scheduler == "async":
             rounds = self._run_async(
-                state, result, rng, max_evaluations, max_time_s, journal, replay
+                study, max_evaluations, max_time_s, journal, replay
             )
         else:
             rounds = self._run_sync(
-                state, result, rng, max_evaluations, max_time_s, journal, replay
+                study, max_evaluations, max_time_s, journal, replay
             )
 
         run_span.set(rounds=rounds, samples=len(result.trials))
         run_span.__exit__(None, None, None)
-        result.wall_time_s = clock.now_s
-        profile = getattr(self.method, "surrogate_profile", None)
-        if profile is not None:
-            result.surrogate_timings = profile.as_dict()
+        study.finalize()
         if self.pool is not None and self.pool.cache is not None:
             # The pool's own counters, not the cache's lifetime totals:
             # a shared (warm) cache carries counts from earlier runs.
@@ -640,9 +340,7 @@ class HyperPower:
 
     def _run_sync(
         self,
-        state: SearchState,
-        result: RunResult,
-        rng: np.random.Generator,
+        study: Study,
         max_evaluations: int | None,
         max_time_s: float | None,
         journal,
@@ -650,6 +348,8 @@ class HyperPower:
     ) -> int:
         """The round-barrier loop of Figure 2; returns rounds run."""
         clock = self.objective.clock
+        state = study.state
+        result = study.result
         round_index = 0
         while True:
             if clock.exceeded(max_time_s):
@@ -659,7 +359,7 @@ class HyperPower:
                 and state.n_trained >= max_evaluations
             ):
                 break
-            if len(state.trials) >= self.MAX_SAMPLES:
+            if len(state.trials) >= study.max_samples:
                 break
 
             replaying = replay is not None and round_index < replay.n_rounds
@@ -675,22 +375,19 @@ class HyperPower:
             round_span = self.tracer.span("round", index=round_index)
             round_span.__enter__()
             trials_before = len(result.trials)
-            proposals: list[Proposal] = []
-            for _ in range(round_size):
-                proposals.append(self._propose_one(state, result, rng))
-                if len(state.trials) >= self.MAX_SAMPLES:
-                    break
+            # Historical rounds propose from one frozen state, so the
+            # round's own suggestions must not see each other as pending.
+            suggestions = study.suggest(round_size, batch_aware=False)
 
             pool_outcomes = None
             if self.pool is None:
                 # Sequential (paper) path: replay verifies by determinism
                 # — the evaluation re-executes and must reproduce the
                 # journal byte for byte.
-                self._record_evaluation(state, result, proposals[0])
+                study.evaluate_and_observe(suggestions[0])
             else:
-                clock.advance(self.cost_model.proposal_s * len(proposals))
                 pool_outcomes = self.pool.evaluate_batch(
-                    [p.config for p in proposals],
+                    [s.config for s in suggestions],
                     early_term=self.early_term,
                     replay=(
                         replay.pool_evals(round_index) if replaying else None
@@ -702,9 +399,7 @@ class HyperPower:
                         pool_outcomes, self.cost_model.cache_lookup_s
                     )
                 )
-                self._record_batch(
-                    state, result, proposals, pool_outcomes, batch_t0
-                )
+                study.observe_batch(suggestions, pool_outcomes, batch_t0)
 
             if replaying:
                 replay.verify_round(
@@ -723,9 +418,7 @@ class HyperPower:
 
     def _run_async(
         self,
-        state: SearchState,
-        result: RunResult,
-        rng: np.random.Generator,
+        study: Study,
         max_evaluations: int | None,
         max_time_s: float | None,
         journal,
@@ -734,11 +427,12 @@ class HyperPower:
         """The event-driven scheduler; returns completion events run.
 
         No round barrier: whenever a worker slot is free (and budget
-        remains) the driver proposes against the current state *plus* the
-        in-flight set and dispatches immediately; otherwise it advances
-        the simulated clock to the earliest in-flight completion and
-        records that trial.  With one worker the dispatch→complete
-        alternation reproduces the synchronous loop trial for trial.
+        remains) the driver asks the study for one suggestion — proposed
+        against the current state *plus* the pending (in-flight) set —
+        and dispatches immediately; otherwise it advances the simulated
+        clock to the earliest in-flight completion and observes that
+        trial.  With one worker the dispatch→complete alternation
+        reproduces the synchronous loop trial for trial.
 
         Each completion event is journaled as its own round (the trials
         recorded since the previous event — model-rejections from the
@@ -748,6 +442,8 @@ class HyperPower:
         so replay substitution is keyed by the recomputed trial seed.
         """
         clock = self.objective.clock
+        state = study.state
+        result = study.result
         pool = self.pool
         replay_map = None
         n_replay_rounds = 0
@@ -757,7 +453,7 @@ class HyperPower:
             for i in range(n_replay_rounds):
                 for e in replay.pool_evals(i) or ():
                     replay_map[int(e.seed)] = e
-        inflight: dict[int, tuple[Proposal, float]] = {}
+        inflight: dict[int, Suggestion] = {}
         event_index = 0
         busy_s = 0.0
         t0 = clock.now_s
@@ -772,22 +468,18 @@ class HyperPower:
                     max_evaluations is None
                     or state.n_trained + len(inflight) < max_evaluations
                 )
-                and len(state.trials) < self.MAX_SAMPLES
+                and len(state.trials) < study.max_samples
             )
             if can_dispatch:
-                pending = [inflight[t][0].config for t in sorted(inflight)]
-                proposal = self._propose_one(
-                    state, result, rng, pending=pending
-                )
-                clock.advance(self.cost_model.proposal_s)
+                (suggestion,) = study.suggest(1)
                 ticket = pool.submit(
-                    proposal.config,
+                    suggestion.proposal.config,
                     clock.now_s,
                     early_term=self.early_term,
                     cache_lookup_s=self.cost_model.cache_lookup_s,
                     replay=replay_map,
                 )
-                inflight[ticket] = (proposal, clock.now_s)
+                inflight[ticket] = suggestion
                 self.tracer.record(
                     "dispatch",
                     clock.now_s,
@@ -799,7 +491,7 @@ class HyperPower:
             if not inflight:
                 break
             completion = pool.next_completion()
-            proposal, dispatch_t0 = inflight.pop(completion.ticket)
+            suggestion = inflight.pop(completion.ticket)
             clock.advance(max(0.0, completion.finish_s - clock.now_s))
             busy_s += completion.busy_s
             self.tracer.record(
@@ -809,12 +501,8 @@ class HyperPower:
                 ticket=completion.ticket,
                 inflight=len(inflight),
             )
-            self._record_batch(
-                state,
-                result,
-                [proposal],
-                [completion.outcome],
-                batch_t0=dispatch_t0,
+            study.observe(
+                suggestion, completion.outcome, batch_t0=suggestion.issued_s
             )
             replaying = replay is not None and event_index < n_replay_rounds
             if replaying:

@@ -185,6 +185,44 @@ class ExperimentSetup:
             rng=rng_train,
         )
 
+    def open_study(
+        self,
+        solver: str,
+        variant: str,
+        run_seed: int = 0,
+        telemetry=None,
+        **method_kwargs,
+    ):
+        """An open ask/tell study seeded exactly like :meth:`run`.
+
+        Builds the same method, objective, driver and proposal RNG a
+        ``run(solver, variant, run_seed)`` call would (same decorrelation
+        tag, same seed words), then hands back the driver's
+        :meth:`~repro.core.hyperpower.HyperPower.open_study` — so a caller
+        driving ``suggest``/``evaluate_and_observe`` in the sequential
+        pattern reproduces the closed loop byte for byte.
+        """
+        import zlib
+
+        method = build_method(
+            solver,
+            variant,
+            self.space,
+            self.spec,
+            power_model=self.power_model,
+            memory_model=self.memory_model,
+            **method_kwargs,
+        )
+        tag = zlib.crc32(f"{solver}/{variant}".encode("utf-8"))
+        objective = self.new_objective(int(run_seed) * 0x10000 + (tag & 0xFFFF))
+        driver = HyperPower(
+            objective, method, variant, self.cost_model, telemetry=telemetry
+        )
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, 4, int(run_seed), tag])
+        )
+        return driver.open_study(rng)
+
     def run(
         self,
         solver: str,

@@ -1,0 +1,39 @@
+"""The multi-tenant study service.
+
+Layers the open ask/tell core (:class:`~repro.core.study.Study`) into a
+long-lived, many-study server: a crash-safe :class:`StudyStore` rooted at
+a directory, per-study quotas, a stdlib JSON-RPC-over-HTTP front end
+(``repro serve``) and a typed client.
+"""
+
+from .client import StudyClient
+from .errors import (
+    InvalidParamsError,
+    QuotaExceededError,
+    ServiceError,
+    StudyExistsError,
+    UnknownStudyError,
+    UnknownTicketError,
+)
+from .quotas import StudyQuota, TokenBucket
+from .server import StudyServer, WallClock, serve
+from .store import STUDY_JOURNAL_FORMAT, ManagedStudy, StudySpec, StudyStore
+
+__all__ = [
+    "STUDY_JOURNAL_FORMAT",
+    "InvalidParamsError",
+    "ManagedStudy",
+    "QuotaExceededError",
+    "ServiceError",
+    "StudyClient",
+    "StudyExistsError",
+    "StudyQuota",
+    "StudyServer",
+    "StudySpec",
+    "StudyStore",
+    "TokenBucket",
+    "UnknownStudyError",
+    "UnknownTicketError",
+    "WallClock",
+    "serve",
+]

@@ -1,0 +1,174 @@
+"""The stdlib HTTP client of the study service.
+
+:class:`StudyClient` speaks the JSON-RPC 2.0 dialect of
+:class:`~repro.service.server.StudyServer` over persistent HTTP/1.1
+connections (one per calling thread, so threaded trainers share a single
+client safely).  JSON-RPC error objects re-raise as the matching typed
+:class:`~repro.service.errors.ServiceError` subclass — an over-quota
+suggest lands as :class:`~repro.service.errors.QuotaExceededError`, never
+as a transport failure.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+from .errors import ServiceError, error_from_dict
+
+__all__ = ["StudyClient"]
+
+
+class StudyClient:
+    """A thread-safe JSON-RPC client for one study server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._local = threading.local()
+        self._conns: list[http.client.HTTPConnection] = []
+        self._conns_lock = threading.Lock()
+        self._id_lock = threading.Lock()
+        self._next_id = 0
+
+    # -- transport -------------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.conn = conn
+            with self._conns_lock:
+                self._conns.append(conn)
+        return conn
+
+    def _reset_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            with self._conns_lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+        self._local.conn = None
+
+    def _post(self, payload) -> object:
+        body = json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        # One retry on a stale keep-alive connection (server restarted,
+        # idle timeout); a second failure propagates.
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request("POST", "/", body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self._reset_connection()
+                if attempt:
+                    raise
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"malformed server response: {exc}") from None
+
+    def _request_id(self) -> int:
+        with self._id_lock:
+            self._next_id += 1
+            return self._next_id
+
+    def call(self, method: str, params: dict | None = None):
+        """One JSON-RPC call; returns the result or raises typed."""
+        response = self._post(
+            {
+                "jsonrpc": "2.0",
+                "id": self._request_id(),
+                "method": method,
+                "params": params or {},
+            }
+        )
+        return _unwrap(response)
+
+    def call_batch(self, calls: list[tuple[str, dict]]) -> list:
+        """Send several calls in one HTTP exchange.
+
+        Returns one entry per call, in order: the result, or the typed
+        :class:`ServiceError` instance (not raised) for failed entries.
+        """
+        payload = [
+            {
+                "jsonrpc": "2.0",
+                "id": self._request_id(),
+                "method": method,
+                "params": params or {},
+            }
+            for method, params in calls
+        ]
+        responses = self._post(payload)
+        if not isinstance(responses, list):
+            return [_unwrap(responses)]
+        results = []
+        for response in responses:
+            try:
+                results.append(_unwrap(response))
+            except ServiceError as exc:
+                results.append(exc)
+        return results
+
+    def close(self) -> None:
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            conn.close()
+        self._local = threading.local()
+
+    def __enter__(self) -> "StudyClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the study API ---------------------------------------------------------------
+
+    def create_study(self, spec) -> dict:
+        """``spec`` is a :class:`~repro.service.store.StudySpec` or dict."""
+        if hasattr(spec, "to_dict"):
+            spec = spec.to_dict()
+        return self.call("study.create", {"spec": spec})
+
+    def suggest(self, study: str, n: int = 1) -> list[dict]:
+        return self.call("study.suggest", {"study": study, "n": n})
+
+    def observe(self, study: str, ticket: int, report) -> dict:
+        if hasattr(report, "to_dict"):
+            report = report.to_dict()
+        return self.call(
+            "study.observe",
+            {"study": study, "ticket": ticket, "report": report},
+        )
+
+    def status(self, study: str) -> dict:
+        return self.call("study.status", {"study": study})
+
+    def trials(self, study: str) -> list[dict]:
+        return self.call("study.trials", {"study": study})
+
+    def list_studies(self) -> list[str]:
+        return self.call("study.list")
+
+    def stats(self) -> dict:
+        return self.call("service.stats")
+
+
+def _unwrap(response) -> object:
+    if not isinstance(response, dict):
+        raise ServiceError("malformed server response (not an object)")
+    error = response.get("error")
+    if error is not None:
+        raise error_from_dict(error)
+    return response.get("result")

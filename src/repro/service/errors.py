@@ -1,0 +1,115 @@
+"""Typed service errors with stable JSON-RPC error codes.
+
+Every expected failure of the study service — unknown study, exhausted
+quota, bad parameters — is a :class:`ServiceError` subclass carrying a
+stable numeric code from the JSON-RPC server-error range.  The HTTP
+front end maps them onto JSON-RPC error objects with status 200 (a
+protocol-level error is a *successful* transport exchange — clients must
+never see a 500 for an over-quota suggest), and :class:`~repro.service.
+client.StudyClient` re-raises the matching typed exception from the code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PARSE_ERROR",
+    "INVALID_REQUEST",
+    "METHOD_NOT_FOUND",
+    "INVALID_PARAMS",
+    "INTERNAL_ERROR",
+    "ServiceError",
+    "UnknownStudyError",
+    "StudyExistsError",
+    "UnknownTicketError",
+    "QuotaExceededError",
+    "InvalidParamsError",
+    "error_to_dict",
+    "error_from_dict",
+]
+
+# Standard JSON-RPC 2.0 protocol codes.
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+
+
+class ServiceError(Exception):
+    """Base class of all expected study-service failures."""
+
+    #: JSON-RPC error code (subclasses use the -32000..-32099 range).
+    code = -32000
+
+    def __init__(self, message: str, data: dict | None = None):
+        super().__init__(message)
+        self.message = message
+        self.data = dict(data) if data else {}
+
+
+class UnknownStudyError(ServiceError):
+    """The named study exists neither in memory nor on disk."""
+
+    code = -32001
+
+
+class StudyExistsError(ServiceError):
+    """``create`` collided with an existing study of the same name."""
+
+    code = -32002
+
+
+class UnknownTicketError(ServiceError):
+    """``observe`` referenced a ticket that is not pending."""
+
+    code = -32003
+
+
+class QuotaExceededError(ServiceError):
+    """A per-study quota (max trials, max pending, request rate) denied
+    the call.  ``data['quota']`` names the quota that fired."""
+
+    code = -32004
+
+
+class InvalidParamsError(ServiceError):
+    """Malformed request parameters (standard JSON-RPC code)."""
+
+    code = INVALID_PARAMS
+
+
+_TYPED_ERRORS = {
+    cls.code: cls
+    for cls in (
+        UnknownStudyError,
+        StudyExistsError,
+        UnknownTicketError,
+        QuotaExceededError,
+        InvalidParamsError,
+    )
+}
+
+
+def error_to_dict(exc: ServiceError) -> dict:
+    """The JSON-RPC error object for a typed service error."""
+    error = {"code": exc.code, "message": exc.message}
+    if exc.data:
+        error["data"] = exc.data
+    return error
+
+
+def error_from_dict(error: dict) -> ServiceError:
+    """Rebuild the typed exception a JSON-RPC error object encodes.
+
+    Unknown codes fall back to the :class:`ServiceError` base with the
+    original code preserved on the instance.
+    """
+    code = int(error.get("code", -32000))
+    message = str(error.get("message", "service error"))
+    data = error.get("data") or {}
+    cls = _TYPED_ERRORS.get(code)
+    if cls is None:
+        exc = ServiceError(message, data)
+        exc.code = code
+        return exc
+    return cls(message, data)

@@ -1,0 +1,110 @@
+"""Per-study quotas: trial/pending caps and token-bucket rate limits.
+
+Quotas protect a multi-tenant :class:`~repro.service.store.StudyStore`
+from any single study monopolising it: ``max_trials`` bounds the total
+number of suggestions a study may ever issue, ``max_pending`` bounds its
+outstanding (suggested-but-unobserved) set, and ``requests_per_s`` meters
+its request rate through a classic token bucket.  Every breach raises
+:class:`~repro.service.errors.QuotaExceededError` — a typed error the
+HTTP front end reports with a stable JSON-RPC code, never a 500.
+
+The bucket's time source is injectable so tests (and the simulated-clock
+philosophy of this repo) can drive it deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .errors import QuotaExceededError
+
+__all__ = ["StudyQuota", "TokenBucket", "check_request"]
+
+
+@dataclass(frozen=True)
+class StudyQuota:
+    """Per-study limits; ``None`` disables the corresponding check."""
+
+    #: Lifetime cap on issued suggestions (and therefore trials).
+    max_trials: int | None = None
+    #: Cap on suggestions outstanding at any moment.
+    max_pending: int | None = None
+    #: Sustained request rate (suggest/observe calls per second).
+    requests_per_s: float | None = None
+    #: Bucket capacity: how many requests may burst above the rate.
+    request_burst: int = 20
+
+    def __post_init__(self) -> None:
+        if self.max_trials is not None and self.max_trials < 1:
+            raise ValueError("max_trials must be >= 1")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.requests_per_s is not None and self.requests_per_s <= 0:
+            raise ValueError("requests_per_s must be positive")
+        if self.request_burst < 1:
+            raise ValueError("request_burst must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "max_trials": self.max_trials,
+            "max_pending": self.max_pending,
+            "requests_per_s": self.requests_per_s,
+            "request_burst": self.request_burst,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StudyQuota":
+        known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
+        extra = set(data) - set(cls.__dataclass_fields__)
+        if extra:
+            raise ValueError(f"unknown quota fields {sorted(extra)}")
+        return cls(**known)
+
+
+class TokenBucket:
+    """A token bucket: ``rate`` tokens/s refill up to ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: int, timer=time.monotonic):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._timer = timer
+        self._tokens = float(burst)
+        self._last = timer()
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (refilled lazily)."""
+        self._refill()
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = self._timer()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, n: int = 1) -> bool:
+        """Take ``n`` tokens if available; returns whether it succeeded."""
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+
+def check_request(bucket: TokenBucket | None, study_name: str) -> None:
+    """Charge one request against the study's bucket, raising typed."""
+    if bucket is not None and not bucket.try_acquire():
+        raise QuotaExceededError(
+            f"study {study_name!r} exceeded its request rate",
+            data={
+                "quota": "requests_per_s",
+                "limit": bucket.rate,
+                "study": study_name,
+            },
+        )

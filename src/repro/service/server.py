@@ -1,0 +1,242 @@
+"""The stdlib JSON-RPC 2.0 HTTP front end of the study store.
+
+One ``POST /`` endpoint accepts single or batched JSON-RPC requests:
+
+========================  =====================================================
+``study.create``          ``{"spec": {...}}`` — create a named study
+``study.suggest``         ``{"study": name, "n": k}`` — next configuration(s)
+``study.observe``         ``{"study": name, "ticket": t, "report": {...}}``
+``study.status``          ``{"study": name}`` — progress + best + quota
+``study.trials``          ``{"study": name}`` — full trial record
+``study.list``            ``{}`` — names of every study
+``service.stats``         ``{}`` — metrics snapshot + study names
+========================  =====================================================
+
+Expected failures are JSON-RPC *error objects* with the typed codes of
+:mod:`repro.service.errors`, always under HTTP 200 — an over-quota
+suggest is a protocol answer, not a server failure; unexpected exceptions
+map to code -32603 rather than a 500 so clients always get JSON back.
+
+Requests are traced into the shared telemetry subsystem: each dispatch
+records an ``rpc`` span (the server's tracer runs on a wall clock — a
+service has no simulated time of its own; the *studies'* clocks stay
+simulated) and bumps ``rpc.requests``/``rpc.errors`` counters alongside
+the store's own metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..telemetry.metrics import NOOP_METRICS
+from ..telemetry.tracer import NOOP_TRACER
+from .errors import (
+    INTERNAL_ERROR,
+    INVALID_REQUEST,
+    METHOD_NOT_FOUND,
+    PARSE_ERROR,
+    InvalidParamsError,
+    ServiceError,
+    error_to_dict,
+)
+from .store import StudySpec, StudyStore
+
+__all__ = ["WallClock", "StudyServer", "StudyRequestHandler", "serve"]
+
+
+class WallClock:
+    """Monotonic wall time with the tracer's ``now_s`` interface.
+
+    Service spans measure real request latency; study clocks remain
+    simulated and advance only by reported trial costs.
+    """
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic()
+
+    @property
+    def now_s(self) -> float:
+        return time.monotonic() - self._t0
+
+
+class StudyRequestHandler(BaseHTTPRequestHandler):
+    """One JSON-RPC-over-HTTP exchange (keep-alive friendly)."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-study/1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the tracer records requests; stderr chatter helps nobody
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length)
+        except (TypeError, ValueError):
+            raw = b""
+        response = self.server.handle_payload(raw)
+        body = json.dumps(response).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class StudyServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`StudyStore`.
+
+    Bind to port 0 to let the OS pick; the chosen port is
+    ``server.server_address[1]``.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, store: StudyStore, *, telemetry=None):
+        super().__init__(tuple(address), StudyRequestHandler)
+        self.store = store
+        self.telemetry = telemetry
+        if telemetry is None:
+            self.tracer = NOOP_TRACER
+            self.metrics = NOOP_METRICS
+        else:
+            self.tracer = telemetry.tracer
+            self.metrics = telemetry.metrics
+            if self.tracer.clock is None:
+                self.tracer.clock = WallClock()
+        self._m_requests = self.metrics.counter("rpc.requests")
+        self._m_errors = self.metrics.counter("rpc.errors")
+        # Span records interleave across handler threads; the tracer's
+        # list append is atomic but the id counter is not.
+        self._trace_lock = threading.Lock()
+        self._methods = {
+            "study.create": self._rpc_create,
+            "study.suggest": self._rpc_suggest,
+            "study.observe": self._rpc_observe,
+            "study.status": self._rpc_status,
+            "study.trials": self._rpc_trials,
+            "study.list": self._rpc_list,
+            "service.stats": self._rpc_stats,
+        }
+
+    # -- JSON-RPC plumbing -----------------------------------------------------------
+
+    def handle_payload(self, raw: bytes):
+        """Parse and answer one HTTP body (single request or batch)."""
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return _error_response(None, PARSE_ERROR, "request is not JSON")
+        if isinstance(payload, list):
+            if not payload:
+                return _error_response(
+                    None, INVALID_REQUEST, "empty batch request"
+                )
+            return [self._handle_one(item) for item in payload]
+        return self._handle_one(payload)
+
+    def _handle_one(self, request) -> dict:
+        if not isinstance(request, dict):
+            return _error_response(
+                None, INVALID_REQUEST, "request must be an object"
+            )
+        request_id = request.get("id")
+        method = request.get("method")
+        params = request.get("params") or {}
+        if not isinstance(method, str):
+            return _error_response(
+                request_id, INVALID_REQUEST, "missing method name"
+            )
+        if not isinstance(params, dict):
+            return _error_response(
+                request_id, INVALID_REQUEST, "params must be an object"
+            )
+        handler = self._methods.get(method)
+        if handler is None:
+            return _error_response(
+                request_id, METHOD_NOT_FOUND, f"unknown method {method!r}"
+            )
+        self._m_requests.inc()
+        with self._trace_lock:
+            span = self.tracer.span("rpc", method=method)
+            span.__enter__()
+        error = None
+        try:
+            result = handler(params)
+            response = {"jsonrpc": "2.0", "id": request_id, "result": result}
+        except ServiceError as exc:
+            error = error_to_dict(exc)
+        except Exception as exc:  # noqa: BLE001 - never a 500, always JSON
+            error = {
+                "code": INTERNAL_ERROR,
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+        if error is not None:
+            self._m_errors.inc()
+            response = {"jsonrpc": "2.0", "id": request_id, "error": error}
+        with self._trace_lock:
+            if error is not None:
+                span.set(error_code=error["code"])
+            span.__exit__(None, None, None)
+        return response
+
+    # -- method handlers -------------------------------------------------------------
+
+    @staticmethod
+    def _param(params: dict, key: str):
+        try:
+            return params[key]
+        except KeyError:
+            raise InvalidParamsError(f"missing parameter {key!r}") from None
+
+    def _rpc_create(self, params: dict) -> dict:
+        spec = StudySpec.from_dict(self._param(params, "spec"))
+        return self.store.create_study(spec)
+
+    def _rpc_suggest(self, params: dict) -> list:
+        name = self._param(params, "study")
+        n = params.get("n", 1)
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise InvalidParamsError("n must be a positive integer")
+        return self.store.suggest(name, n)
+
+    def _rpc_observe(self, params: dict) -> dict:
+        name = self._param(params, "study")
+        ticket = self._param(params, "ticket")
+        report = self._param(params, "report")
+        if not isinstance(report, dict):
+            raise InvalidParamsError("report must be an object")
+        return self.store.observe(name, ticket, report)
+
+    def _rpc_status(self, params: dict) -> dict:
+        return self.store.status(self._param(params, "study"))
+
+    def _rpc_trials(self, params: dict) -> list:
+        return self.store.trials(self._param(params, "study"))
+
+    def _rpc_list(self, params: dict) -> list:
+        return self.store.list_studies()
+
+    def _rpc_stats(self, params: dict) -> dict:
+        return {
+            "studies": self.store.list_studies(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+def _error_response(request_id, code: int, message: str) -> dict:
+    return {
+        "jsonrpc": "2.0",
+        "id": request_id,
+        "error": {"code": code, "message": message},
+    }
+
+
+def serve(store: StudyStore, host: str = "127.0.0.1", port: int = 0,
+          *, telemetry=None) -> StudyServer:
+    """Bind a :class:`StudyServer`; the caller runs ``serve_forever``."""
+    return StudyServer((host, port), store, telemetry=telemetry)

@@ -1,0 +1,522 @@
+"""The multi-tenant study store.
+
+A :class:`StudyStore` holds many named, long-lived ask/tell studies —
+each a :class:`~repro.core.study.Study` wrapped in a :class:`ManagedStudy`
+that adds per-study locking, quota enforcement and a crash-safe event
+journal.  The journal (``<root>/<name>/study.jsonl``, format
+``repro-study/1``) reuses the run-journal machinery: a header line
+carrying the full :class:`StudySpec`, then one fsynced line per
+suggest/observe event, with torn tails truncated on reopen.
+
+Resume is *recomputed*, like the driver journal's: suggest events replay
+by re-asking the rebuilt study (all RNG draws, clock charges and
+surrogate updates recompute identically) and are verified against the
+journaled configurations via the canonical configuration hash — with the
+values coerced back through the search space first, because JSON blurs
+``3``/``3.0`` and the hash does not.  Observe events substitute the
+journaled reports and verify the resulting trial record byte for byte.
+A study killed at any request boundary therefore resumes bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.clock import SimClock
+from ..core.constraints import ConstraintSpec
+from ..core.parallel import canonical_config_key
+from ..core.study import Study, TrialReport
+from ..io import trial_to_dict
+from ..space.space import SearchSpace
+from ..telemetry.jsonl import JsonlWriter, scan_jsonl
+from ..telemetry.metrics import NOOP_METRICS
+from .errors import (
+    InvalidParamsError,
+    QuotaExceededError,
+    StudyExistsError,
+    UnknownStudyError,
+    UnknownTicketError,
+)
+from .quotas import StudyQuota, TokenBucket, check_request
+
+__all__ = ["STUDY_JOURNAL_FORMAT", "StudySpec", "ManagedStudy", "StudyStore"]
+
+#: Format tag of the per-study event journal.
+STUDY_JOURNAL_FORMAT = "repro-study/1"
+
+#: Study names must be filesystem- and URL-safe.
+_NAME_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+def _validate_name(name: str) -> str:
+    if not isinstance(name, str) or not (1 <= len(name) <= 64):
+        raise InvalidParamsError("study name must be 1-64 characters")
+    if name.startswith(".") or not set(name) <= _NAME_CHARS:
+        raise InvalidParamsError(
+            f"invalid study name {name!r}: use letters, digits, '.', '_', "
+            "'-' and do not start with '.'"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """Everything needed to (re)build one service study deterministically.
+
+    The spec is journaled in the study's header line, so a store restart
+    rebuilds the exact same method, search space, constraint spec and
+    proposal RNG.  Service studies have no in-process objective: the
+    ``default`` variant's methods learn feasibility from the measurements
+    clients report, which is the natural service-side counterpart of the
+    paper's a-priori screening.
+    """
+
+    name: str
+    space: SearchSpace
+    solver: str = "Rand"
+    variant: str = "default"
+    seed: int = 0
+    power_budget_w: float | None = None
+    memory_budget_bytes: float | None = None
+    latency_budget_s: float | None = None
+    quota: StudyQuota = field(default_factory=StudyQuota)
+    #: Extra ``build_method`` keywords (``sigma``, ``n_init``, ``gp_*``…).
+    method_options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _validate_name(self.name)
+
+    def constraint_spec(self) -> ConstraintSpec:
+        return ConstraintSpec(
+            power_budget_w=self.power_budget_w,
+            memory_budget_bytes=self.memory_budget_bytes,
+            latency_budget_s=self.latency_budget_s,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "space": self.space.to_dict(),
+            "solver": self.solver,
+            "variant": self.variant,
+            "seed": self.seed,
+            "power_budget_w": self.power_budget_w,
+            "memory_budget_bytes": self.memory_budget_bytes,
+            "latency_budget_s": self.latency_budget_s,
+            "quota": self.quota.to_dict(),
+            "method_options": dict(self.method_options),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StudySpec":
+        if not isinstance(data, dict):
+            raise InvalidParamsError("study spec must be an object")
+        extra = set(data) - set(cls.__dataclass_fields__)
+        if extra:
+            raise InvalidParamsError(f"unknown spec fields {sorted(extra)}")
+        kwargs = dict(data)
+        try:
+            kwargs["space"] = SearchSpace.from_dict(kwargs["space"])
+        except KeyError:
+            raise InvalidParamsError("study spec missing 'space'") from None
+        except ValueError as exc:
+            raise InvalidParamsError(str(exc)) from None
+        if "quota" in kwargs:
+            try:
+                kwargs["quota"] = StudyQuota.from_dict(kwargs["quota"])
+            except ValueError as exc:
+                raise InvalidParamsError(str(exc)) from None
+        try:
+            return cls(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise InvalidParamsError(str(exc)) from None
+
+
+def _build_study(spec: StudySpec) -> Study:
+    """Deterministically rebuild the core study a spec describes."""
+    # Imported here: hyperpower imports the study module this depends on.
+    from ..core.hyperpower import build_method
+
+    # A-priori hardware models are fitted from device profiling the
+    # service never has, so the ``hyperpower`` variant's method proposes
+    # without model screening; the study still enforces budgets on the
+    # *measured* values clients report.  The ``default`` variant keeps
+    # the full spec — its learned constraint GPs fit those same
+    # measurements, exactly as in the closed loop.
+    method_spec = spec.constraint_spec()
+    if spec.variant == "hyperpower":
+        method_spec = ConstraintSpec()
+    try:
+        method = build_method(
+            spec.solver,
+            spec.variant,
+            spec.space,
+            method_spec,
+            **dict(spec.method_options),
+        )
+    except (TypeError, ValueError) as exc:
+        raise InvalidParamsError(str(exc)) from None
+    # The name tag decorrelates same-seed studies, like the experiment
+    # harness's solver/variant tag does for its repeat streams.
+    name_tag = zlib.crc32(spec.name.encode("utf-8"))
+    rng = np.random.default_rng(
+        np.random.SeedSequence([int(spec.seed), 9, name_tag])
+    )
+    return Study(
+        method,
+        spec.variant,
+        clock=SimClock(),
+        rng=rng,
+        spec=spec.constraint_spec(),
+        dataset=spec.name,
+        device="service",
+    )
+
+
+class ManagedStudy:
+    """One named study: core ask/tell state + lock + quotas + journal."""
+
+    def __init__(self, spec: StudySpec, directory: Path, *, fsync: bool = True,
+                 timer=time.monotonic):
+        self.spec = spec
+        self.directory = Path(directory)
+        self.journal_path = self.directory / "study.jsonl"
+        self.study = _build_study(spec)
+        self.lock = threading.RLock()
+        self._fsync = fsync
+        self._event = 0
+        self._writer: JsonlWriter | None = None
+        self._bucket = None
+        if spec.quota.requests_per_s is not None:
+            self._bucket = TokenBucket(
+                spec.quota.requests_per_s, spec.quota.request_burst, timer
+            )
+
+    # -- creation and resume ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, spec: StudySpec, directory: Path, *, fsync: bool = True,
+               timer=time.monotonic) -> "ManagedStudy":
+        """Create a fresh study and durably write its journal header."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        managed = cls(spec, directory, fsync=fsync, timer=timer)
+        managed._writer = JsonlWriter(managed.journal_path, fsync=fsync)
+        managed._writer.write(
+            {"format": STUDY_JOURNAL_FORMAT, "meta": {"spec": spec.to_dict()}}
+        )
+        return managed
+
+    @classmethod
+    def load(cls, directory: Path, *, fsync: bool = True,
+             timer=time.monotonic) -> "ManagedStudy":
+        """Resume a study from its journal, bit-exactly.
+
+        The valid line prefix is replayed through a freshly rebuilt
+        study (verifying every recomputed suggestion and recorded trial
+        against the journal), any torn tail is truncated, and the
+        journal reopens for appending.
+        """
+        directory = Path(directory)
+        path = directory / "study.jsonl"
+        records = scan_jsonl(path.read_bytes())
+        if not records:
+            raise ValueError(f"{path}: no intact journal header")
+        header, keep = records[0]
+        if header.get("format") != STUDY_JOURNAL_FORMAT:
+            raise ValueError(
+                f"{path}: not a study journal (format "
+                f"{header.get('format')!r})"
+            )
+        spec = StudySpec.from_dict(header.get("meta", {}).get("spec", {}))
+        managed = cls(spec, directory, fsync=fsync, timer=timer)
+        for record, end in records[1:]:
+            managed._replay_event(record)
+            keep = end
+        with open(path, "r+b") as fh:
+            fh.truncate(keep)
+        managed._writer = JsonlWriter(path, append=True, fsync=fsync)
+        return managed
+
+    def _replay_event(self, record: dict) -> None:
+        expected = self._event
+        if record.get("event") != expected:
+            raise ValueError(
+                f"{self.journal_path}: journal event {record.get('event')!r} "
+                f"out of order (expected {expected})"
+            )
+        op = record.get("op")
+        if op == "suggest":
+            tickets = record["tickets"]
+            configs = record["configs"]
+            suggestions = self.study.suggest(len(tickets))
+            if len(suggestions) != len(tickets):
+                raise ValueError(
+                    f"{self.journal_path}: replayed suggest produced "
+                    f"{len(suggestions)} proposals, journal has {len(tickets)}"
+                )
+            for suggestion, ticket, config in zip(suggestions, tickets, configs):
+                recomputed = canonical_config_key(suggestion.config)
+                journaled = canonical_config_key(self.spec.space.coerce(config))
+                if suggestion.ticket != ticket or recomputed != journaled:
+                    raise ValueError(
+                        f"{self.journal_path}: replayed suggestion "
+                        f"{suggestion.ticket} diverged from the journal "
+                        "(non-deterministic method or corrupted journal)"
+                    )
+        elif op == "observe":
+            report = TrialReport.from_dict(record["report"])
+            trial = self.study.observe(int(record["ticket"]), report)
+            recorded = json.dumps(trial_to_dict(trial), sort_keys=True)
+            journaled = json.dumps(record["trial"], sort_keys=True)
+            if recorded != journaled:
+                raise ValueError(
+                    f"{self.journal_path}: replayed trial "
+                    f"{trial.index} diverged from the journal"
+                )
+        else:
+            raise ValueError(
+                f"{self.journal_path}: unknown journal op {op!r}"
+            )
+        self._event += 1
+
+    def _append(self, record: dict) -> None:
+        if self._writer is None:
+            raise ValueError(f"study {self.spec.name!r} is closed")
+        record = {"event": self._event, **record}
+        self._writer.write(record)
+        self._event += 1
+
+    # -- the ask/tell surface --------------------------------------------------------
+
+    def suggest(self, n: int = 1) -> list[dict]:
+        """Issue ``n`` pending-aware suggestions, quota-checked, journaled."""
+        if not isinstance(n, int) or n < 1:
+            raise InvalidParamsError("n must be a positive integer")
+        with self.lock:
+            check_request(self._bucket, self.spec.name)
+            quota = self.spec.quota
+            if (
+                quota.max_pending is not None
+                and self.study.n_pending + n > quota.max_pending
+            ):
+                raise QuotaExceededError(
+                    f"study {self.spec.name!r} would exceed max_pending",
+                    data={
+                        "quota": "max_pending",
+                        "limit": quota.max_pending,
+                        "pending": self.study.n_pending,
+                        "requested": n,
+                    },
+                )
+            if (
+                quota.max_trials is not None
+                and self.study.n_issued + n > quota.max_trials
+            ):
+                raise QuotaExceededError(
+                    f"study {self.spec.name!r} would exceed max_trials",
+                    data={
+                        "quota": "max_trials",
+                        "limit": quota.max_trials,
+                        "issued": self.study.n_issued,
+                        "requested": n,
+                    },
+                )
+            suggestions = self.study.suggest(n)
+            self._append(
+                {
+                    "op": "suggest",
+                    "tickets": [s.ticket for s in suggestions],
+                    "configs": [dict(s.config) for s in suggestions],
+                }
+            )
+            return [
+                {
+                    "ticket": s.ticket,
+                    "config": dict(s.config),
+                    "duplicate_of": s.duplicate_of,
+                }
+                for s in suggestions
+            ]
+
+    def observe(self, ticket, report) -> dict:
+        """Fold one reported result back; returns the recorded trial."""
+        try:
+            ticket = int(ticket)
+        except (TypeError, ValueError):
+            raise InvalidParamsError("ticket must be an integer") from None
+        if isinstance(report, dict):
+            try:
+                report = TrialReport.from_dict(report)
+            except (TypeError, ValueError) as exc:
+                raise InvalidParamsError(str(exc)) from None
+        elif not isinstance(report, TrialReport):
+            raise InvalidParamsError("report must be a trial-report object")
+        with self.lock:
+            check_request(self._bucket, self.spec.name)
+            try:
+                self.study.get_pending(ticket)
+            except KeyError:
+                raise UnknownTicketError(
+                    f"study {self.spec.name!r} has no pending ticket {ticket}",
+                    data={"ticket": ticket, "study": self.spec.name},
+                ) from None
+            trial = self.study.observe(ticket, report)
+            trial_dict = trial_to_dict(trial)
+            self._append(
+                {
+                    "op": "observe",
+                    "ticket": ticket,
+                    "report": report.to_dict(),
+                    "trial": trial_dict,
+                }
+            )
+            return trial_dict
+
+    def status(self) -> dict:
+        """Durable-state summary of the study."""
+        with self.lock:
+            study = self.study
+            best = study.best_trial()
+            return {
+                "name": self.spec.name,
+                "solver": self.spec.solver,
+                "variant": self.spec.variant,
+                "n_issued": study.n_issued,
+                "n_pending": study.n_pending,
+                "n_trained": study.n_trained,
+                "n_samples": study.n_samples,
+                "wall_time_s": study.clock.now_s,
+                "best": None
+                if best is None
+                else {"config": dict(best.config), "error": best.error},
+                "quota": self.spec.quota.to_dict(),
+            }
+
+    def trials(self) -> list[dict]:
+        """Every recorded trial, in order (the run-result record)."""
+        with self.lock:
+            return [trial_to_dict(t) for t in self.study.result.trials]
+
+    def close(self) -> None:
+        with self.lock:
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+
+
+class StudyStore:
+    """Thread-safe store of many named studies rooted at one directory.
+
+    Studies load lazily: a store pointed at an existing root resumes each
+    study from its journal on first access.  The per-study lock spans the
+    state mutation *and* its journal append, so concurrent clients of one
+    study serialize while different studies progress in parallel.
+    """
+
+    def __init__(self, root, *, fsync: bool = True, timer=time.monotonic,
+                 metrics=None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._timer = timer
+        self.metrics = metrics if metrics is not None else NOOP_METRICS
+        self._m_creates = self.metrics.counter("store.creates")
+        self._m_resumes = self.metrics.counter("store.resumes")
+        self._m_suggests = self.metrics.counter("store.suggests")
+        self._m_observes = self.metrics.counter("store.observes")
+        self._studies: dict[str, ManagedStudy] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def create_study(self, spec) -> dict:
+        """Create (and durably journal) a new named study."""
+        if isinstance(spec, dict):
+            spec = StudySpec.from_dict(spec)
+        name = spec.name
+        with self._lock:
+            self._check_open()
+            if name in self._studies or (
+                self.root / name / "study.jsonl"
+            ).exists():
+                raise StudyExistsError(
+                    f"study {name!r} already exists", data={"study": name}
+                )
+            managed = ManagedStudy.create(
+                spec, self.root / name, fsync=self._fsync, timer=self._timer
+            )
+            self._studies[name] = managed
+        self._m_creates.inc()
+        return managed.status()
+
+    def get(self, name: str) -> ManagedStudy:
+        """The managed study, resumed from disk on first access."""
+        _validate_name(name)
+        with self._lock:
+            self._check_open()
+            managed = self._studies.get(name)
+            if managed is not None:
+                return managed
+            directory = self.root / name
+            if not (directory / "study.jsonl").exists():
+                raise UnknownStudyError(
+                    f"no study named {name!r}", data={"study": name}
+                )
+            managed = ManagedStudy.load(
+                directory, fsync=self._fsync, timer=self._timer
+            )
+            self._studies[name] = managed
+            self._m_resumes.inc()
+            return managed
+
+    def list_studies(self) -> list[str]:
+        """Names of every study, on disk or in memory, sorted."""
+        with self._lock:
+            self._check_open()
+            names = set(self._studies)
+        for path in self.root.iterdir() if self.root.exists() else ():
+            if (path / "study.jsonl").exists():
+                names.add(path.name)
+        return sorted(names)
+
+    def close(self) -> None:
+        """Close every study's journal; further calls are rejected."""
+        with self._lock:
+            self._closed = True
+            studies = list(self._studies.values())
+            self._studies.clear()
+        for managed in studies:
+            managed.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("study store is closed")
+
+    # -- the ask/tell surface --------------------------------------------------------
+
+    def suggest(self, name: str, n: int = 1) -> list[dict]:
+        suggestions = self.get(name).suggest(n)
+        self._m_suggests.inc(len(suggestions))
+        return suggestions
+
+    def observe(self, name: str, ticket, report) -> dict:
+        trial = self.get(name).observe(ticket, report)
+        self._m_observes.inc()
+        return trial
+
+    def status(self, name: str) -> dict:
+        return self.get(name).status()
+
+    def trials(self, name: str) -> list[dict]:
+        return self.get(name).trials()

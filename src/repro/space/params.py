@@ -30,6 +30,7 @@ __all__ = [
     "Parameter",
     "IntegerParameter",
     "ContinuousParameter",
+    "param_from_dict",
 ]
 
 
@@ -74,6 +75,22 @@ class Parameter(ABC):
             raise ValueError(
                 f"value {value!r} out of range for parameter {self.name!r}"
             )
+
+    @abstractmethod
+    def coerce(self, value):
+        """Validate ``value`` and return it with the native Python type.
+
+        JSON transports (the run journal, the study service's HTTP wire)
+        do not distinguish ``3`` from ``3.0``; coercion restores the
+        parameter's declared type so canonical configuration hashes —
+        which serialise ``3`` and ``3.0`` differently — never drift
+        across a round-trip.
+        """
+
+    @abstractmethod
+    def to_dict(self) -> dict:
+        """JSON-ready description (round-trips through
+        :func:`param_from_dict`)."""
 
 
 @dataclass(frozen=True)
@@ -126,6 +143,19 @@ class IntegerParameter(Parameter):
             return list(range(self.low, self.high + 1))
         points = np.linspace(self.low, self.high, resolution)
         return sorted({int(round(p)) for p in points})
+
+    def coerce(self, value) -> int:
+        self.validate(value)
+        return int(value)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "integer",
+            "name": self.name,
+            "low": int(self.low),
+            "high": int(self.high),
+            "structural": self.structural,
+        }
 
 
 @dataclass(frozen=True)
@@ -183,3 +213,37 @@ class ContinuousParameter(Parameter):
         if resolution == 1:
             return [self.from_unit(0.5)]
         return [self.from_unit(u) for u in np.linspace(0.0, 1.0, resolution)]
+
+    def coerce(self, value) -> float:
+        self.validate(value)
+        return float(value)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "continuous",
+            "name": self.name,
+            "low": float(self.low),
+            "high": float(self.high),
+            "log": self.log,
+            "structural": self.structural,
+        }
+
+
+_PARAM_KINDS = {"integer": IntegerParameter, "continuous": ContinuousParameter}
+
+
+def param_from_dict(data: dict) -> Parameter:
+    """Rebuild a parameter from its :meth:`Parameter.to_dict` form."""
+    try:
+        kind = data["kind"]
+    except KeyError:
+        raise ValueError("parameter description missing 'kind'") from None
+    try:
+        cls = _PARAM_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown parameter kind {kind!r}; expected one of "
+            f"{sorted(_PARAM_KINDS)}"
+        ) from None
+    kwargs = {k: v for k, v in data.items() if k != "kind"}
+    return cls(**kwargs)

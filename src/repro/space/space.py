@@ -19,7 +19,7 @@ from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from .params import Parameter
+from .params import Parameter, param_from_dict
 
 __all__ = ["SearchSpace", "Configuration"]
 
@@ -99,6 +99,34 @@ class SearchSpace:
         except ValueError:
             return False
         return True
+
+    def coerce(self, config: Mapping) -> Configuration:
+        """Validate ``config`` and restore every value's native type.
+
+        JSON transports (the run journal, the study service's HTTP wire)
+        blur ``3`` and ``3.0``; coercion maps each value back through its
+        parameter's declared type (int stays int, floats stay float) and
+        orders keys in definition order, so the canonical configuration
+        hash of a coerced round-tripped config never drifts from the
+        original's.
+        """
+        self.validate(config)
+        return {p.name: p.coerce(config[p.name]) for p in self._params}
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready description (round-trips through :meth:`from_dict`)."""
+        return {"parameters": [p.to_dict() for p in self._params]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SearchSpace":
+        """Rebuild a space from its :meth:`to_dict` form."""
+        try:
+            params = data["parameters"]
+        except KeyError:
+            raise ValueError("space description missing 'parameters'") from None
+        return cls(param_from_dict(p) for p in params)
 
     # -- sampling ------------------------------------------------------------
 

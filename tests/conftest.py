@@ -43,6 +43,20 @@ def fault_backend():
 
 
 @pytest.fixture(scope="session")
+def service_backend():
+    """Transport for the study-service tests.
+
+    CI's service job runs the ``-m service`` selection once per transport
+    by setting ``SERVICE_BACKEND``: ``serial`` calls the StudyStore
+    in-process, ``thread`` goes through a StudyServer + StudyClient over
+    HTTP in one process, and ``process`` launches ``repro.cli serve`` as
+    a subprocess.  Locally the serial transport keeps the default run
+    fast.
+    """
+    return os.environ.get("SERVICE_BACKEND", "serial")
+
+
+@pytest.fixture(scope="session")
 def telemetry_backend():
     """Worker backend for the pooled golden-trace tests.
 

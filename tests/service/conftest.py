@@ -1,0 +1,172 @@
+"""Transport harness for the study-service tests.
+
+The service contract is transport-independent: every test in this package
+drives a :class:`ServiceSession` exposing the store API, and the session
+fixture routes it through whichever transport ``SERVICE_BACKEND``
+selects — direct in-process calls (``serial``), a ``StudyServer`` +
+``StudyClient`` over HTTP in this process (``thread``), or a
+``repro.cli serve`` subprocess (``process``).  Typed service errors
+surface as the same exception classes on every transport, and
+``restart()`` kills the service at a request boundary and resumes it
+from the on-disk journals — the crash point of the kill-and-resume
+tests.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.service import StudyClient, StudyServer, StudyStore
+
+#: Source tree the ``process`` transport's subprocess must import from.
+_SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+_BANNER = re.compile(r"http://([\d.]+):(\d+)/")
+
+
+class ServiceSession:
+    """One running service over a chosen transport, restartable in place."""
+
+    def __init__(self, backend: str, root: Path):
+        if backend not in ("serial", "thread", "process"):
+            raise ValueError(f"unknown service backend {backend!r}")
+        self.backend = backend
+        self.root = Path(root)
+        self._store = None
+        self._server = None
+        self._server_thread = None
+        self._client = None
+        self._proc = None
+        self._open()
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def _open(self) -> None:
+        if self.backend == "serial":
+            self._store = StudyStore(self.root)
+            return
+        if self.backend == "thread":
+            self._store = StudyStore(self.root)
+            self._server = StudyServer(("127.0.0.1", 0), self._store)
+            self._server_thread = threading.Thread(
+                target=self._server.serve_forever, daemon=True
+            )
+            self._server_thread.start()
+            host, port = self._server.server_address[:2]
+            self._client = StudyClient(host, port)
+            return
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (_SRC_DIR, env.get("PYTHONPATH")) if p
+        )
+        self._proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--root", str(self.root), "--port", "0",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        banner = self._proc.stdout.readline()
+        match = _BANNER.search(banner)
+        if match is None:  # pragma: no cover - startup failure diagnostics
+            self._proc.terminate()
+            raise RuntimeError(f"server failed to start: {banner!r}")
+        self._client = StudyClient(match.group(1), int(match.group(2)))
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+            self._server_thread = None
+        if self._proc is not None:
+            self._proc.terminate()
+            self._proc.wait(timeout=30)
+            self._proc.stdout.close()
+            self._proc = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def restart(self) -> None:
+        """Kill the service at a request boundary and resume from disk."""
+        self.close()
+        self._open()
+
+    # -- the study API, transport-routed ----------------------------------------------
+
+    def _call(self, name: str, *args):
+        if self.backend == "serial":
+            return getattr(self._store, name)(*args)
+        return getattr(self._client, name)(*args)
+
+    def create_study(self, spec) -> dict:
+        if self.backend == "serial":
+            return self._store.create_study(spec)
+        return self._client.create_study(spec)
+
+    def suggest(self, study: str, n: int = 1) -> list[dict]:
+        return self._call("suggest", study, n)
+
+    def observe(self, study: str, ticket: int, report) -> dict:
+        if self.backend == "serial" and hasattr(report, "to_dict"):
+            report = report.to_dict()
+        return self._call("observe", study, ticket, report)
+
+    def status(self, study: str) -> dict:
+        return self._call("status", study)
+
+    def trials(self, study: str) -> list[dict]:
+        return self._call("trials", study)
+
+    def list_studies(self) -> list[str]:
+        return self._call("list_studies")
+
+
+@pytest.fixture
+def service(service_backend, tmp_path):
+    """A running service session on this run's transport."""
+    session = ServiceSession(service_backend, tmp_path / "store")
+    yield session
+    session.close()
+
+
+@pytest.fixture
+def make_service(service_backend, tmp_path):
+    """Factory for extra sessions (reference twins, second stores)."""
+    sessions = []
+
+    def _make(subdir: str, backend: str | None = None) -> ServiceSession:
+        session = ServiceSession(
+            backend or service_backend, tmp_path / subdir
+        )
+        sessions.append(session)
+        return session
+
+    yield _make
+    for session in sessions:
+        session.close()
+
+
+def wait_for(predicate, timeout_s: float = 10.0):  # pragma: no cover - helper
+    """Poll ``predicate`` until true or the timeout elapses."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False

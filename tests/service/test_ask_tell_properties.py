@@ -1,0 +1,237 @@
+"""Properties of the open ask/tell core (ISSUE 6 satellite 1).
+
+Two layers of guarantees:
+
+* **Interleaving invariants** — for hypothesis-generated interleavings of
+  ``suggest``/``observe``/``resume`` against a journaled study, the
+  service must never duplicate a pending configuration without marking
+  the share (``duplicate_of``), never lose an observation, and never
+  diverge from the identical op sequence run without any restarts.
+* **Closed-loop equivalence** — driving a
+  :meth:`~repro.experiments.setup.ExperimentSetup.open_study` study in
+  the sequential pattern reproduces ``HyperPower.run`` byte for byte on
+  every solver/variant cell (the refactor's "thin loop" contract).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hyperpower import SOLVERS, VARIANTS
+from repro.core.parallel import canonical_config_key
+from repro.core.study import TrialReport
+from repro.experiments.setup import quick_setup
+from repro.io import run_to_dict
+from repro.service import StudySpec, StudyStore
+from repro.space.params import ContinuousParameter, IntegerParameter
+from repro.space.space import SearchSpace
+
+pytestmark = pytest.mark.service
+
+#: Keep in-flight sets small so interleavings stay cheap.
+MAX_PENDING = 6
+
+
+def _space() -> SearchSpace:
+    return SearchSpace(
+        [
+            IntegerParameter("units", 0, 40),
+            ContinuousParameter("lr", 1e-3, 1.0, log=True),
+        ]
+    )
+
+
+def _report(ticket: int) -> dict:
+    """A deterministic measured outcome for one ticket."""
+    report = TrialReport(
+        error=round(0.9 - 0.003 * (ticket % 200), 6),
+        cost_s=10.0 + (ticket % 5),
+        epochs_run=4,
+        power_w=60.0 + (ticket % 30),
+        memory_bytes=5 * 10**8 + ticket,
+    )
+    return report.to_dict()
+
+
+class _Driver:
+    """Applies one op sequence to a store, checking invariants as it goes."""
+
+    def __init__(self, root: Path, spec: StudySpec, with_restarts: bool):
+        self.root = root
+        self.name = spec.name
+        self.with_restarts = with_restarts
+        self.store = StudyStore(root)
+        self.store.create_study(spec)
+        self.pending: dict[int, dict] = {}
+        self.seen_tickets: set[int] = set()
+        self.observed = 0
+
+    def apply(self, op: str) -> None:
+        # The transformations below depend only on study state, which the
+        # restarted and straight-through drivers must share — divergence
+        # surfaces in the final comparison.
+        if op.startswith("suggest") and len(self.pending) >= MAX_PENDING:
+            op = "observe"
+        if op == "observe" and not self.pending:
+            return
+        if op == "resume":
+            self._resume()
+        elif op == "observe":
+            self._observe()
+        else:
+            self._suggest(2 if op == "suggest2" else 1)
+
+    def _suggest(self, n: int) -> None:
+        before = {
+            canonical_config_key(config) for config in self.pending.values()
+        }
+        suggestions = self.store.suggest(self.name, n)
+        assert len(suggestions) == n
+        for suggestion in suggestions:
+            ticket = suggestion["ticket"]
+            assert ticket not in self.seen_tickets, "ticket reissued"
+            self.seen_tickets.add(ticket)
+            key = canonical_config_key(suggestion["config"])
+            if suggestion["duplicate_of"] is None:
+                # A fresh suggestion must not silently duplicate any
+                # config that was pending when it was issued.
+                assert key not in before, (
+                    f"unmarked duplicate of a pending config: {key}"
+                )
+            else:
+                twin = suggestion["duplicate_of"]
+                assert twin in self.pending, "duplicate_of a non-pending ticket"
+                assert key == canonical_config_key(self.pending[twin])
+            self.pending[ticket] = suggestion["config"]
+            before.add(key)
+
+    def _observe(self) -> None:
+        ticket = min(self.pending)
+        trial = self.store.observe(self.name, ticket, _report(ticket))
+        del self.pending[ticket]
+        self.observed += 1
+        trials = self.store.trials(self.name)
+        assert len(trials) == self.observed, "an observation was lost"
+        assert trials[-1] == trial
+        status = self.store.status(self.name)
+        assert status["n_pending"] == len(self.pending)
+        assert status["n_trained"] == self.observed
+
+    def _resume(self) -> None:
+        if not self.with_restarts:
+            return
+        before_trials = self.store.trials(self.name)
+        before_status = self.store.status(self.name)
+        self.store.close()
+        self.store = StudyStore(self.root)
+        assert self.store.trials(self.name) == before_trials, (
+            "observations changed across a restart"
+        )
+        status = self.store.status(self.name)
+        assert status == before_status, "study state drifted across a restart"
+
+    def finish(self) -> tuple[list, dict, dict]:
+        trials = self.store.trials(self.name)
+        status = self.store.status(self.name)
+        pending = dict(self.pending)
+        self.store.close()
+        return trials, status, pending
+
+
+def _check_interleaving(ops: list[str], solver: str, method_options: dict):
+    workdir = Path(tempfile.mkdtemp(prefix="asktell-"))
+    try:
+        spec = StudySpec(
+            name="prop",
+            space=_space(),
+            solver=solver,
+            seed=7,
+            method_options=method_options,
+        )
+        restarted = _Driver(workdir / "a", spec, with_restarts=True)
+        straight = _Driver(workdir / "b", spec, with_restarts=False)
+        for op in ops:
+            restarted.apply(op)
+            straight.apply(op)
+        a_trials, a_status, a_pending = restarted.finish()
+        b_trials, b_status, b_pending = straight.finish()
+        assert a_trials == b_trials, "resume diverged from the straight run"
+        assert a_status == b_status
+        assert a_pending == b_pending
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+_OPS = st.lists(
+    st.sampled_from(["suggest", "suggest", "suggest2", "observe", "resume"]),
+    min_size=3,
+    max_size=14,
+)
+
+
+@given(ops=_OPS)
+@settings(max_examples=20, deadline=None)
+def test_interleavings_random_search(ops):
+    """Random-search studies survive arbitrary suggest/observe/resume."""
+    _check_interleaving(ops, "Rand", {})
+
+
+@given(ops=_OPS)
+@settings(max_examples=8, deadline=None)
+def test_interleavings_bayesian(ops):
+    """BO studies (surrogate + constant-liar fantasies) survive them too."""
+    _check_interleaving(
+        ops, "HW-CWEI", {"n_init": 3, "pool_size": 128, "gp_restarts": 1}
+    )
+
+
+def test_duplicate_of_shares_inflight_config(tmp_path):
+    """A re-proposed in-flight config is marked, not silently duplicated."""
+    space = SearchSpace([IntegerParameter("only", 0, 0)])
+    store = StudyStore(tmp_path)
+    store.create_study(StudySpec(name="dup", space=space, seed=0))
+    first, second = store.suggest("dup", 2)
+    assert first["duplicate_of"] is None
+    assert second["duplicate_of"] == first["ticket"]
+    assert second["config"] == first["config"]
+    store.close()
+
+
+# -- closed-loop equivalence -----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def paper_setup():
+    return quick_setup(
+        "mnist",
+        "gtx1070",
+        power_budget_w=85.0,
+        memory_budget_gb=1.15,
+        seed=0,
+        profiling_samples=100,
+    )
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("solver", sorted(SOLVERS))
+def test_sync_driver_equivalence(paper_setup, solver, variant):
+    """Study-driven sequential runs are byte-identical to HyperPower.run."""
+    budget = 5
+    reference = paper_setup.run(
+        solver, variant, run_seed=0, max_evaluations=budget
+    )
+    study = paper_setup.open_study(solver, variant, run_seed=0)
+    while study.n_trained < budget and study.n_samples < study.max_samples:
+        (suggestion,) = study.suggest(1, batch_aware=False)
+        study.evaluate_and_observe(suggestion)
+    result = study.finalize()
+    assert json.dumps(run_to_dict(result), sort_keys=True) == json.dumps(
+        run_to_dict(reference), sort_keys=True
+    )

@@ -1,0 +1,266 @@
+"""Multi-tenant StudyStore tests (ISSUE 6 satellite 2).
+
+The headline stress test interleaves 100 named studies through one
+service, kills it at a random request boundary, resumes, and requires
+every study's state to be bit-exact against a straight-through twin that
+never restarted.  Around it: per-study quota enforcement (trial caps,
+pending caps, token-bucket request limits) where an over-quota request
+is a *typed* error on every transport — over HTTP that means a JSON-RPC
+error object under status 200, never a 500.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.hyperpower import SOLVERS
+from repro.core.study import TrialReport
+from repro.service import (
+    ManagedStudy,
+    QuotaExceededError,
+    StudyExistsError,
+    StudyQuota,
+    StudyServer,
+    StudySpec,
+    StudyStore,
+    UnknownStudyError,
+    UnknownTicketError,
+)
+from repro.space.params import ContinuousParameter, IntegerParameter
+from repro.space.space import SearchSpace
+
+pytestmark = pytest.mark.service
+
+N_STUDIES = 100
+OPS_PER_STUDY = 4
+
+
+def _space() -> SearchSpace:
+    return SearchSpace(
+        [
+            IntegerParameter("units", 0, 64),
+            ContinuousParameter("lr", 1e-3, 1.0, log=True),
+        ]
+    )
+
+
+def _spec(i: int) -> StudySpec:
+    solver = sorted(SOLVERS)[i % len(SOLVERS)]
+    return StudySpec(
+        name=f"study-{i:03d}",
+        space=_space(),
+        solver=solver,
+        variant="hyperpower" if i % 2 else "default",
+        seed=i,
+        power_budget_w=80.0 + i % 10,
+        method_options=(
+            {"n_init": 3, "pool_size": 64, "gp_restarts": 1}
+            if solver.startswith("HW-")
+            else {}
+        ),
+    )
+
+
+def _report(study_index: int, ticket: int) -> dict:
+    return TrialReport(
+        error=round(0.8 - 0.001 * study_index - 0.002 * ticket, 6),
+        cost_s=5.0 + (study_index + ticket) % 7,
+        epochs_run=3,
+        power_w=55.0 + (study_index * 13 + ticket) % 40,
+        memory_bytes=4 * 10**8 + study_index,
+    ).to_dict()
+
+
+def _apply(session, pending: dict[int, list[int]], index: int) -> None:
+    """One request against study ``index``: suggest, or observe the
+    oldest pending ticket once one exists."""
+    name = f"study-{index:03d}"
+    queue = pending[index]
+    if queue:
+        ticket = queue.pop(0)
+        session.observe(name, ticket, _report(index, ticket))
+    else:
+        (suggestion,) = session.suggest(name, 1)
+        queue.append(suggestion["ticket"])
+
+
+def test_hundred_studies_interleaved_kill_and_resume(service, make_service):
+    """The N=100 stress test: interleave, kill mid-stream, resume, compare."""
+    twin = make_service("twin", backend="serial")
+    for i in range(N_STUDIES):
+        spec = _spec(i)
+        service.create_study(spec)
+        twin.create_study(spec)
+
+    rng = np.random.default_rng(20260807)
+    schedule = rng.permutation(np.repeat(np.arange(N_STUDIES), OPS_PER_STUDY))
+    kill_at = int(rng.integers(1, len(schedule)))
+
+    pending_a: dict[int, list[int]] = {i: [] for i in range(N_STUDIES)}
+    pending_b: dict[int, list[int]] = {i: [] for i in range(N_STUDIES)}
+    for step, index in enumerate(schedule):
+        if step == kill_at:
+            service.restart()
+        _apply(service, pending_a, int(index))
+        _apply(twin, pending_b, int(index))
+
+    assert sorted(service.list_studies()) == sorted(twin.list_studies())
+    for i in range(N_STUDIES):
+        name = f"study-{i:03d}"
+        assert service.trials(name) == twin.trials(name), (
+            f"{name} diverged after kill-and-resume at request {kill_at}"
+        )
+        assert service.status(name) == twin.status(name)
+
+
+def test_create_resume_create_collision(service):
+    """A journaled study survives restarts and blocks name reuse."""
+    spec = StudySpec(name="keeper", space=_space(), seed=1)
+    service.create_study(spec)
+    service.restart()
+    with pytest.raises(StudyExistsError):
+        service.create_study(spec)
+    assert "keeper" in service.list_studies()
+    with pytest.raises(UnknownStudyError):
+        service.status("never-created")
+
+
+def test_max_trials_quota(service):
+    """The trial cap counts issued tickets and rejects past it, typed."""
+    spec = StudySpec(
+        name="capped",
+        space=_space(),
+        seed=2,
+        quota=StudyQuota(max_trials=3),
+    )
+    service.create_study(spec)
+    for _ in range(3):
+        (suggestion,) = service.suggest("capped", 1)
+        service.observe(
+            "capped", suggestion["ticket"], _report(0, suggestion["ticket"])
+        )
+    with pytest.raises(QuotaExceededError) as excinfo:
+        service.suggest("capped", 1)
+    assert excinfo.value.code == -32004
+    assert excinfo.value.data["quota"] == "max_trials"
+    # The rejected request must not have consumed budget state.
+    assert service.status("capped")["n_trained"] == 3
+
+
+def test_max_pending_quota(service):
+    """The pending cap bounds in-flight trials, releasing on observe."""
+    spec = StudySpec(
+        name="inflight",
+        space=_space(),
+        seed=3,
+        quota=StudyQuota(max_pending=2),
+    )
+    service.create_study(spec)
+    first, second = (service.suggest("inflight", 1)[0] for _ in range(2))
+    with pytest.raises(QuotaExceededError) as excinfo:
+        service.suggest("inflight", 1)
+    assert excinfo.value.data["quota"] == "max_pending"
+    service.observe("inflight", first["ticket"], _report(1, first["ticket"]))
+    (third,) = service.suggest("inflight", 1)
+    assert third["ticket"] != second["ticket"]
+
+
+def test_unknown_ticket_is_typed(service):
+    service.create_study(StudySpec(name="tickets", space=_space(), seed=4))
+    with pytest.raises(UnknownTicketError):
+        service.observe("tickets", 12345, _report(0, 0))
+
+
+def test_token_bucket_quota_with_injectable_timer(tmp_path):
+    """Request-rate limiting refills on the injected clock, not wall time."""
+    now = [0.0]
+    spec = StudySpec(
+        name="limited",
+        space=_space(),
+        seed=5,
+        quota=StudyQuota(requests_per_s=1.0, request_burst=2),
+    )
+    managed = ManagedStudy.create(spec, tmp_path / "limited", timer=lambda: now[0])
+    managed.suggest(1)
+    managed.suggest(1)
+    with pytest.raises(QuotaExceededError) as excinfo:
+        managed.suggest(1)
+    assert excinfo.value.data["quota"] == "requests_per_s"
+    now[0] += 1.0  # one token refills
+    managed.suggest(1)
+    with pytest.raises(QuotaExceededError):
+        managed.suggest(1)
+    managed.close()
+
+
+def _raw_post(host: str, port: int, body: bytes):
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request(
+            "POST", "/", body=body, headers={"Content-Type": "application/json"}
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+
+
+def test_http_failures_are_never_a_500(tmp_path):
+    """Every failure mode answers HTTP 200 with a JSON-RPC error object."""
+    store = StudyStore(tmp_path / "store")
+    store.create_study(
+        StudySpec(
+            name="strict",
+            space=_space(),
+            seed=6,
+            quota=StudyQuota(max_pending=1),
+        )
+    )
+    server = StudyServer(("127.0.0.1", 0), store)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+
+    def rpc(method, params):
+        return _raw_post(
+            host,
+            port,
+            json.dumps(
+                {"jsonrpc": "2.0", "id": 1, "method": method, "params": params}
+            ).encode("utf-8"),
+        )
+
+    try:
+        # Over-quota: fill the pending slot, then ask again.
+        status, payload = rpc("study.suggest", {"study": "strict", "n": 1})
+        assert status == 200 and "result" in payload
+        status, payload = rpc("study.suggest", {"study": "strict", "n": 1})
+        assert status == 200
+        assert payload["error"]["code"] == -32004
+
+        status, payload = rpc("study.status", {"study": "ghost"})
+        assert status == 200 and payload["error"]["code"] == -32001
+
+        status, payload = rpc("study.observe", {"study": "strict"})
+        assert status == 200 and payload["error"]["code"] == -32602
+
+        status, payload = rpc("study.nope", {})
+        assert status == 200 and payload["error"]["code"] == -32601
+
+        status, payload = _raw_post(host, port, b"this is not json")
+        assert status == 200 and payload["error"]["code"] == -32700
+
+        status, payload = _raw_post(host, port, b'"not an object"')
+        assert status == 200 and payload["error"]["code"] == -32600
+
+        # A malformed spec must surface as invalid params, not a crash.
+        status, payload = rpc("study.create", {"spec": {"name": "x"}})
+        assert status == 200 and payload["error"]["code"] == -32602
+    finally:
+        server.shutdown()
+        server.server_close()
+        store.close()

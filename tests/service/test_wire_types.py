@@ -1,0 +1,146 @@
+"""Parameter types must survive the wire (ISSUE 6 satellite 3).
+
+JSON has one number type, so a config travelling through the HTTP front
+end (or a study journal) comes back with every integer parameter's value
+as whatever ``json.loads`` picked.  ``SearchSpace.coerce`` restores the
+declared parameter types, and ``canonical_config_key`` of a coerced
+round-tripped config must equal the key of the original — int 3 and
+float 3.0 hash differently, and that drift once broke journal replay.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.parallel import canonical_config_key
+from repro.core.study import TrialReport
+from repro.service import StudyClient, StudyServer, StudySpec, StudyStore
+from repro.space.params import (
+    ContinuousParameter,
+    IntegerParameter,
+    param_from_dict,
+)
+from repro.space.space import SearchSpace
+
+pytestmark = pytest.mark.service
+
+
+def _space() -> SearchSpace:
+    return SearchSpace(
+        [
+            IntegerParameter("units", 16, 256),
+            ContinuousParameter("lr", 1e-4, 1e-1, log=True),
+            ContinuousParameter("dropout", 0.0, 0.9),
+        ]
+    )
+
+
+def test_coerce_restores_declared_types():
+    space = _space()
+    config = {"units": 128.0, "lr": 0.001, "dropout": 0.25}
+    coerced = space.coerce(config)
+    assert type(coerced["units"]) is int and coerced["units"] == 128
+    assert type(coerced["lr"]) is float
+    assert canonical_config_key(coerced) == canonical_config_key(
+        {"units": 128, "lr": 0.001, "dropout": 0.25}
+    )
+
+
+def test_coerce_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        _space().coerce({"units": 4, "lr": 0.001, "dropout": 0.25})
+
+
+def test_json_round_trip_rehashes_identically():
+    """json → parse → coerce is a fixed point of the canonical hash."""
+    space = _space()
+    config = {"units": 42, "lr": 3.1622776601683795e-3, "dropout": 0.5}
+    wire = json.loads(json.dumps(config))
+    assert canonical_config_key(space.coerce(wire)) == canonical_config_key(
+        config
+    )
+
+
+def test_space_round_trips_through_dict():
+    space = _space()
+    clone = SearchSpace.from_dict(json.loads(json.dumps(space.to_dict())))
+    assert [p.to_dict() for p in clone.parameters] == [
+        p.to_dict() for p in space.parameters
+    ]
+    with pytest.raises(ValueError):
+        param_from_dict({"kind": "mystery", "name": "x"})
+
+
+def test_http_round_trip_preserves_parameter_types(tmp_path):
+    """suggest → observe over HTTP keeps int ints and log-floats exact."""
+    store = StudyStore(tmp_path / "store")
+    server = StudyServer(("127.0.0.1", 0), store)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    client = StudyClient(host, port)
+    space = _space()
+    try:
+        client.create_study(
+            StudySpec(name="typed", space=space, solver="Rand", seed=11)
+        )
+        for _ in range(5):
+            (suggestion,) = client.suggest("typed", 1)
+            config = suggestion["config"]
+            assert type(config["units"]) is int
+            assert type(config["lr"]) is float
+            assert type(config["dropout"]) is float
+            # The client-side view of the config hashes exactly like the
+            # server-side original once coerced (it already is coerced —
+            # JSON ints parse as ints — but drift would surface here).
+            assert canonical_config_key(
+                space.coerce(config)
+            ) == canonical_config_key(config)
+            client.observe(
+                "typed",
+                suggestion["ticket"],
+                TrialReport(error=0.2, cost_s=1.0, power_w=50.0),
+            )
+        reference = client.trials("typed")
+        for trial in reference:
+            assert type(trial["config"]["units"]) is int
+    finally:
+        client.close()
+        server.shutdown()
+        server.server_close()
+        store.close()
+
+    # Resume replays the journal through a rebuilt study, verifying every
+    # canonical hash — any JSON type coercion drift fails the reload.
+    store2 = StudyStore(tmp_path / "store")
+    assert store2.trials("typed") == reference
+    store2.close()
+
+
+def test_journal_configs_rehash_after_json_round_trip(tmp_path):
+    """Configs read back from the on-disk journal re-hash identically."""
+    space = _space()
+    store = StudyStore(tmp_path)
+    store.create_study(StudySpec(name="journaled", space=space, seed=12))
+    (suggestion,) = store.suggest("journaled", 1)
+    store.observe(
+        "journaled",
+        suggestion["ticket"],
+        TrialReport(error=0.4, cost_s=2.0).to_dict(),
+    )
+    store.close()
+    journal = tmp_path / "journaled" / "study.jsonl"
+    records = [
+        json.loads(line)
+        for line in journal.read_text().splitlines()
+        if line.strip()
+    ]
+    suggest_events = [r for r in records if r.get("op") == "suggest"]
+    assert suggest_events, "journal lost the suggest event"
+    for event in suggest_events:
+        for config in event["configs"]:
+            assert canonical_config_key(
+                space.coerce(config)
+            ) == canonical_config_key(suggestion["config"])

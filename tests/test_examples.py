@@ -31,6 +31,7 @@ EXPECTED_OUTPUT = {
     "latency_constrained.py": "all three budgets satisfied",
     "device_variation.py": "re-profiled model",
     "imagenet_future_work.py": "GPU-days",
+    "serve_study.py": "bit-exact after restart",
 }
 
 
