@@ -1,0 +1,179 @@
+"""Benchmark: the sparse surrogate tier vs the exact GP (ISSUE 7).
+
+Two acceptance gates for scaling BO proposals from hundreds to 10^5
+trials:
+
+1. **Proposal-time speedup** — at 10,000 observations, one proposal-shaped
+   round (a rank-1 ``append`` plus a 1,000-candidate ``predict``) on the
+   RFF and Nyström tiers beats the exact GP by >= 10x wall-clock.  The
+   exact GP pays O(n^2) per append and O(n^2 q) per candidate sweep; the
+   weight-space tiers pay O(m^2) and O(m^2 + m q) with ``m = 256``
+   features, independent of history length.
+2. **Regret parity** — on all eight solver/variant cells of the paper's
+   protocol (quick MNIST/GTX1070 setup, 20 evaluations), the RFF tier's
+   final best feasible error stays within 10% of the exact tier's.  The
+   model-free cells ignore the surrogate and pin the comparison harness;
+   the BO cells demonstrate the approximation does not cost optimization
+   quality at this horizon.
+
+Results land in ``benchmarks/out/BENCH_sparse_gp.json`` (uploaded as a CI
+artifact) plus a human-readable ``sparse_gp.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.core.hyperpower import SOLVERS, VARIANTS
+from repro.experiments.setup import quick_setup
+from repro.gp import make_surrogate
+
+from _shared import write_artifact
+
+DIM = 6
+N_OBS = 10_000
+N_CANDIDATES = 1_000
+N_FEATURES = 256
+N_ROUNDS = 2
+MIN_SPEEDUP = 10.0
+
+N_EVALUATIONS = 20
+REGRET_RTOL = 0.10
+
+_RESULTS: dict = {}
+
+
+def _data(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, DIM))
+    y = (
+        np.sin(3.0 * X[:, 0])
+        + X[:, 1] ** 2
+        + 0.5 * np.cos(5.0 * X[:, 2]) * X[:, 3]
+        + 0.02 * rng.normal(size=n)
+    )
+    return X, y
+
+
+def _proposal_seconds(model, X_new, y_new, X_cand) -> float:
+    """Wall-clock of ``N_ROUNDS`` proposal-shaped rounds (append+predict)."""
+    start = time.perf_counter()
+    for i in range(N_ROUNDS):
+        model.append(X_new[i], y_new[i])
+        model.predict(X_cand)
+    return (time.perf_counter() - start) / N_ROUNDS
+
+
+def test_proposal_speedup_at_10k_observations():
+    X, y = _data(N_OBS + N_ROUNDS, seed=0)
+    X_cand = np.random.default_rng(1).uniform(size=(N_CANDIDATES, DIM))
+    tiers = {}
+    for tier in ("exact", "rff", "nystrom"):
+        model = make_surrogate(tier, DIM, n_features=N_FEATURES)
+        start = time.perf_counter()
+        model.fit(X[:N_OBS], y[:N_OBS], optimize_hypers=False)
+        fit_s = time.perf_counter() - start
+        proposal_s = _proposal_seconds(
+            model, X[N_OBS:], y[N_OBS:], X_cand
+        )
+        tiers[tier] = {"fit_s": fit_s, "proposal_s": proposal_s}
+
+    exact_s = tiers["exact"]["proposal_s"]
+    for tier in ("rff", "nystrom"):
+        tiers[tier]["speedup"] = exact_s / tiers[tier]["proposal_s"]
+    _RESULTS["proposal"] = {
+        "n_observations": N_OBS,
+        "n_candidates": N_CANDIDATES,
+        "n_features": N_FEATURES,
+        "tiers": tiers,
+    }
+    for tier in ("rff", "nystrom"):
+        assert tiers[tier]["speedup"] >= MIN_SPEEDUP, (
+            f"{tier} proposal round only {tiers[tier]['speedup']:.1f}x "
+            f"faster than exact at n={N_OBS} (needed {MIN_SPEEDUP}x): "
+            f"exact {exact_s:.3f} s, {tier} "
+            f"{tiers[tier]['proposal_s']:.3f} s"
+        )
+
+
+def test_regret_parity_across_all_cells():
+    setup = quick_setup(
+        "mnist", "gtx1070", power_budget_w=85.0, memory_budget_gb=1.15,
+        seed=0, profiling_samples=100,
+    )
+    cells = []
+    for variant in sorted(VARIANTS):
+        for solver in sorted(SOLVERS):
+            exact = setup.run(
+                solver, variant, run_seed=7,
+                max_evaluations=N_EVALUATIONS, surrogate="exact",
+            )
+            sparse = setup.run(
+                solver, variant, run_seed=7,
+                max_evaluations=N_EVALUATIONS, surrogate="rff",
+                surrogate_features=N_FEATURES,
+            )
+            best_exact = float(exact.best_error_vs_samples()[-1])
+            best_sparse = float(sparse.best_error_vs_samples()[-1])
+            # Relative regret gap vs the exact tier (chance error bounds
+            # both, so the denominator is never degenerate).
+            gap = (best_sparse - best_exact) / max(best_exact, 1e-12)
+            cells.append(
+                {
+                    "solver": solver,
+                    "variant": variant,
+                    "best_error_exact": best_exact,
+                    "best_error_rff": best_sparse,
+                    "regret_gap": gap,
+                }
+            )
+    _RESULTS["regret"] = {
+        "n_evaluations": N_EVALUATIONS,
+        "rtol": REGRET_RTOL,
+        "cells": cells,
+    }
+    failing = [c for c in cells if c["regret_gap"] > REGRET_RTOL]
+    assert not failing, (
+        "RFF tier lost more than "
+        f"{REGRET_RTOL:.0%} regret vs exact on: "
+        + ", ".join(
+            f"{c['solver']}/{c['variant']} (+{c['regret_gap']:.1%})"
+            for c in failing
+        )
+    )
+
+    write_artifact(
+        "BENCH_sparse_gp.json", json.dumps(_RESULTS, indent=1) + "\n"
+    )
+    prop = _RESULTS["proposal"]["tiers"]
+    lines = [
+        f"observations        {N_OBS}",
+        f"candidates/round    {N_CANDIDATES}",
+        f"sparse features     {N_FEATURES}",
+        f"exact proposal      {prop['exact']['proposal_s'] * 1e3:9.1f} ms",
+        f"rff proposal        {prop['rff']['proposal_s'] * 1e3:9.1f} ms"
+        f"  ({prop['rff']['speedup']:.0f}x)",
+        f"nystrom proposal    {prop['nystrom']['proposal_s'] * 1e3:9.1f} ms"
+        f"  ({prop['nystrom']['speedup']:.0f}x)",
+        f"regret cells (rff vs exact, {N_EVALUATIONS} evals):",
+    ]
+    lines += [
+        f"  {c['solver']:9s} {c['variant']:10s} "
+        f"exact {c['best_error_exact']:.4f}  "
+        f"rff {c['best_error_rff']:.4f}  gap {c['regret_gap']:+.1%}"
+        for c in cells
+    ]
+    write_artifact("sparse_gp.txt", "\n".join(lines) + "\n")
+
+
+if __name__ == "__main__":
+    from pathlib import Path
+
+    test_proposal_speedup_at_10k_observations()
+    test_regret_parity_across_all_cells()
+    print(
+        (Path(__file__).resolve().parent / "out" / "sparse_gp.txt").read_text()
+    )

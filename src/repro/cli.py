@@ -118,9 +118,16 @@ def _cmd_run(args) -> None:
         raise SystemExit("--gp-refit-every must be >= 1")
     if args.gp_restarts < 0:
         raise SystemExit("--gp-restarts must be >= 0")
+    if args.surrogate_features < 1:
+        raise SystemExit("--surrogate-features must be >= 1")
+    if args.surrogate_switch_at < 1:
+        raise SystemExit("--surrogate-switch-at must be >= 1")
     kwargs["gp_restarts"] = args.gp_restarts
     kwargs["gp_refit_every"] = args.gp_refit_every
     kwargs["gp_warm_start"] = args.gp_warm_start
+    kwargs["surrogate"] = args.surrogate
+    kwargs["surrogate_features"] = args.surrogate_features
+    kwargs["surrogate_switch_at"] = args.surrogate_switch_at
     if args.scheduler == "async" and args.backend is None:
         raise SystemExit("--scheduler async requires --backend")
     kwargs["scheduler"] = args.scheduler
@@ -308,6 +315,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gp-warm-start", action="store_true",
                    help="warm-start surrogate refits from the previous fit "
                         "(decays restarts to 1 after burn-in)")
+    p.add_argument("--surrogate", default="exact",
+                   choices=["exact", "rff", "nystrom", "auto"],
+                   help="surrogate tier for the BO solvers: 'exact' "
+                        "(default, the paper's GP), 'rff' (random Fourier "
+                        "features), 'nystrom' (inducing points), or 'auto' "
+                        "(exact below --surrogate-switch-at observations, "
+                        "sparse above) — sparse tiers keep proposal cost "
+                        "flat on long studies")
+    p.add_argument("--surrogate-features", type=int, default=256,
+                   help="feature/inducing-point count of the sparse "
+                        "surrogate tiers")
+    p.add_argument("--surrogate-switch-at", type=int, default=1000,
+                   help="observation count at which --surrogate auto "
+                        "switches from the exact to the sparse tier")
     p.add_argument("--backend", default=None,
                    choices=["serial", "thread", "process"],
                    help="evaluate accepted proposals through an "

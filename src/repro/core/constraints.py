@@ -23,7 +23,7 @@ import numpy as np
 from scipy.stats import norm
 
 from ..gp.gp import GaussianProcess
-from ..gp.kernels import Matern52
+from ..gp.sparse import DEFAULT_FEATURES, DEFAULT_SWITCH_AT, make_surrogate
 from ..models.hw_models import MemoryModel, PowerModel
 from ..space.space import SearchSpace
 
@@ -331,9 +331,21 @@ class GPConstraintModel:
     #: Observations needed before the GPs say anything.
     MIN_OBSERVATIONS = 3
 
-    def __init__(self, space: SearchSpace, spec: ConstraintSpec):
+    def __init__(
+        self,
+        space: SearchSpace,
+        spec: ConstraintSpec,
+        surrogate: str = "exact",
+        surrogate_features: int = DEFAULT_FEATURES,
+        surrogate_switch_at: int = DEFAULT_SWITCH_AT,
+    ):
         self.space = space
         self.spec = spec
+        #: Surrogate tier of the constraint GPs (same knobs as the
+        #: objective surrogate; ``exact`` reproduces the seed path).
+        self.surrogate = surrogate
+        self.surrogate_features = surrogate_features
+        self.surrogate_switch_at = surrogate_switch_at
         self._X: list[np.ndarray] = []
         self._power: list[float] = []
         self._memory: list[float] = []
@@ -390,7 +402,12 @@ class GPConstraintModel:
         mask = ~np.isnan(values)
         if mask.sum() < self.MIN_OBSERVATIONS:
             return None
-        gp = GaussianProcess(kernel=Matern52(self.space.dimension))
+        gp = make_surrogate(
+            self.surrogate,
+            self.space.dimension,
+            n_features=self.surrogate_features,
+            switch_at=self.surrogate_switch_at,
+        )
         gp.fit(X[mask], values[mask], restarts=1, rng=rng)
         return gp
 
@@ -446,7 +463,7 @@ class GPConstraintModel:
         probability = np.ones(n, dtype=float)
         if n == 0:
             return probability
-        X = np.stack([self.space.encode(c) for c in configs])
+        X = self.space.encode_many(configs)
         for gp, budget in (
             (self._power_gp, self.spec.power_budget_w),
             (self._memory_gp, self.spec.memory_budget_bytes),

@@ -74,6 +74,9 @@ def build_method(
     gp_warm_start: bool = False,
     gp_burn_in: int = 15,
     fantasy: str = "cl-min",
+    surrogate: str = "exact",
+    surrogate_features: int = 256,
+    surrogate_switch_at: int = 1000,
 ) -> SearchMethod:
     """Construct one of the eight method variants.
 
@@ -84,6 +87,12 @@ def build_method(
     :class:`~repro.core.methods.BayesianOptimizer`) and are ignored by the
     model-free solvers, as is ``fantasy`` (the BO solvers' constant-liar
     strategy for in-flight trials under the asynchronous scheduler).
+
+    ``surrogate`` selects the surrogate tier (``exact|rff|nystrom|auto``)
+    for both the objective GP and — in default constrained variants — the
+    learned constraint GPs; ``surrogate_features`` sizes the sparse basis
+    and ``surrogate_switch_at`` sets the ``auto`` tier's threshold.  The
+    default ``exact`` reproduces the seed path byte-for-byte.
     """
     if solver not in SOLVERS:
         raise ValueError(f"unknown solver {solver!r}; expected one of {SOLVERS}")
@@ -114,6 +123,9 @@ def build_method(
             warm_start=gp_warm_start,
             burn_in=gp_burn_in,
             fantasy=fantasy,
+            surrogate=surrogate,
+            surrogate_features=surrogate_features,
+            surrogate_switch_at=surrogate_switch_at,
         )
 
     # Default (constraint-unaware-a-priori) variants.
@@ -121,7 +133,13 @@ def build_method(
         return RandomSearch(space, checker=None)
     if solver == "Rand-Walk":
         return RandomWalk(space, sigma, checker=None, feasible_incumbent=False)
-    learned = GPConstraintModel(space, spec)
+    learned = GPConstraintModel(
+        space,
+        spec,
+        surrogate=surrogate,
+        surrogate_features=surrogate_features,
+        surrogate_switch_at=surrogate_switch_at,
+    )
     acquisition = HWCWEI(learned) if solver == "HW-CWEI" else HWIECI(learned)
     return BayesianOptimizer(
         space,
@@ -134,6 +152,9 @@ def build_method(
         warm_start=gp_warm_start,
         burn_in=gp_burn_in,
         fantasy=fantasy,
+        surrogate=surrogate,
+        surrogate_features=surrogate_features,
+        surrogate_switch_at=surrogate_switch_at,
     )
 
 

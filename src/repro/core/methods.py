@@ -33,8 +33,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..gp.gp import GaussianProcess
-from ..gp.kernels import Matern52
 from ..gp.profile import SurrogateProfile
+from ..gp.sparse import (
+    DEFAULT_FEATURES,
+    DEFAULT_SWITCH_AT,
+    SURROGATE_TIERS,
+    make_surrogate,
+)
 from ..space.space import Configuration, SearchSpace
 from ..telemetry.tracer import NOOP_TRACER
 from .acquisition import Acquisition
@@ -532,6 +537,19 @@ class BayesianOptimizer(SearchMethod):
         the candidate pool, never fantasized).  Fantasies are rank-1
         appends onto a *copy* of the persistent surrogate, so the
         synchronous path and the refit schedule are untouched.
+    surrogate:
+        Surrogate tier for the objective model: ``"exact"`` (the default —
+        the exact GP, byte-identical to the seed path), ``"rff"`` (random
+        Fourier features), ``"nystrom"`` (inducing points), or ``"auto"``
+        (exact below ``surrogate_switch_at`` observations, sparse above,
+        with a logged tier-transition event).  Sparse tiers keep fits at
+        ``O(n m^2)``, appends/fantasies at ``O(m^2)`` and predictions flat
+        in ``n``, which is what holds proposal latency flat on 10^4-10^5
+        trial studies.
+    surrogate_features:
+        Feature / inducing-point count ``m`` of the sparse tiers.
+    surrogate_switch_at:
+        Observation count at which the ``auto`` tier goes sparse.
     """
 
     name = "BO"
@@ -551,6 +569,9 @@ class BayesianOptimizer(SearchMethod):
         warm_start: bool = False,
         burn_in: int = 15,
         fantasy: str = "cl-min",
+        surrogate: str = "exact",
+        surrogate_features: int = DEFAULT_FEATURES,
+        surrogate_switch_at: int = DEFAULT_SWITCH_AT,
     ):
         super().__init__(space)
         if model_checker is not None and learned_constraints is not None:
@@ -566,6 +587,14 @@ class BayesianOptimizer(SearchMethod):
             raise ValueError("gp_restarts and burn_in must be >= 0")
         if fantasy not in ("cl-min", "cl-mean", "none"):
             raise ValueError("fantasy must be 'cl-min', 'cl-mean' or 'none'")
+        if surrogate not in SURROGATE_TIERS:
+            raise ValueError(
+                f"surrogate must be one of {SURROGATE_TIERS}, got {surrogate!r}"
+            )
+        if surrogate_features < 1 or surrogate_switch_at < 1:
+            raise ValueError(
+                "surrogate_features and surrogate_switch_at must be >= 1"
+            )
         self.acquisition = acquisition
         self.model_checker = model_checker
         self.learned_constraints = learned_constraints
@@ -578,6 +607,9 @@ class BayesianOptimizer(SearchMethod):
         self.warm_start = warm_start
         self.burn_in = burn_in
         self.fantasy = fantasy
+        self.surrogate = surrogate
+        self.surrogate_features = surrogate_features
+        self.surrogate_switch_at = surrogate_switch_at
         self.name = acquisition.name
         #: Per-stage wall-clock timings of the surrogate hot path.
         self.surrogate_profile = SurrogateProfile()
@@ -655,6 +687,12 @@ class BayesianOptimizer(SearchMethod):
         n = state.n_trained
         X = self.space.encode_many(state.trained_configs)
         y = np.asarray(state.trained_errors, dtype=float)
+        # Tier labels ride on the surrogate spans for non-default tiers
+        # only; the default tier's span stream stays byte-identical to the
+        # golden trace fixtures.
+        tier_attrs = (
+            {} if self.surrogate == "exact" else {"surrogate": self.surrogate}
+        )
         refit_due = (
             self._gp is None
             or n < self._gp_n  # state reset under us: start over
@@ -662,16 +700,15 @@ class BayesianOptimizer(SearchMethod):
         )
         if refit_due:
             if self._gp is None or not self.warm_start:
-                gp = GaussianProcess(
-                    kernel=Matern52(self.space.dimension),
-                    profile=self.surrogate_profile,
-                )
+                gp = self._make_surrogate()
             else:
                 gp = self._gp  # warm start: theta of the previous fit
             restarts = self.gp_restarts
             if self.warm_start and n >= self.n_init + self.burn_in:
                 restarts = min(restarts, 1)
-            with self.tracer.span("gp_fit", n_obs=n, restarts=restarts):
+            with self.tracer.span(
+                "gp_fit", n_obs=n, restarts=restarts, **tier_attrs
+            ):
                 gp.fit(X, y, restarts=restarts, rng=rng)
             self._gp = gp
             self._gp_n = n
@@ -679,11 +716,30 @@ class BayesianOptimizer(SearchMethod):
             return gp, 1, 0
         appends = n - self._gp_n
         if appends:
-            with self.tracer.span("gp_append", n_obs=n, appends=appends):
+            with self.tracer.span(
+                "gp_append", n_obs=n, appends=appends, **tier_attrs
+            ):
                 for i in range(self._gp_n, n):
                     self._gp.append(X[i], y[i])
             self._gp_n = n
         return self._gp, 0, appends
+
+    def _make_surrogate(self):
+        """A fresh objective surrogate for the configured tier.
+
+        The ``exact`` branch constructs the same
+        ``GaussianProcess(kernel=Matern52(dim), profile=...)`` this
+        optimizer always built, so default-tier runs (and ``auto`` runs
+        that stay below the switch threshold) are byte-identical to the
+        pre-tier code path.
+        """
+        return make_surrogate(
+            self.surrogate,
+            self.space.dimension,
+            profile=self.surrogate_profile,
+            n_features=self.surrogate_features,
+            switch_at=self.surrogate_switch_at,
+        )
 
     def _refit_learned_constraints(self, state: SearchState) -> int:
         """Refit constraint GPs from measured trials; returns fits done."""
@@ -728,12 +784,20 @@ class BayesianOptimizer(SearchMethod):
         if not pending or self.fantasy == "none":
             return gp, 0
         errors = np.asarray(state.trained_errors, dtype=float)
+        finite = errors[np.isfinite(errors)]
         if self.fantasy == "cl-min":
             lie = state.incumbent_error()
             if lie is None:
                 lie = float(np.mean(errors))
         else:
             lie = float(np.mean(errors))
+        if not np.isfinite(lie):
+            # Degraded measurements can leave NaN in the error history; the
+            # surrogate refuses non-finite appends, so fall back to the
+            # finite mean — or skip fantasizing when nothing finite exists.
+            if finite.size == 0:
+                return gp, 0
+            lie = float(np.mean(finite))
         gp_f = copy.copy(gp)
         with self.tracer.span("fantasy", pending=len(pending), lie=lie):
             for config in pending:

@@ -284,6 +284,13 @@ class ExperimentSetup:
         set — see :meth:`~repro.core.hyperpower.HyperPower.run`.  The BO
         solvers' constant-liar strategy is selected with the
         ``fantasy`` method kwarg (``"cl-min"``/``"cl-mean"``/``"none"``).
+
+        The surrogate tier of the BO solvers is selected with the
+        ``surrogate`` method kwarg (``"exact"``/``"rff"``/``"nystrom"``/
+        ``"auto"``, with ``surrogate_features`` and
+        ``surrogate_switch_at`` sizing the sparse tiers) — see
+        :func:`~repro.core.hyperpower.build_method`; the default
+        ``"exact"`` reproduces the seed trajectories byte-for-byte.
         """
         method = build_method(
             solver,

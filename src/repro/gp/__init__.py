@@ -1,15 +1,28 @@
 """Gaussian-process substrate (Spearmint analog)."""
 
-from .gp import GaussianProcess
+from .gp import GaussianProcess, NonFiniteObservationError
 from .kernels import RBF, Kernel, Matern52
 from .normalize import Standardizer
 from .profile import SurrogateProfile
+from .sparse import (
+    SURROGATE_TIERS,
+    AutoSurrogate,
+    NystromGP,
+    RandomFourierGP,
+    make_surrogate,
+)
 
 __all__ = [
+    "AutoSurrogate",
     "GaussianProcess",
     "Kernel",
     "Matern52",
+    "NonFiniteObservationError",
+    "NystromGP",
     "RBF",
+    "RandomFourierGP",
+    "SURROGATE_TIERS",
     "Standardizer",
     "SurrogateProfile",
+    "make_surrogate",
 ]

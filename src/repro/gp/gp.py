@@ -35,9 +35,19 @@ from .kernels import Kernel, Matern52
 from .normalize import Standardizer
 from .profile import SurrogateProfile
 
-__all__ = ["GaussianProcess"]
+__all__ = ["GaussianProcess", "NonFiniteObservationError"]
 
 _log = logging.getLogger(__name__)
+
+
+class NonFiniteObservationError(ValueError):
+    """Raised when a non-finite target would be conditioned on.
+
+    Mirrors :meth:`repro.core.parallel.TrialCache.put`'s rejection of
+    non-finite errors: a NaN/inf target silently corrupts the Cholesky
+    factor (every subsequent prediction becomes NaN), so the surrogate
+    refuses it at the door with a typed error the caller can handle.
+    """
 
 #: Diagonal jitter added to keep Cholesky factorisations stable.
 _JITTER = 1e-8
@@ -96,6 +106,11 @@ class GaussianProcess:
     def _stage(self, name: str):
         """Timing context for one profiled stage (no-op without profile)."""
         return self.profile.timeit(name) if self.profile is not None else nullcontext()
+
+    def _count(self, op: str) -> None:
+        """Count one interface-level op (no-op without profile)."""
+        if self.profile is not None:
+            self.profile.count_op(op)
 
     # -- fitting -------------------------------------------------------------
 
@@ -160,6 +175,9 @@ class GaussianProcess:
                 f"dimension {X.shape[1]}"
             )
 
+        self._count("fits")
+        if self.profile is not None:
+            self.profile.record_tier("exact", X.shape[0])
         self._X = X
         if self.normalize_y:
             self._standardizer.fit(y)
@@ -194,8 +212,15 @@ class GaussianProcess:
                 f"expected one {self.kernel.input_dim}-dimensional input, "
                 f"got shape {x.shape}"
             )
-        y_std = float(self._standardizer.transform(np.array([float(y)]))[0])
+        y = float(y)
+        if not np.isfinite(y):
+            raise NonFiniteObservationError(
+                f"refusing to append non-finite observation {y!r} at "
+                f"n={self.n_observations}"
+            )
+        y_std = float(self._standardizer.transform(np.array([y]))[0])
 
+        self._count("appends")
         with self._stage("append"):
             k = self.kernel(self._X, x)[:, 0]
             k_self = float(self.kernel.diag(x)[0]) + self.noise_variance + self._jitter
@@ -355,6 +380,7 @@ class GaussianProcess:
         """
         if not self.is_fitted:
             raise RuntimeError("predict() before fit()")
+        self._count("predicts")
         Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
         with self._stage("kernel"):
             Ks = self.kernel(self._X, Xs)

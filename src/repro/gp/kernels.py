@@ -127,6 +127,25 @@ class Kernel(ABC):
         _validate_inputs(X, X, self.input_dim)
         return np.full(X.shape[0], self.variance)
 
+    def spectral_weights(
+        self, n_features: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``(n_features, input_dim)`` draws from the spectral density.
+
+        Bochner's theorem: a stationary kernel is the Fourier transform of
+        a probability measure, so ``k(x, x') ≈ (2 variance / m) Σ_j
+        cos(ω_j·x + b_j) cos(ω_j·x' + b_j)`` with ``ω_j`` drawn from that
+        measure and ``b_j ~ U(0, 2π)`` — the random-Fourier-feature map
+        used by :class:`repro.gp.sparse.RandomFourierGP`.  Weights are for
+        the *unit-length-scale* kernel; the feature map divides inputs by
+        the ARD length scales, so the same draws serve every length-scale
+        setting (which is what keeps hyper-parameter fits differentiable
+        through a fixed feature basis).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no spectral density sampler"
+        )
+
     def copy(self) -> "Kernel":
         """An independent kernel with the same hyper-parameters."""
         return type(self)(
@@ -178,6 +197,16 @@ class Matern52(Kernel):
         dK[1:] = scale_factor[None, :, :] * sq_dims
         return K, dK
 
+    def spectral_weights(
+        self, n_features: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        # The Matérn-ν spectral density is a multivariate Student-t with
+        # 2ν degrees of freedom; for ν = 5/2 that is ω = z √(5 / u) with
+        # z ~ N(0, I) and u ~ χ²_5.
+        z = rng.standard_normal((n_features, self.input_dim))
+        u = rng.chisquare(5.0, size=n_features)
+        return z * np.sqrt(5.0 / u)[:, None]
+
 
 class RBF(Kernel):
     """ARD squared-exponential kernel (infinitely smooth)."""
@@ -201,3 +230,9 @@ class RBF(Kernel):
         # d K / d log l_i = K * sq_dims[i].
         dK[1:] = K[None, :, :] * sq_dims
         return K, dK
+
+    def spectral_weights(
+        self, n_features: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        # The RBF spectral density is a standard Gaussian.
+        return rng.standard_normal((n_features, self.input_dim))

@@ -1,0 +1,821 @@
+"""Sparse surrogate tiers: scale BO proposals from hundreds to 10^5 trials.
+
+The exact :class:`~repro.gp.gp.GaussianProcess` costs ``O(n^3)`` per refit
+and ``O(n^2)`` per rank-1 append, which caps practical study length at a
+few hundred trials.  This module adds two *weight-space* approximations
+whose per-operation cost depends on a fixed basis size ``m`` instead of
+the observation count ``n``:
+
+* :class:`RandomFourierGP` — random Fourier features (Rahimi & Recht):
+  ``phi(x) = sqrt(2 variance / m) cos((x / l) Omega^T + b)`` with
+  ``Omega`` drawn from the kernel's spectral density (Matérn-5/2 is a
+  multivariate Student-t with 5 degrees of freedom, RBF a Gaussian), so
+  ``phi(x)^T phi(x') ~= k(x, x')``.
+* :class:`NystromGP` — an inducing-point (Nyström / subset-of-regressors)
+  variant: ``phi(x) = L_mm^{-1} k(Z, x)`` with ``K_mm = L_mm L_mm^T`` over
+  ``m`` inducing points ``Z`` drawn from the training set, plus the DTC
+  variance correction ``max(k(x,x) - phi^T phi, 0)`` so predictive
+  variance converges to the exact GP's as ``Z`` densifies.
+
+Both reduce to Bayesian linear regression over the feature map: with
+``Phi`` the ``(n, m)`` design matrix, the posterior is captured by the
+``m x m`` sufficient statistics ``A = noise I + Phi^T Phi`` (held as a
+Cholesky factor), ``b = Phi^T y``, ``y^T y`` and ``n``:
+
+* **fit** is ``O(n m^2)`` — one pass over the data;
+* **append** is ``O(m^2)`` — a rank-1 Cholesky update of ``A``,
+  *independent of n*;
+* **predict** is ``O(k m^2)`` for ``k`` candidates — independent of n;
+* the weight-space negative log marginal likelihood and its **analytic
+  gradients** (w.r.t. log variance, log length scales, log noise) cost
+  ``O(n m^2 + n m d)`` per optimiser step, so hyper-parameter fits keep
+  the fused value-and-gradient treatment of the exact tier.
+
+Every class exposes the exact GP's ``fit`` / ``append`` / ``predict`` /
+``predict_noisy`` interface (same signatures, same standardisation
+semantics, copy-then-append fantasy safety), so
+:class:`~repro.core.methods.BayesianOptimizer`, the constant-liar fantasy
+path and :class:`~repro.core.constraints.GPConstraintModel` swap tiers
+without code changes.  :class:`AutoSurrogate` layers budget-aware
+switching on top: exact below ``switch_at`` observations (byte-identical
+to the plain exact tier, including RNG consumption), sparse above, with a
+logged tier-transition event and a
+:class:`~repro.gp.profile.SurrogateProfile` record of the active tier.
+"""
+
+from __future__ import annotations
+
+import copy
+import logging
+from contextlib import nullcontext
+
+import numpy as np
+from scipy import linalg, optimize
+
+from .gp import (
+    _BAD_NLML,
+    _JITTER,
+    _MAX_JITTER,
+    _NOISE_LOG_BOUNDS,
+    GaussianProcess,
+    NonFiniteObservationError,
+)
+from .kernels import Kernel, Matern52
+from .normalize import Standardizer
+from .profile import SurrogateProfile
+
+__all__ = [
+    "RandomFourierGP",
+    "NystromGP",
+    "AutoSurrogate",
+    "make_surrogate",
+    "SURROGATE_TIERS",
+]
+
+_log = logging.getLogger(__name__)
+
+#: Tier names accepted by :func:`make_surrogate` (and the CLI).
+SURROGATE_TIERS = ("exact", "rff", "nystrom", "auto")
+
+#: Default feature / inducing-point count for the sparse tiers.
+DEFAULT_FEATURES = 256
+
+#: Default observation count at which :class:`AutoSurrogate` goes sparse.
+DEFAULT_SWITCH_AT = 1000
+
+
+def cholupdate(L: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Rank-1 update of a lower Cholesky factor: ``L' L'^T = L L^T + v v^T``.
+
+    Returns a **new** factor (the input is not mutated), which is what
+    keeps ``copy.copy(model); model.append(...)`` fantasy-safe.  ``O(m^2)``
+    via Givens-style rotations; adding ``v v^T`` to a positive-definite
+    matrix cannot lose definiteness, so the update never fails.
+    """
+    L = np.array(L, dtype=float)
+    v = np.array(v, dtype=float).ravel()
+    m = L.shape[0]
+    for k in range(m):
+        r = np.hypot(L[k, k], v[k])
+        c = r / L[k, k]
+        s = v[k] / L[k, k]
+        L[k, k] = r
+        if k + 1 < m:
+            L[k + 1 :, k] = (L[k + 1 :, k] + s * v[k + 1 :]) / c
+            v[k + 1 :] = c * v[k + 1 :] - s * L[k + 1 :, k]
+    return L
+
+
+class _WeightSpaceGP:
+    """Shared Bayesian-linear-regression core of the sparse tiers.
+
+    Subclasses provide the feature map (:meth:`_prepare_basis` /
+    :meth:`_features`), the hyper-parameter fit, and an optional additive
+    variance correction; everything else — sufficient statistics, rank-1
+    appends, prediction, standardisation — lives here.
+    """
+
+    #: Tier name recorded on the profile (subclasses override).
+    tier = "sparse"
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        noise_variance: float = 1e-2,
+        normalize_y: bool = True,
+        profile: SurrogateProfile | None = None,
+        feature_seed: int = 0,
+    ):
+        if noise_variance <= 0:
+            raise ValueError("noise variance must be positive")
+        self.kernel = kernel
+        self.noise_variance = float(noise_variance)
+        self.normalize_y = normalize_y
+        self.profile = profile
+        #: Seed of the basis draws (kept separate from the proposal RNG so
+        #: sparse tiers never perturb the caller's random stream).
+        self.feature_seed = int(feature_seed)
+        self._standardizer = Standardizer()
+        #: Lower Cholesky factor of ``A = noise I + Phi^T Phi``.
+        self._A_chol: np.ndarray | None = None
+        self._b: np.ndarray | None = None
+        self._beta: np.ndarray | None = None
+        self._yty = 0.0
+        self._n = 0
+
+    # -- profiling hooks (mirror GaussianProcess) ------------------------------
+
+    def _stage(self, name: str):
+        return (
+            self.profile.timeit(name) if self.profile is not None else nullcontext()
+        )
+
+    def _count(self, op: str) -> None:
+        if self.profile is not None:
+            self.profile.count_op(op)
+
+    # -- subclass API ----------------------------------------------------------
+
+    def _prepare_basis(self, X: np.ndarray) -> None:
+        """Set up the feature basis for a fit on ``X``."""
+        raise NotImplementedError
+
+    def _features(self, X: np.ndarray) -> np.ndarray:
+        """``(k, m)`` feature matrix at the current hyper-parameters."""
+        raise NotImplementedError
+
+    def _optimize_hypers(
+        self,
+        X: np.ndarray,
+        y_std: np.ndarray,
+        restarts: int,
+        rng: np.random.Generator,
+        gradient: str,
+    ) -> None:
+        raise NotImplementedError
+
+    def _extra_variance(self, Xs: np.ndarray, Phi: np.ndarray) -> float:
+        """Additive latent-variance correction (0 unless overridden)."""
+        return 0.0
+
+    # -- fitting ---------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the model holds a posterior."""
+        return self._A_chol is not None
+
+    @property
+    def n_observations(self) -> int:
+        """Number of observations conditioned on (fit + appends)."""
+        return self._n
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        optimize_hypers: bool = True,
+        restarts: int = 3,
+        rng: np.random.Generator | None = None,
+        gradient: str = "analytic",
+    ) -> "_WeightSpaceGP":
+        """Condition on data, optionally re-fitting hyper-parameters.
+
+        Same contract as :meth:`repro.gp.gp.GaussianProcess.fit`; cost is
+        ``O(n m^2)`` instead of ``O(n^3)``.
+        """
+        if gradient not in ("analytic", "numeric"):
+            raise ValueError(
+                f"gradient must be 'analytic' or 'numeric', got {gradient!r}"
+            )
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]} entries"
+            )
+        if X.shape[0] == 0:
+            raise ValueError("need at least one observation")
+        if self.kernel is None:
+            self.kernel = Matern52(X.shape[1])
+        if self.kernel.input_dim != X.shape[1]:
+            raise ValueError(
+                f"kernel dimension {self.kernel.input_dim} != data "
+                f"dimension {X.shape[1]}"
+            )
+
+        self._count("fits")
+        if self.profile is not None:
+            self.profile.record_tier(self.tier, X.shape[0])
+
+        if self.normalize_y:
+            self._standardizer.fit(y)
+            y_std = self._standardizer.transform(y)
+        else:
+            self._standardizer = Standardizer.identity()
+            y_std = y.copy()
+
+        self._prepare_basis(X)
+        if optimize_hypers and X.shape[0] >= 3:
+            with self._stage("hyperopt"):
+                self._optimize_hypers(
+                    X, y_std, restarts, rng or np.random.default_rng(0), gradient
+                )
+        self._recompute_posterior(X, y_std)
+        return self
+
+    def append(self, x: np.ndarray, y: float) -> "_WeightSpaceGP":
+        """Condition on one new observation at fixed hyper-parameters.
+
+        ``O(m^2)`` — a rank-1 Cholesky update of the ``m x m`` information
+        matrix, independent of how many observations came before.  All
+        state is rebound (never mutated in place), so a ``copy.copy`` of
+        the model can be appended to without disturbing the original —
+        the contract the constant-liar fantasy path relies on.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("append() before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape != (1, self.kernel.input_dim):
+            raise ValueError(
+                f"expected one {self.kernel.input_dim}-dimensional input, "
+                f"got shape {x.shape}"
+            )
+        y = float(y)
+        if not np.isfinite(y):
+            raise NonFiniteObservationError(
+                f"refusing to append non-finite observation {y!r} at "
+                f"n={self.n_observations}"
+            )
+        y_std = float(self._standardizer.transform(np.array([y]))[0])
+
+        self._count("appends")
+        with self._stage("append"):
+            phi = self._features(x)[0]
+            self._A_chol = cholupdate(self._A_chol, phi)
+            self._b = self._b + phi * y_std
+            self._yty = self._yty + y_std * y_std
+            self._n = self._n + 1
+            self._beta = linalg.cho_solve((self._A_chol, True), self._b)
+        return self
+
+    def _recompute_posterior(self, X: np.ndarray, y_std: np.ndarray) -> None:
+        with self._stage("kernel"):
+            Phi = self._features(X)
+        m = Phi.shape[1]
+        jitter = 0.0
+        while True:
+            A = Phi.T @ Phi
+            A[np.diag_indices_from(A)] += self.noise_variance + jitter
+            try:
+                with self._stage("cholesky"):
+                    self._A_chol = linalg.cholesky(A, lower=True)
+                break
+            except linalg.LinAlgError:
+                # A = noise I + Phi^T Phi is PD in exact arithmetic; a
+                # failure here is pure round-off, cured by tiny jitter.
+                if jitter >= _MAX_JITTER:
+                    raise
+                jitter = _JITTER if jitter == 0.0 else jitter * 10.0
+                _log.warning(
+                    "sparse information matrix lost definiteness at m=%d; "
+                    "escalating jitter to %.1e",
+                    m,
+                    jitter,
+                )
+        self._b = Phi.T @ y_std
+        self._yty = float(y_std @ y_std)
+        self._n = X.shape[0]
+        self._beta = linalg.cho_solve((self._A_chol, True), self._b)
+
+    # -- hyper-parameter packing (mirror GaussianProcess) ----------------------
+
+    def _pack(self) -> np.ndarray:
+        return np.concatenate(
+            (self.kernel.get_theta(), [np.log(self.noise_variance)])
+        )
+
+    def _unpack(self, packed: np.ndarray) -> None:
+        self.kernel.set_theta(packed[:-1])
+        self.noise_variance = float(np.exp(packed[-1]))
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(self, Xs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance of the *latent* function at ``Xs``.
+
+        Returns a ``(mean, variance)`` pair in original target units;
+        ``O(k m^2)`` for ``k`` query points regardless of n.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("predict() before fit()")
+        self._count("predicts")
+        Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
+        with self._stage("kernel"):
+            Phi = self._features(Xs)
+        mean_std = Phi @ self._beta
+        v = linalg.solve_triangular(self._A_chol, Phi.T, lower=True)
+        var_std = self.noise_variance * np.sum(v**2, axis=0)
+        var_std = var_std + self._extra_variance(Xs, Phi)
+        var_std = np.maximum(var_std, 1e-12)
+        mean = self._standardizer.inverse_mean(mean_std)
+        var = self._standardizer.inverse_variance(var_std)
+        return mean, var
+
+    def predict_noisy(self, Xs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance of a new *observation* at ``Xs``."""
+        mean, var = self.predict(Xs)
+        noise = self._standardizer.inverse_variance(
+            np.full(var.shape, self.noise_variance)
+        )
+        return mean, var + noise
+
+    def log_marginal_likelihood(self) -> float:
+        """Weight-space log marginal likelihood at the current posterior.
+
+        Computed from the sufficient statistics alone (no pass over the
+        data): with ``A = noise I + Phi^T Phi``, the matrix determinant
+        lemma gives ``log|Phi Phi^T + noise I_n| = log|A| +
+        (n - m) log noise`` and the Woodbury identity gives
+        ``y^T C^{-1} y = (y^T y - b^T beta) / noise``.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("log_marginal_likelihood() before fit()")
+        m = self._A_chol.shape[0]
+        quad = (self._yty - float(self._b @ self._beta)) / self.noise_variance
+        logdet_a = 2.0 * float(np.sum(np.log(np.diag(self._A_chol))))
+        return -(
+            0.5 * quad
+            + 0.5 * logdet_a
+            + 0.5 * (self._n - m) * np.log(self.noise_variance)
+            + 0.5 * self._n * np.log(2.0 * np.pi)
+        )
+
+
+class RandomFourierGP(_WeightSpaceGP):
+    """Random-Fourier-feature GP approximation (Rahimi & Recht 2007).
+
+    The spectral basis (``Omega``, phases) is drawn **once** from
+    ``feature_seed`` for the unit-length-scale kernel; length scales enter
+    by rescaling inputs and the signal variance by rescaling amplitudes,
+    so the weight-space marginal likelihood stays differentiable in every
+    hyper-parameter through a *fixed* basis — which is what lets the
+    analytic-gradient L-BFGS-B treatment of the exact tier carry over.
+    """
+
+    tier = "rff"
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        n_features: int = DEFAULT_FEATURES,
+        noise_variance: float = 1e-2,
+        normalize_y: bool = True,
+        profile: SurrogateProfile | None = None,
+        feature_seed: int = 0,
+    ):
+        if n_features < 1:
+            raise ValueError("n_features must be >= 1")
+        super().__init__(kernel, noise_variance, normalize_y, profile, feature_seed)
+        self.n_features = int(n_features)
+        self._omega: np.ndarray | None = None
+        self._phases: np.ndarray | None = None
+
+    def _prepare_basis(self, X: np.ndarray) -> None:
+        if self._omega is None:
+            rng = np.random.default_rng(self.feature_seed)
+            self._omega = self.kernel.spectral_weights(self.n_features, rng)
+            self._phases = rng.uniform(0.0, 2.0 * np.pi, self.n_features)
+
+    def _features(self, X: np.ndarray) -> np.ndarray:
+        amp = np.sqrt(2.0 * self.kernel.variance / self.n_features)
+        arg = (X / self.kernel.lengthscales) @ self._omega.T + self._phases
+        return amp * np.cos(arg)
+
+    # -- weight-space marginal likelihood --------------------------------------
+
+    def _nlml_pieces(self, X: np.ndarray, y_std: np.ndarray, packed: np.ndarray):
+        """Shared forward pass of the NLML value / gradient objectives."""
+        self._unpack(packed)
+        m = self.n_features
+        n = X.shape[0]
+        amp = np.sqrt(2.0 * self.kernel.variance / m)
+        arg = (X / self.kernel.lengthscales) @ self._omega.T + self._phases
+        Phi = amp * np.cos(arg)
+        A = Phi.T @ Phi
+        A[np.diag_indices_from(A)] += self.noise_variance
+        try:
+            L = linalg.cholesky(A, lower=True)
+        except linalg.LinAlgError:
+            return None
+        b = Phi.T @ y_std
+        beta = linalg.cho_solve((L, True), b)
+        yty = float(y_std @ y_std)
+        quad = (yty - float(b @ beta)) / self.noise_variance
+        nlml = (
+            0.5 * quad
+            + float(np.sum(np.log(np.diag(L))))
+            + 0.5 * (n - m) * np.log(self.noise_variance)
+            + 0.5 * n * np.log(2.0 * np.pi)
+        )
+        if not np.isfinite(nlml):
+            return None
+        return nlml, arg, amp, Phi, L, beta
+
+    def _nlml_value(self, packed, X, y_std) -> float:
+        pieces = self._nlml_pieces(X, y_std, packed)
+        return _BAD_NLML if pieces is None else pieces[0]
+
+    def _nlml_value_and_grad(self, packed, X, y_std):
+        """Fused weight-space NLML and analytic gradient.
+
+        With ``alpha = (y - Phi beta) / noise`` and ``B = Phi A^{-1}``,
+        the matrix derivative is ``dNLML/dPhi = B - alpha beta^T``; the
+        chain rule through ``Phi = amp cos((X/l) Omega^T + phase)``
+        contracts it against ``T = amp sin(arg)`` in one ``(n,m) @ (m,d)``
+        product per step — ``O(n m (m + d))`` total, versus the ``p + 1``
+        full passes of finite differencing.
+        """
+        bad = (_BAD_NLML, np.zeros(packed.shape[0]))
+        pieces = self._nlml_pieces(X, y_std, packed)
+        if pieces is None:
+            return bad
+        nlml, arg, amp, Phi, L, beta = pieces
+        m = self.n_features
+        n = X.shape[0]
+        noise = self.noise_variance
+        L_inv = linalg.solve_triangular(L, np.eye(m), lower=True)
+        tr_a_inv = float(np.sum(L_inv**2))
+        alpha = (y_std - Phi @ beta) / noise
+        B = linalg.cho_solve((L, True), Phi.T).T
+        grad = np.empty(packed.shape[0])
+        # d/d log variance: Phi scales with sqrt(variance), so
+        # d(Phi Phi^T)/d log variance = Phi Phi^T.
+        grad[0] = -0.5 * float(beta @ beta) + 0.5 * (m - noise * tr_a_inv)
+        # d/d log lengthscale_j via the feature-map chain rule.
+        T = amp * np.sin(arg)
+        M = (B - np.outer(alpha, beta)) * T
+        grad[1:-1] = (
+            np.sum(X * (M @ self._omega), axis=0) / self.kernel.lengthscales
+        )
+        # d/d log noise.
+        grad[-1] = 0.5 * (
+            -noise * float(alpha @ alpha) + (n - m) + noise * tr_a_inv
+        )
+        if not np.all(np.isfinite(grad)):
+            return bad
+        return nlml, grad
+
+    def _optimize_hypers(self, X, y_std, restarts, rng, gradient) -> None:
+        bounds = self.kernel.theta_bounds() + [_NOISE_LOG_BOUNDS]
+        lows = np.array([b[0] for b in bounds])
+        highs = np.array([b[1] for b in bounds])
+
+        starts = [self._pack()]
+        for _ in range(max(0, restarts)):
+            starts.append(rng.uniform(lows, highs))
+
+        if gradient == "analytic":
+            objective, jac = self._nlml_value_and_grad, True
+        else:
+            objective, jac = self._nlml_value, None
+
+        best_packed = None
+        best_value = np.inf
+        for start in starts:
+            start = np.clip(start, lows, highs)
+            result = optimize.minimize(
+                objective,
+                start,
+                args=(X, y_std),
+                method="L-BFGS-B",
+                jac=jac,
+                bounds=bounds,
+            )
+            if result.fun < best_value:
+                best_value = float(result.fun)
+                best_packed = result.x
+        if best_packed is not None:
+            self._unpack(best_packed)
+
+
+class NystromGP(_WeightSpaceGP):
+    """Inducing-point (Nyström / SoR) GP with the DTC variance correction.
+
+    Inducing points ``Z`` are an ``m``-point subset of the training data
+    (drawn deterministically from ``feature_seed``); features are
+    ``phi(x) = L_mm^{-1} k(Z, x)`` so ``phi(x)^T phi(x')`` is the Nyström
+    kernel.  Subset-of-regressors variance collapses far from ``Z``, so
+    prediction adds the DTC correction ``max(k(x,x) - phi^T phi, 0)`` —
+    with ``Z`` equal to the full training set the posterior matches the
+    exact GP's.  Hyper-parameters are fitted by exact marginal likelihood
+    on the inducing subset (subset-of-data), reusing the exact tier's
+    analytic-gradient machinery through a shared kernel object.
+    """
+
+    tier = "nystrom"
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        n_inducing: int = DEFAULT_FEATURES,
+        noise_variance: float = 1e-2,
+        normalize_y: bool = True,
+        profile: SurrogateProfile | None = None,
+        feature_seed: int = 0,
+    ):
+        if n_inducing < 1:
+            raise ValueError("n_inducing must be >= 1")
+        super().__init__(kernel, noise_variance, normalize_y, profile, feature_seed)
+        self.n_inducing = int(n_inducing)
+        self._Z: np.ndarray | None = None
+        self._L_mm: np.ndarray | None = None
+        self._subset_idx: np.ndarray | None = None
+
+    def _prepare_basis(self, X: np.ndarray) -> None:
+        n = X.shape[0]
+        if n <= self.n_inducing:
+            idx = np.arange(n)
+        else:
+            rng = np.random.default_rng(self.feature_seed)
+            idx = np.sort(rng.choice(n, size=self.n_inducing, replace=False))
+        self._subset_idx = idx
+        self._Z = X[idx].copy()
+        self._L_mm = None  # refreshed after hyper-parameters settle
+
+    def _factor_inducing(self) -> None:
+        K_mm = self.kernel(self._Z, self._Z)
+        jitter = _JITTER
+        while True:
+            K = K_mm.copy()
+            K[np.diag_indices_from(K)] += jitter
+            try:
+                self._L_mm = linalg.cholesky(K, lower=True)
+                break
+            except linalg.LinAlgError:
+                if jitter >= _MAX_JITTER:
+                    raise
+                jitter *= 10.0
+                _log.warning(
+                    "inducing Gram factorisation failed at m=%d; escalating "
+                    "jitter to %.1e (near-duplicate inducing points?)",
+                    self._Z.shape[0],
+                    jitter,
+                )
+
+    def _features(self, X: np.ndarray) -> np.ndarray:
+        if self._L_mm is None:
+            self._factor_inducing()
+        K_mx = self.kernel(self._Z, X)
+        return linalg.solve_triangular(self._L_mm, K_mx, lower=True).T
+
+    def _extra_variance(self, Xs: np.ndarray, Phi: np.ndarray) -> np.ndarray:
+        # DTC correction: restore the prior variance the subset-of-
+        # regressors approximation loses away from the inducing set.
+        return np.maximum(self.kernel.diag(Xs) - np.sum(Phi**2, axis=1), 0.0)
+
+    def _optimize_hypers(self, X, y_std, restarts, rng, gradient) -> None:
+        # Subset-of-data: exact marginal likelihood on the inducing subset,
+        # sharing this model's kernel object so theta is written back.
+        sub = GaussianProcess(
+            kernel=self.kernel,
+            noise_variance=self.noise_variance,
+            normalize_y=False,
+        )
+        sub.fit(
+            X[self._subset_idx],
+            y_std[self._subset_idx],
+            optimize_hypers=True,
+            restarts=restarts,
+            rng=rng,
+            gradient=gradient,
+        )
+        self.noise_variance = sub.noise_variance
+        self._L_mm = None  # kernel hypers moved; refactor on next use
+
+
+class AutoSurrogate:
+    """Budget-aware surrogate: exact GP below ``switch_at``, sparse above.
+
+    Below the threshold this constructs (and consumes RNG) **exactly** as
+    the plain exact tier does, so runs that never cross ``switch_at`` are
+    byte-identical to ``surrogate="exact"``.  Crossing the threshold at a
+    refit logs a tier-transition event and records it on the profile; the
+    exact posterior's hyper-parameters carry over through the shared
+    warm-start path (the sparse fit starts from its own defaults, then
+    optimises on the full data).
+    """
+
+    def __init__(
+        self,
+        switch_at: int = DEFAULT_SWITCH_AT,
+        sparse_tier: str = "rff",
+        n_features: int = DEFAULT_FEATURES,
+        noise_variance: float = 1e-2,
+        normalize_y: bool = True,
+        profile: SurrogateProfile | None = None,
+        feature_seed: int = 0,
+    ):
+        if switch_at < 1:
+            raise ValueError("switch_at must be >= 1")
+        if sparse_tier not in ("rff", "nystrom"):
+            raise ValueError(
+                f"sparse_tier must be 'rff' or 'nystrom', got {sparse_tier!r}"
+            )
+        self.switch_at = int(switch_at)
+        self.sparse_tier = sparse_tier
+        self.n_features = int(n_features)
+        self.noise_variance_init = float(noise_variance)
+        self.normalize_y = normalize_y
+        self.profile = profile
+        self.feature_seed = int(feature_seed)
+        self._model = None
+        self._tier: str | None = None
+
+    @property
+    def tier(self) -> str | None:
+        """Currently active tier (``None`` before the first fit)."""
+        return self._tier
+
+    @property
+    def model(self):
+        """The active underlying surrogate (``None`` before the first fit)."""
+        return self._model
+
+    def _build(self, tier: str, input_dim: int):
+        if tier == "exact":
+            return GaussianProcess(
+                kernel=Matern52(input_dim),
+                noise_variance=self.noise_variance_init,
+                normalize_y=self.normalize_y,
+                profile=self.profile,
+            )
+        return make_surrogate(
+            tier,
+            input_dim,
+            profile=self.profile,
+            n_features=self.n_features,
+            noise_variance=self.noise_variance_init,
+            normalize_y=self.normalize_y,
+            feature_seed=self.feature_seed,
+        )
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        optimize_hypers: bool = True,
+        restarts: int = 3,
+        rng: np.random.Generator | None = None,
+        gradient: str = "analytic",
+    ) -> "AutoSurrogate":
+        """Fit the tier the observation count calls for."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        tier = "exact" if X.shape[0] < self.switch_at else self.sparse_tier
+        if self._model is None or tier != self._tier:
+            if self._tier is not None:
+                _log.info(
+                    "surrogate tier transition: %s -> %s at n=%d "
+                    "(switch_at=%d)",
+                    self._tier,
+                    tier,
+                    X.shape[0],
+                    self.switch_at,
+                )
+            self._model = self._build(tier, X.shape[1])
+            self._tier = tier
+        self._model.fit(
+            X,
+            y,
+            optimize_hypers=optimize_hypers,
+            restarts=restarts,
+            rng=rng,
+            gradient=gradient,
+        )
+        return self
+
+    # -- delegation ------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None and self._model.is_fitted
+
+    @property
+    def n_observations(self) -> int:
+        return 0 if self._model is None else self._model.n_observations
+
+    @property
+    def kernel(self):
+        return None if self._model is None else self._model.kernel
+
+    @property
+    def noise_variance(self) -> float:
+        if self._model is None:
+            return self.noise_variance_init
+        return self._model.noise_variance
+
+    def _require_model(self, op: str):
+        if self._model is None:
+            raise RuntimeError(f"{op}() before fit()")
+        return self._model
+
+    def append(self, x: np.ndarray, y: float) -> "AutoSurrogate":
+        self._require_model("append").append(x, y)
+        return self
+
+    def predict(self, Xs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self._require_model("predict").predict(Xs)
+
+    def predict_noisy(self, Xs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self._require_model("predict_noisy").predict_noisy(Xs)
+
+    def log_marginal_likelihood(self) -> float:
+        return self._require_model("log_marginal_likelihood").log_marginal_likelihood()
+
+    def __copy__(self) -> "AutoSurrogate":
+        # The fantasy path does copy.copy(model) then append(); a plain
+        # shallow copy would share the *inner* model, whose appends —
+        # though rebinding — would land on the original's attribute.  Copy
+        # one level deeper so fantasies stay isolated.
+        clone = object.__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone._model = copy.copy(self._model)
+        return clone
+
+
+def make_surrogate(
+    tier: str,
+    input_dim: int,
+    profile: SurrogateProfile | None = None,
+    n_features: int = DEFAULT_FEATURES,
+    switch_at: int = DEFAULT_SWITCH_AT,
+    noise_variance: float = 1e-2,
+    normalize_y: bool = True,
+    feature_seed: int = 0,
+    sparse_tier: str = "rff",
+):
+    """Build a surrogate for ``tier`` (``exact|rff|nystrom|auto``).
+
+    The ``exact`` branch constructs the same
+    ``GaussianProcess(kernel=Matern52(input_dim), profile=...)`` the
+    optimizer always built, so the default tier is byte-identical to the
+    pre-sparse code path.
+    """
+    if tier == "exact":
+        return GaussianProcess(
+            kernel=Matern52(input_dim),
+            noise_variance=noise_variance,
+            normalize_y=normalize_y,
+            profile=profile,
+        )
+    if tier == "rff":
+        return RandomFourierGP(
+            kernel=Matern52(input_dim),
+            n_features=n_features,
+            noise_variance=noise_variance,
+            normalize_y=normalize_y,
+            profile=profile,
+            feature_seed=feature_seed,
+        )
+    if tier == "nystrom":
+        return NystromGP(
+            kernel=Matern52(input_dim),
+            n_inducing=n_features,
+            noise_variance=noise_variance,
+            normalize_y=normalize_y,
+            profile=profile,
+            feature_seed=feature_seed,
+        )
+    if tier == "auto":
+        return AutoSurrogate(
+            switch_at=switch_at,
+            sparse_tier=sparse_tier,
+            n_features=n_features,
+            noise_variance=noise_variance,
+            normalize_y=normalize_y,
+            profile=profile,
+            feature_seed=feature_seed,
+        )
+    raise ValueError(
+        f"unknown surrogate tier {tier!r}; expected one of {SURROGATE_TIERS}"
+    )

@@ -164,9 +164,15 @@ class TestSurrogateProfile:
         gp.predict(X[:5])
         report = profile.as_dict()
         for stage in ("kernel", "cholesky", "hyperopt", "append"):
-            assert stage in report
-            assert report[stage]["seconds"] >= 0.0
-            assert report[stage]["calls"] >= 1
+            assert stage in report["stages"]
+            assert report["stages"][stage]["seconds"] >= 0.0
+            assert report["stages"][stage]["calls"] >= 1
+        # Interface-level op counts ride alongside the stage timings.
+        assert report["ops"] == {"fits": 1, "appends": 1, "predicts": 1}
+        assert report["tier"] == "exact"
+        assert report["tier_transitions"] == [
+            {"from": None, "to": "exact", "n_obs": 20}
+        ]
 
     def test_merge_accumulates(self):
         a, b = SurrogateProfile(), SurrogateProfile()
