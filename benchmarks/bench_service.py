@@ -1,9 +1,12 @@
-"""Benchmark: multi-tenant study-service throughput (ISSUE 6).
+"""Benchmark: multi-tenant study-service throughput and recovery.
 
-Acceptance gate: one :class:`~repro.service.StudyStore` holding 100
+Acceptance gates: one :class:`~repro.service.StudyStore` holding 100
 concurrent studies must sustain **>= 1000 suggest/observe ops/s** with
 per-event fsync durability on, and a kill at a request boundary must
-resume every one of the 100 studies bit-exactly.
+resume every one of the 100 studies bit-exactly.  Snapshot compaction
+must make recovery of a 10k-event study **>= 5x faster** than full
+journal replay while staying bit-exact (same status, trials and future
+proposal stream).
 
 The op stream interleaves the studies in a seeded random order — each op
 is one service request (a suggest, or the observe resolving the study's
@@ -34,6 +37,9 @@ from _shared import write_artifact
 N_STUDIES = 100
 PAIRS_PER_STUDY = 10  # suggest+observe pairs, so 20 ops per study
 MIN_OPS_PER_S = 1000.0
+
+RECOVERY_EVENTS = 10_000  # journal events in the snapshot-recovery gate
+MIN_RECOVERY_SPEEDUP = 5.0
 
 
 def _space() -> SearchSpace:
@@ -119,9 +125,7 @@ def test_service_throughput_and_kill_resume():
         results["resume_drift"] = drift
         resumed.close()
 
-        write_artifact(
-            "BENCH_service.json", json.dumps(results, indent=2) + "\n"
-        )
+        _merge_artifact(results)
         assert not drift, f"kill-and-resume drifted in {len(drift)} studies"
         assert ops_per_s >= MIN_OPS_PER_S, (
             f"sustained only {ops_per_s:.0f} suggest/observe ops/s "
@@ -131,8 +135,93 @@ def test_service_throughput_and_kill_resume():
         shutil.rmtree(root, ignore_errors=True)
 
 
+def test_snapshot_recovery_speedup():
+    """Snapshot resume of a 10k-event study: bit-exact and >= 5x faster.
+
+    One study accumulates ``RECOVERY_EVENTS`` journal events; the
+    directory is cloned, one copy compacted via ``snapshot()``.  Resuming
+    the compacted copy must be at least ``MIN_RECOVERY_SPEEDUP``x faster
+    than full replay of the clone — and land on the identical state
+    (status, trials, and the next proposals, compared bit-for-bit).
+    """
+    root = Path(tempfile.mkdtemp(prefix="bench-recovery-"))
+    replay_root = Path(tempfile.mkdtemp(prefix="bench-recovery-replay-"))
+    results: dict = {
+        "n_events": RECOVERY_EVENTS,
+        "min_speedup": MIN_RECOVERY_SPEEDUP,
+    }
+    try:
+        store = StudyStore(root, fsync=True)
+        store.create_study(_spec(0))
+        for _ in range(RECOVERY_EVENTS // 2):
+            (suggestion,) = store.suggest("bench-000", 1)
+            store.observe(
+                "bench-000", suggestion["ticket"],
+                _report(0, suggestion["ticket"]),
+            )
+        store.close()
+
+        # Clone the journal before compaction: the replay twin.
+        shutil.rmtree(replay_root, ignore_errors=True)
+        shutil.copytree(root, replay_root)
+
+        compactor = StudyStore(root, fsync=True)
+        compactor.get("bench-000").snapshot()
+        compactor.close()
+
+        t0 = time.perf_counter()
+        replayed = StudyStore(replay_root, fsync=True)
+        replayed.get("bench-000")  # forces the full-journal replay
+        replay_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        snapped = StudyStore(root, fsync=True)
+        snapped.get("bench-000")  # restores from study.snap
+        snapshot_s = time.perf_counter() - t0
+
+        speedup = replay_s / snapshot_s if snapshot_s > 0 else float("inf")
+        results["replay_resume_s"] = round(replay_s, 4)
+        results["snapshot_resume_s"] = round(snapshot_s, 4)
+        results["speedup"] = round(speedup, 1)
+
+        identical = (
+            snapped.status("bench-000") == replayed.status("bench-000")
+            and snapped.trials("bench-000") == replayed.trials("bench-000")
+            and snapped.suggest("bench-000", 2)
+            == replayed.suggest("bench-000", 2)
+        )
+        results["bit_exact"] = identical
+        snapped.close()
+        replayed.close()
+
+        _merge_artifact({"recovery": results})
+        assert identical, "snapshot resume diverged from full replay"
+        assert speedup >= MIN_RECOVERY_SPEEDUP, (
+            f"snapshot resume only {speedup:.1f}x faster than replay "
+            f"(gate: {MIN_RECOVERY_SPEEDUP:.0f}x; replay {replay_s:.3f}s, "
+            f"snapshot {snapshot_s:.3f}s)"
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+        shutil.rmtree(replay_root, ignore_errors=True)
+
+
+def _merge_artifact(update: dict) -> None:
+    """Fold one bench's results into the shared BENCH_service.json."""
+    out = Path(__file__).resolve().parent / "out" / "BENCH_service.json"
+    merged: dict = {}
+    if out.exists():
+        try:
+            merged = json.loads(out.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            merged = {}
+    merged.update(update)
+    write_artifact("BENCH_service.json", json.dumps(merged, indent=2) + "\n")
+
+
 if __name__ == "__main__":
     test_service_throughput_and_kill_resume()
+    test_snapshot_recovery_speedup()
     print(
         (Path(__file__).resolve().parent / "out" / "BENCH_service.json")
         .read_text()

@@ -235,18 +235,40 @@ def _cmd_serve(args) -> None:
         from .telemetry import Telemetry
 
         telemetry = Telemetry()
+    chaos = None
+    if args.chaos_rate > 0:
+        from .core.faults import StorageChaos, StorageFaultRates
+
+        chaos = StorageChaos(
+            rates=StorageFaultRates(
+                fsync=args.chaos_rate,
+                enospc=args.chaos_rate,
+                torn=args.chaos_rate,
+                delay=args.chaos_rate,
+            ),
+            seed=args.chaos_seed,
+        )
     store = StudyStore(
         args.root,
         fsync=not args.no_fsync,
         metrics=None if telemetry is None else telemetry.metrics,
+        tracer=None if telemetry is None else telemetry.tracer,
+        chaos=chaos,
+        snapshot_every=args.snapshot_every,
     )
-    server = StudyServer((args.host, args.port), store, telemetry=telemetry)
+    server = StudyServer(
+        (args.host, args.port),
+        store,
+        telemetry=telemetry,
+        max_inflight=args.max_inflight,
+        retry_after_s=args.retry_after,
+    )
     host, port = server.server_address[:2]
     # Parsed by clients launching the server as a subprocess; flush so
     # they see it before the first request.
     print(f"serving study store {args.root} at http://{host}:{port}/", flush=True)
 
-    def _term(signum, frame):  # SIGTERM drains like Ctrl-C: dump, then exit
+    def _term(signum, frame):  # SIGTERM: graceful drain, then exit
         raise KeyboardInterrupt
 
     import signal
@@ -258,9 +280,18 @@ def _cmd_serve(args) -> None:
         pass
     finally:
         signal.signal(signal.SIGTERM, previous)
+        # Drain before shutdown: stop admitting (new requests shed with
+        # a typed Overloaded error), let in-flight requests finish, and
+        # durably flush every journal — no accepted request is lost.
+        quiesced = server.drain(timeout_s=args.drain_timeout)
         server.shutdown()
         server.server_close()
         store.close()
+        print(
+            "drained cleanly" if quiesced
+            else "drain timed out with requests in flight",
+            flush=True,
+        )
         if telemetry is not None:
             from .telemetry import write_metrics, write_trace
 
@@ -394,6 +425,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-fsync", action="store_true",
                    help="skip the per-event fsync (faster, but a host crash "
                         "may lose the tail of a study journal)")
+    p.add_argument("--snapshot-every", type=int, default=None,
+                   help="compact each study journal into a crash-safe "
+                        "snapshot every N events (default: never), keeping "
+                        "recovery O(events since the last snapshot)")
+    p.add_argument("--max-inflight", type=int, default=None,
+                   help="bound on concurrently executing requests; excess "
+                        "requests are shed with a typed Overloaded error "
+                        "carrying retry_after_s (default: unbounded)")
+    p.add_argument("--retry-after", type=float, default=0.5,
+                   help="retry_after_s hint attached to shed requests")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds SIGTERM waits for in-flight requests "
+                        "before closing the journals")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="seed of the deterministic storage-fault stream "
+                        "(only meaningful with --chaos-rate)")
+    p.add_argument("--chaos-rate", type=float, default=0.0,
+                   help="per-append probability of each injected storage "
+                        "fault kind (fsync/enospc/torn/delay), for chaos "
+                        "drills; 0 (default) injects nothing")
     p.add_argument("--trace-out", default=None,
                    help="write a JSONL span trace of served requests on exit")
     p.add_argument("--metrics-out", default=None,

@@ -27,7 +27,9 @@ as a ``FAILED`` trial instead of aborting the run.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -39,11 +41,14 @@ __all__ = [
     "OOM",
     "NVML",
     "TIMEOUT",
+    "STORAGE_FAULT_KINDS",
     "TrialFault",
     "FaultPlan",
     "FaultEvent",
     "FaultRates",
     "FaultInjector",
+    "StorageFaultRates",
+    "StorageChaos",
     "RetryPolicy",
     "retry_seed",
 ]
@@ -181,6 +186,86 @@ class FaultInjector:
             cumulative += rate
             if u < cumulative:
                 return FaultPlan(kind=kind, fraction=fraction)
+        return None
+
+
+#: Injectable storage fault kinds, in the order the chaos draw consumes
+#: them.  ``fsync``/``enospc``/``torn`` fail the append (typed, repaired,
+#: retryable); ``delay`` acknowledges but defers visibility/durability to
+#: the next write, flush or close.
+STORAGE_FAULT_KINDS = ("fsync", "enospc", "torn", "delay")
+
+
+@dataclass(frozen=True)
+class StorageFaultRates:
+    """Per-append probabilities of each injectable storage fault kind."""
+
+    fsync: float = 0.0
+    enospc: float = 0.0
+    torn: float = 0.0
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for kind, rate in self.as_tuple():
+            if not (0.0 <= rate <= 1.0) or rate != rate:
+                raise ValueError(f"{kind} rate must be in [0, 1]")
+            total += rate
+        if total > 1.0:
+            raise ValueError("storage fault rates must sum to at most 1")
+
+    def as_tuple(self) -> tuple[tuple[str, float], ...]:
+        """(kind, rate) pairs in the chaos draw order."""
+        return (
+            ("fsync", self.fsync),
+            ("enospc", self.enospc),
+            ("torn", self.torn),
+            ("delay", self.delay),
+        )
+
+    @property
+    def any_active(self) -> bool:
+        """Whether any storage fault can ever fire."""
+        return any(rate > 0.0 for _, rate in self.as_tuple())
+
+
+@dataclass(frozen=True)
+class StorageChaos:
+    """Deterministic storage-fault source for :class:`~repro.telemetry.
+    jsonl.JsonlWriter`.
+
+    Whether (and how) the ``op_index``-th append to a journal fails is a
+    pure function of ``(seed, path, op_index)`` — the path enters through
+    the crc32 of its last two components (``<study>/study.jsonl``), so
+    the decision is independent of the temp directory the store happens
+    to be rooted in.  A chaos source with all rates zero draws nothing
+    and is a strict no-op, like :class:`FaultInjector`.
+    """
+
+    rates: StorageFaultRates
+    #: Root of the storage-fault stream; independent of every other seed.
+    seed: int = 0
+
+    def path_tag(self, path) -> int:
+        """The stable per-file stream tag (crc32 of the trailing path)."""
+        parts = Path(path).parts[-2:]
+        return zlib.crc32("/".join(parts).encode("utf-8"))
+
+    def plan(self, path, op_index: int) -> str | None:
+        """The fault for one append, or ``None`` for a clean write."""
+        if not self.rates.any_active:
+            return None
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [int(self.seed), self.path_tag(path), int(op_index)]
+            )
+        )
+        u = float(rng.random())
+        cumulative = 0.0
+        for kind, rate in self.rates.as_tuple():
+            cumulative += rate
+            if u < cumulative:
+                return kind
         return None
 
 

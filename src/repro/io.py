@@ -298,7 +298,8 @@ class RunJournal:
     tolerates (and a resuming :meth:`reopen` truncates) a torn tail.
     """
 
-    def __init__(self, path: str | Path, meta: dict | None = None):
+    def __init__(self, path: str | Path, meta: dict | None = None, *,
+                 chaos=None):
         self.path = Path(path)
         self.meta = {} if meta is None else dict(meta)
         #: Whether the driver should *not* re-append rounds it is
@@ -306,11 +307,11 @@ class RunJournal:
         self.skip_replay = False
         self.finished = False
         self._round = 0
-        self._writer = JsonlWriter(self.path)
+        self._writer = JsonlWriter(self.path, chaos=chaos)
         self._write_line({"format": JOURNAL_FORMAT, "meta": self.meta})
 
     @classmethod
-    def reopen(cls, path: str | Path) -> "RunJournal":
+    def reopen(cls, path: str | Path, *, chaos=None) -> "RunJournal":
         """Reopen an interrupted journal for a resumed run.
 
         Recovers the valid round prefix (truncating any torn tail and any
@@ -328,7 +329,7 @@ class RunJournal:
         journal._round = len(rounds)
         with open(path, "r+b") as fh:
             fh.truncate(keep)
-        journal._writer = JsonlWriter(path, append=True)
+        journal._writer = JsonlWriter(path, append=True, chaos=chaos)
         return journal
 
     def _write_line(self, record: dict) -> None:

@@ -7,27 +7,103 @@ client safely).  JSON-RPC error objects re-raise as the matching typed
 :class:`~repro.service.errors.ServiceError` subclass — an over-quota
 suggest lands as :class:`~repro.service.errors.QuotaExceededError`, never
 as a transport failure.
+
+Retries are governed by a :class:`ClientRetryPolicy` and respect the
+server's exactly-once semantics:
+
+* a stale keep-alive connection (``RemoteDisconnected``/``BadStatusLine``
+  after a server restart or idle timeout) reconnects and retries
+  transparently inside :meth:`StudyClient._post`;
+* a typed ``Overloaded`` answer backs off by the server's
+  ``retry_after_s`` (plus jitter) and retries — the shed request never
+  executed, so this is always safe;
+* a typed retryable ``StorageError`` retries the same call — the server
+  guarantees the mutation was not recorded and reloads its state;
+* other transport failures (timeouts, connection resets) retry only when
+  the call is *safe*: read-only methods, or mutating calls carrying an
+  idempotency ``key`` (the server's dedupe window makes the retry
+  exactly-once).  A keyless mutating call propagates the ambiguous
+  failure instead of risking a duplicate.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
+from dataclasses import dataclass
 
-from .errors import ServiceError, error_from_dict
+from ..telemetry.metrics import NOOP_METRICS
+from .errors import OverloadedError, ServiceError, StorageError, error_from_dict
 
-__all__ = ["StudyClient"]
+__all__ = ["ClientRetryPolicy", "StudyClient"]
+
+#: Methods that never mutate server state — always safe to retry.
+_READ_ONLY_METHODS = frozenset(
+    {"study.status", "study.trials", "study.list", "service.stats"}
+)
+
+
+@dataclass(frozen=True)
+class ClientRetryPolicy:
+    """Bounded retries with exponential backoff + jitter for one client.
+
+    ``max_attempts`` counts the first try; backoff before retry ``k``
+    (1-based) is ``min(backoff_max_s, backoff_base_s * factor**(k-1))``,
+    stretched by up to ``jitter`` (a fraction) of itself so synchronized
+    clients do not stampede a recovering server.  An ``Overloaded``
+    answer's ``retry_after_s`` takes precedence over the computed
+    backoff when larger.
+    """
+
+    #: Total attempts per call (first try included).
+    max_attempts: int = 4
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    #: Fraction of the backoff randomized on top of it (0 disables).
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        if not (0 <= self.jitter <= 1):
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_s(self, retry: int, rng: random.Random,
+                  floor_s: float = 0.0) -> float:
+        """The wait before the ``retry``-th retry (1-based), jittered."""
+        if retry < 1:
+            raise ValueError("retry must be >= 1")
+        base = min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor ** (retry - 1),
+        )
+        base = max(base, floor_s)
+        return base * (1.0 + self.jitter * rng.random())
 
 
 class StudyClient:
     """A thread-safe JSON-RPC client for one study server."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8642,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0, retry: ClientRetryPolicy | None = None,
+                 metrics=None, sleep=None):
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.retry = retry if retry is not None else ClientRetryPolicy()
+        self.metrics = metrics if metrics is not None else NOOP_METRICS
+        self._m_retries = self.metrics.counter("service.retries")
+        # Jitter only shapes wall-clock waits, never payload bytes, so a
+        # per-client PRNG keeps the request stream itself deterministic.
+        self._rng = random.Random(0x52455452)
+        self._sleep = sleep if sleep is not None else _default_sleep
         self._local = threading.local()
         self._conns: list[http.client.HTTPConnection] = []
         self._conns_lock = threading.Lock()
@@ -59,8 +135,11 @@ class StudyClient:
     def _post(self, payload) -> object:
         body = json.dumps(payload).encode("utf-8")
         headers = {"Content-Type": "application/json"}
-        # One retry on a stale keep-alive connection (server restarted,
-        # idle timeout); a second failure propagates.
+        # One transparent reconnect-retry on a *stale keep-alive*
+        # connection — the server restarted or idle-timed the socket
+        # before reading our request, so nothing executed and the resend
+        # is unconditionally safe.  Anything else propagates to the
+        # caller's (idempotency-aware) retry loop.
         for attempt in (0, 1):
             conn = self._connection()
             try:
@@ -68,10 +147,19 @@ class StudyClient:
                 response = conn.getresponse()
                 data = response.read()
                 break
-            except (http.client.HTTPException, ConnectionError, OSError):
+            except (http.client.RemoteDisconnected,
+                    http.client.BadStatusLine,
+                    ConnectionRefusedError,
+                    ConnectionResetError,
+                    BrokenPipeError) as exc:
                 self._reset_connection()
                 if attempt:
-                    raise
+                    raise ConnectionError(
+                        f"{self.host}:{self.port}: {exc}"
+                    ) from exc
+            except (http.client.HTTPException, OSError):
+                self._reset_connection()
+                raise
         try:
             return json.loads(data.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -82,23 +170,56 @@ class StudyClient:
             self._next_id += 1
             return self._next_id
 
+    # -- the retrying call path ------------------------------------------------------
+
     def call(self, method: str, params: dict | None = None):
-        """One JSON-RPC call; returns the result or raises typed."""
-        response = self._post(
-            {
-                "jsonrpc": "2.0",
-                "id": self._request_id(),
-                "method": method,
-                "params": params or {},
-            }
-        )
-        return _unwrap(response)
+        """One JSON-RPC call; returns the result or raises typed.
+
+        Retries per the client's :class:`ClientRetryPolicy`: shed
+        (``Overloaded``) and storage-failed (retryable ``StorageError``)
+        calls always — the server guarantees they did not execute or
+        record — and ambiguous transport failures only when the call is
+        read-only or carries an idempotency key in ``params['key']``.
+        """
+        params = params or {}
+        payload = {
+            "jsonrpc": "2.0",
+            "id": self._request_id(),
+            "method": method,
+            "params": params,
+        }
+        safe = method in _READ_ONLY_METHODS or params.get("key") is not None
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return _unwrap(self._post(payload))
+            except OverloadedError as exc:
+                if attempt >= self.retry.max_attempts:
+                    raise
+                floor = exc.retry_after_s
+            except StorageError as exc:
+                if (
+                    attempt >= self.retry.max_attempts
+                    or not exc.data.get("retryable")
+                ):
+                    raise
+                floor = 0.0
+            except (ConnectionError, TimeoutError, OSError,
+                    http.client.HTTPException):
+                if not safe or attempt >= self.retry.max_attempts:
+                    raise
+                floor = 0.0
+            self._m_retries.inc()
+            self._sleep(self.retry.backoff_s(attempt, self._rng, floor))
 
     def call_batch(self, calls: list[tuple[str, dict]]) -> list:
         """Send several calls in one HTTP exchange.
 
         Returns one entry per call, in order: the result, or the typed
         :class:`ServiceError` instance (not raised) for failed entries.
+        Batches are not retried — per-entry retry semantics belong to
+        the caller, who sees each entry's typed error.
         """
         payload = [
             {
@@ -133,6 +254,24 @@ class StudyClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- health ----------------------------------------------------------------------
+
+    def health(self, path: str = "/healthz") -> tuple[int, dict]:
+        """GET a health endpoint; returns ``(status, payload)``."""
+        conn = self._connection()
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            data = response.read()
+        except (http.client.HTTPException, OSError):
+            self._reset_connection()
+            raise
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = {}
+        return response.status, payload
+
     # -- the study API ---------------------------------------------------------------
 
     def create_study(self, spec) -> dict:
@@ -141,16 +280,21 @@ class StudyClient:
             spec = spec.to_dict()
         return self.call("study.create", {"spec": spec})
 
-    def suggest(self, study: str, n: int = 1) -> list[dict]:
-        return self.call("study.suggest", {"study": study, "n": n})
+    def suggest(self, study: str, n: int = 1,
+                key: str | None = None) -> list[dict]:
+        params = {"study": study, "n": n}
+        if key is not None:
+            params["key"] = key
+        return self.call("study.suggest", params)
 
-    def observe(self, study: str, ticket: int, report) -> dict:
+    def observe(self, study: str, ticket: int, report,
+                key: str | None = None) -> dict:
         if hasattr(report, "to_dict"):
             report = report.to_dict()
-        return self.call(
-            "study.observe",
-            {"study": study, "ticket": ticket, "report": report},
-        )
+        params = {"study": study, "ticket": ticket, "report": report}
+        if key is not None:
+            params["key"] = key
+        return self.call("study.observe", params)
 
     def status(self, study: str) -> dict:
         return self.call("study.status", {"study": study})
@@ -163,6 +307,12 @@ class StudyClient:
 
     def stats(self) -> dict:
         return self.call("service.stats")
+
+
+def _default_sleep(seconds: float) -> None:
+    import time
+
+    time.sleep(seconds)
 
 
 def _unwrap(response) -> object:

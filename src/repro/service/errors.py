@@ -23,6 +23,8 @@ __all__ = [
     "UnknownTicketError",
     "QuotaExceededError",
     "InvalidParamsError",
+    "StorageError",
+    "OverloadedError",
     "error_to_dict",
     "error_from_dict",
 ]
@@ -78,6 +80,34 @@ class InvalidParamsError(ServiceError):
     code = INVALID_PARAMS
 
 
+class StorageError(ServiceError):
+    """A journal append, fsync or snapshot failed on the server.
+
+    The mutation was *not* durably recorded — the server discards its
+    in-memory state for the study and reloads from the intact journal, so
+    a client may safely retry the exact same call (with the same
+    idempotency key) and it will execute exactly once.
+    ``data['retryable']`` is always true; ``data['kind']`` carries the
+    storage failure kind (``fsync``/``enospc``/``torn``/``os``).
+    """
+
+    code = -32005
+
+
+class OverloadedError(ServiceError):
+    """The server shed this request to protect itself (or is draining).
+
+    Nothing was executed.  ``data['retry_after_s']`` suggests a backoff;
+    :class:`~repro.service.client.StudyClient`'s retry policy honours it.
+    """
+
+    code = -32006
+
+    @property
+    def retry_after_s(self) -> float:
+        return float(self.data.get("retry_after_s", 1.0))
+
+
 _TYPED_ERRORS = {
     cls.code: cls
     for cls in (
@@ -86,6 +116,8 @@ _TYPED_ERRORS = {
         UnknownTicketError,
         QuotaExceededError,
         InvalidParamsError,
+        StorageError,
+        OverloadedError,
     )
 }
 

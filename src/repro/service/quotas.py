@@ -34,6 +34,9 @@ class StudyQuota:
     requests_per_s: float | None = None
     #: Bucket capacity: how many requests may burst above the rate.
     request_burst: int = 20
+    #: Idempotency keys remembered per study (exactly-once retries);
+    #: 0 disables the dedupe window entirely.
+    dedupe_window: int = 256
 
     def __post_init__(self) -> None:
         if self.max_trials is not None and self.max_trials < 1:
@@ -44,6 +47,8 @@ class StudyQuota:
             raise ValueError("requests_per_s must be positive")
         if self.request_burst < 1:
             raise ValueError("request_burst must be >= 1")
+        if self.dedupe_window < 0:
+            raise ValueError("dedupe_window must be >= 0")
 
     def to_dict(self) -> dict:
         return {
@@ -51,6 +56,7 @@ class StudyQuota:
             "max_pending": self.max_pending,
             "requests_per_s": self.requests_per_s,
             "request_burst": self.request_burst,
+            "dedupe_window": self.dedupe_window,
         }
 
     @classmethod

@@ -40,7 +40,7 @@ from .export import (
     write_metrics,
     write_trace,
 )
-from .jsonl import JsonlWriter, scan_jsonl
+from .jsonl import JournalWriteError, JsonlWriter, scan_jsonl
 from .metrics import (
     NOOP_METRICS,
     Counter,
@@ -63,6 +63,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "JournalWriteError",
     "JsonlWriter",
     "scan_jsonl",
     "TRACE_FORMAT",

@@ -13,6 +13,25 @@ module is that contract, factored out so the two formats cannot drift:
   first torn or corrupt line and reporting the byte offset a resuming
   writer may truncate to.
 
+Failures are *typed*: any storage error on the append/fsync path — a real
+``OSError`` or an injected chaos fault — surfaces as a
+:class:`JournalWriteError` carrying the path and the operation that
+failed, never a raw ``OSError``.  Before raising, the writer repairs the
+file back to its last acknowledged record boundary, so a failed append
+never leaves a corrupt middle for later appends to bury: callers may
+retry, resume, or rebuild from the intact prefix.
+
+Chaos engineering hooks ride the same path.  A ``chaos`` object (see
+:class:`~repro.core.faults.StorageChaos`) decides — as a pure function of
+``(chaos_seed, path, op_index)`` — whether an append fails with a
+simulated full disk (``enospc``), a torn partial write (``torn``), a
+failed fsync (``fsync``), or succeeds with *delayed visibility*
+(``delay``: the record is acknowledged but buffered in user space until
+the next write, flush or close, modelling the window an ``fsync=False``
+deployment always lives in).  :meth:`JsonlWriter.crash` simulates a hard
+process kill: buffered records vanish and the file is truncated to the
+last durable (fsynced) offset.
+
 It deliberately imports nothing from the rest of the package, so every
 layer (including :mod:`repro.io`) can build on it without cycles.
 """
@@ -21,30 +40,213 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 
-__all__ = ["JsonlWriter", "scan_jsonl"]
+__all__ = ["JournalWriteError", "JsonlWriter", "scan_jsonl"]
+
+
+class JournalWriteError(OSError):
+    """A journal append or fsync failed (real or injected).
+
+    Subclasses ``OSError`` so legacy ``except OSError`` call sites keep
+    working, but carries structured context: the journal ``path``, the
+    ``op`` that failed (``"append"`` or ``"fsync"``) and the failure
+    ``kind`` (``"enospc"``, ``"torn"``, ``"fsync"`` or ``"os"`` for a
+    wrapped real error).  The file is already repaired to its last
+    acknowledged record boundary when this is raised.
+    """
+
+    def __init__(self, path, op: str, kind: str = "os", message: str | None = None):
+        self.path = Path(path)
+        self.op = str(op)
+        self.kind = str(kind)
+        super().__init__(
+            message
+            or f"{self.path}: journal {self.op} failed ({self.kind})"
+        )
+
+    def __reduce__(self):
+        return (JournalWriteError, (str(self.path), self.op, self.kind))
 
 
 class JsonlWriter:
-    """Append-only JSONL writer with per-line flush + fsync."""
+    """Append-only JSONL writer with per-line flush + fsync.
 
-    def __init__(self, path: str | Path, append: bool = False, fsync: bool = True):
+    The writer tracks two offsets: ``visible_offset`` (bytes written to
+    the OS file, what a concurrent reader sees) and ``durable_offset``
+    (bytes guaranteed past an fsync, what survives :meth:`crash`).  With
+    ``fsync=True`` and no chaos the two always agree after every
+    :meth:`write`; a ``delay`` chaos fault (or ``fsync=False``) opens a
+    window between acknowledgement and durability that :meth:`flush`
+    closes.
+    """
+
+    #: Per-path append sequence numbers, shared across writer instances.
+    #: The chaos ``op_index`` must keep advancing when a file's writer is
+    #: reopened (resume, or the store's poison-and-reload after a failed
+    #: append) — a per-instance counter would replay the same fault
+    #: decision forever and turn one deterministic fault into a permanent
+    #: outage for that path.
+    _op_counters: dict[str, int] = {}
+    _op_lock = threading.Lock()
+
+    def __init__(self, path: str | Path, append: bool = False, fsync: bool = True,
+                 chaos=None):
         self.path = Path(path)
         self.fsync = fsync
-        self._fh = open(self.path, "ab" if append else "wb")
+        #: Deterministic storage-fault source (``plan(path, op_index)``),
+        #: or ``None`` for the strict no-op fault-free writer.
+        self.chaos = chaos
+        self._fh = open(self.path, "ab" if append else "wb", buffering=0)
+        self._size = os.fstat(self._fh.fileno()).st_size
+        self._durable = self._size
+        #: Acknowledged records still buffered in user space (``delay``
+        #: chaos faults); flushed ahead of the next write/flush/close.
+        self._pending = b""
+
+    def _next_op(self) -> int:
+        key = str(self.path)
+        with JsonlWriter._op_lock:
+            op = JsonlWriter._op_counters.get(key, 0)
+            JsonlWriter._op_counters[key] = op + 1
+            return op
+
+    # -- offsets ---------------------------------------------------------------------
+
+    @property
+    def visible_offset(self) -> int:
+        """Bytes a concurrent reader of the file sees right now."""
+        return self._size
+
+    @property
+    def durable_offset(self) -> int:
+        """Bytes guaranteed to survive a hard process kill."""
+        return self._durable
+
+    # -- the write path --------------------------------------------------------------
 
     def write(self, record: dict) -> None:
-        """Write one record durably (flushed and fsynced before returning)."""
+        """Write one record durably (flushed and fsynced before returning).
+
+        On failure — injected or real — the file is repaired back to the
+        last acknowledged record boundary and a typed
+        :class:`JournalWriteError` is raised; the record was *not*
+        accepted and may be retried.
+        """
         if self._fh is None:
             raise ValueError(f"{self.path}: writer is closed")
-        self._fh.write(json.dumps(record).encode("utf-8") + b"\n")
-        self._fh.flush()
+        line = json.dumps(record).encode("utf-8") + b"\n"
+        plan = None
+        if self.chaos is not None:
+            plan = self.chaos.plan(self.path, self._next_op())
+        if plan == "enospc":
+            # Simulated full disk: nothing of the record reaches the file.
+            raise JournalWriteError(self.path, "append", "enospc")
+        if plan == "torn":
+            # A torn write: earlier delayed records plus a strict prefix
+            # of this record land, then the device "fails".  Repair by
+            # truncating the partial record away; the delayed records
+            # became visible (they were already acknowledged).
+            self._flush_pending()
+            tear_at = max(1, len(line) // 2)
+            self._os_write(line[:tear_at], repair_to=self._size)
+            self._repair(self._size)
+            raise JournalWriteError(self.path, "append", "torn")
+        if plan == "delay":
+            # Acknowledged but buffered: visible (and durable) only once
+            # a later write, flush or close pushes it out.
+            self._pending += line
+            return
+        before = self._size
+        self._flush_pending()
+        self._os_write(line, repair_to=before)
+        self._size += len(line)
+        if plan == "fsync":
+            # The append landed but its fsync failed: treat the record as
+            # not accepted — truncate it away so the caller may retry
+            # without double-appending.  Earlier flushed bytes stay.
+            self._repair(self._size - len(line))
+            raise JournalWriteError(self.path, "fsync", "fsync")
+        self._fsync(repair_to=before)
         if self.fsync:
+            self._durable = self._size
+
+    def flush(self) -> None:
+        """Push any delayed records to the OS and (if enabled) to disk."""
+        if self._fh is None:
+            return
+        self._flush_pending()
+        self._fsync(repair_to=None)
+        if self.fsync:
+            self._durable = self._size
+
+    def _flush_pending(self) -> None:
+        if self._pending:
+            pending, self._pending = self._pending, b""
+            self._os_write(pending, repair_to=self._size, restore=pending)
+            self._size += len(pending)
+
+    def _os_write(self, data: bytes, *, repair_to: int | None,
+                  restore: bytes | None = None) -> None:
+        try:
+            self._fh.write(data)
+        except OSError as exc:
+            if repair_to is not None:
+                self._repair(repair_to)
+            if restore is not None:
+                self._pending = restore + self._pending
+            raise JournalWriteError(
+                self.path, "append", "os", f"{self.path}: {exc}"
+            ) from exc
+
+    def _fsync(self, *, repair_to: int | None) -> None:
+        if not self.fsync:
+            return
+        try:
             os.fsync(self._fh.fileno())
+        except OSError as exc:
+            if repair_to is not None:
+                self._repair(repair_to)
+            raise JournalWriteError(
+                self.path, "fsync", "os", f"{self.path}: {exc}"
+            ) from exc
+
+    def _repair(self, offset: int) -> None:
+        """Truncate the file back to a known-good record boundary."""
+        try:
+            self._fh.truncate(offset)
+            # "wb" files write at the file position, not at EOF: rewind
+            # past the truncation so the next append lands at the
+            # boundary instead of leaving a null-padded hole.
+            self._fh.seek(offset)
+            self._size = offset
+            self._durable = min(self._durable, offset)
+        except OSError:  # pragma: no cover - repair is best effort
+            pass
+
+    # -- lifecycle -------------------------------------------------------------------
 
     def close(self) -> None:
+        """Flush delayed records, then close (graceful shutdown)."""
         if self._fh is not None:
+            try:
+                self.flush()
+            finally:
+                self._fh.close()
+                self._fh = None
+
+    def crash(self) -> None:
+        """Simulate a hard kill: lose buffered records, keep durable ones.
+
+        Acknowledged-but-delayed records vanish and the on-disk file is
+        truncated to the last fsynced offset — exactly the state a real
+        ``SIGKILL`` (or power loss) would leave behind.  The writer is
+        closed afterwards.
+        """
+        if self._fh is not None:
+            self._pending = b""
+            self._repair(self._durable)
             self._fh.close()
             self._fh = None
 

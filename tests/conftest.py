@@ -57,6 +57,17 @@ def service_backend():
 
 
 @pytest.fixture(scope="session")
+def chaos_seed():
+    """Seed of the deterministic storage-fault stream for chaos tests.
+
+    CI's chaos lane runs the ``-m chaos`` selection over a ``CHAOS_SEED``
+    matrix (crossed with the service transports): every seed must leave
+    the chaos-driven service bit-identical to its fault-free twin.
+    """
+    return int(os.environ.get("CHAOS_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
 def telemetry_backend():
     """Worker backend for the pooled golden-trace tests.
 

@@ -34,13 +34,25 @@ _BANNER = re.compile(r"http://([\d.]+):(\d+)/")
 
 
 class ServiceSession:
-    """One running service over a chosen transport, restartable in place."""
+    """One running service over a chosen transport, restartable in place.
 
-    def __init__(self, backend: str, root: Path):
+    ``chaos_rate``/``chaos_seed`` inject the deterministic storage-fault
+    stream (uniform per-kind rate, matching the CLI's ``--chaos-rate``);
+    ``snapshot_every`` and ``max_inflight`` forward the corresponding
+    store/server knobs on every transport.
+    """
+
+    def __init__(self, backend: str, root: Path, *, chaos_rate: float = 0.0,
+                 chaos_seed: int = 0, snapshot_every: int | None = None,
+                 max_inflight: int | None = None):
         if backend not in ("serial", "thread", "process"):
             raise ValueError(f"unknown service backend {backend!r}")
         self.backend = backend
         self.root = Path(root)
+        self.chaos_rate = chaos_rate
+        self.chaos_seed = chaos_seed
+        self.snapshot_every = snapshot_every
+        self.max_inflight = max_inflight
         self._store = None
         self._server = None
         self._server_thread = None
@@ -48,15 +60,39 @@ class ServiceSession:
         self._proc = None
         self._open()
 
+    def _chaos(self):
+        if self.chaos_rate <= 0:
+            return None
+        from repro.core.faults import StorageChaos, StorageFaultRates
+
+        return StorageChaos(
+            rates=StorageFaultRates(
+                fsync=self.chaos_rate,
+                enospc=self.chaos_rate,
+                torn=self.chaos_rate,
+                delay=self.chaos_rate,
+            ),
+            seed=self.chaos_seed,
+        )
+
     # -- lifecycle -------------------------------------------------------------------
 
     def _open(self) -> None:
         if self.backend == "serial":
-            self._store = StudyStore(self.root)
+            self._store = StudyStore(
+                self.root, chaos=self._chaos(),
+                snapshot_every=self.snapshot_every,
+            )
             return
         if self.backend == "thread":
-            self._store = StudyStore(self.root)
-            self._server = StudyServer(("127.0.0.1", 0), self._store)
+            self._store = StudyStore(
+                self.root, chaos=self._chaos(),
+                snapshot_every=self.snapshot_every,
+            )
+            self._server = StudyServer(
+                ("127.0.0.1", 0), self._store,
+                max_inflight=self.max_inflight,
+            )
             self._server_thread = threading.Thread(
                 target=self._server.serve_forever, daemon=True
             )
@@ -68,11 +104,19 @@ class ServiceSession:
         env["PYTHONPATH"] = os.pathsep.join(
             p for p in (_SRC_DIR, env.get("PYTHONPATH")) if p
         )
+        argv = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--root", str(self.root), "--port", "0",
+        ]
+        if self.chaos_rate > 0:
+            argv += ["--chaos-rate", str(self.chaos_rate),
+                     "--chaos-seed", str(self.chaos_seed)]
+        if self.snapshot_every is not None:
+            argv += ["--snapshot-every", str(self.snapshot_every)]
+        if self.max_inflight is not None:
+            argv += ["--max-inflight", str(self.max_inflight)]
         self._proc = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro.cli", "serve",
-                "--root", str(self.root), "--port", "0",
-            ],
+            argv,
             stdout=subprocess.PIPE,
             text=True,
             env=env,
@@ -119,13 +163,19 @@ class ServiceSession:
             return self._store.create_study(spec)
         return self._client.create_study(spec)
 
-    def suggest(self, study: str, n: int = 1) -> list[dict]:
-        return self._call("suggest", study, n)
+    def suggest(self, study: str, n: int = 1,
+                key: str | None = None) -> list[dict]:
+        if self.backend == "serial":
+            return self._store.suggest(study, n, key=key)
+        return self._client.suggest(study, n, key=key)
 
-    def observe(self, study: str, ticket: int, report) -> dict:
-        if self.backend == "serial" and hasattr(report, "to_dict"):
-            report = report.to_dict()
-        return self._call("observe", study, ticket, report)
+    def observe(self, study: str, ticket: int, report,
+                key: str | None = None) -> dict:
+        if self.backend == "serial":
+            if hasattr(report, "to_dict"):
+                report = report.to_dict()
+            return self._store.observe(study, ticket, report, key=key)
+        return self._client.observe(study, ticket, report, key=key)
 
     def status(self, study: str) -> dict:
         return self._call("status", study)
@@ -150,9 +200,10 @@ def make_service(service_backend, tmp_path):
     """Factory for extra sessions (reference twins, second stores)."""
     sessions = []
 
-    def _make(subdir: str, backend: str | None = None) -> ServiceSession:
+    def _make(subdir: str, backend: str | None = None,
+              **kwargs) -> ServiceSession:
         session = ServiceSession(
-            backend or service_backend, tmp_path / subdir
+            backend or service_backend, tmp_path / subdir, **kwargs
         )
         sessions.append(session)
         return session

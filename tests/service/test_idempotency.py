@@ -1,0 +1,288 @@
+"""Exactly-once semantics: idempotency keys, dedupe window, client retries.
+
+``suggest``/``observe`` accept an idempotency key; the store journals the
+key with its event and remembers the response in a bounded per-study
+window, so an at-least-once retry replays the recorded answer instead of
+issuing a duplicate ticket or double-observing a trial — across
+transports, across restarts, and without charging the rate bucket.  The
+client side of the contract: :class:`ClientRetryPolicy` backoff shaping,
+the transparent stale-keep-alive reconnect, and the rule that ambiguous
+transport failures retry only read-only or keyed calls.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.core.study import TrialReport
+from repro.service import (
+    ClientRetryPolicy,
+    InvalidParamsError,
+    ManagedStudy,
+    QuotaExceededError,
+    StudyClient,
+    StudyQuota,
+    StudySpec,
+    StudyStore,
+)
+from repro.space.params import ContinuousParameter, IntegerParameter
+from repro.space.space import SearchSpace
+
+pytestmark = pytest.mark.service
+
+
+def _space() -> SearchSpace:
+    return SearchSpace(
+        [
+            IntegerParameter("units", 0, 64),
+            ContinuousParameter("lr", 1e-3, 1.0, log=True),
+        ]
+    )
+
+
+def _spec(name: str, **kwargs) -> StudySpec:
+    return StudySpec(name=name, space=_space(), seed=7, **kwargs)
+
+
+def _report(ticket: int) -> dict:
+    return TrialReport(
+        error=0.5 - 0.001 * ticket,
+        cost_s=4.0,
+        epochs_run=2,
+        power_w=60.0,
+        memory_bytes=10**8,
+    ).to_dict()
+
+
+# -- the store-side dedupe window ----------------------------------------------------
+
+
+def test_keyed_suggest_retry_is_exactly_once(service):
+    """Retrying a keyed suggest replays the response, issues no ticket."""
+    service.create_study(_spec("dedupe"))
+    first = service.suggest("dedupe", 1, key="s1")
+    again = service.suggest("dedupe", 1, key="s1")
+    assert again == first
+    assert service.status("dedupe")["n_issued"] == 1
+
+
+def test_keyed_observe_retry_returns_recorded_trial(service):
+    """Retrying a keyed observe replays the trial; no UnknownTicket."""
+    service.create_study(_spec("obs"))
+    (suggestion,) = service.suggest("obs", 1, key="s1")
+    ticket = suggestion["ticket"]
+    trial = service.observe("obs", ticket, _report(ticket), key="o1")
+    again = service.observe("obs", ticket, _report(ticket), key="o1")
+    assert again == trial
+    assert service.status("obs")["n_trained"] == 1
+
+
+def test_key_reused_across_ops_is_typed(service):
+    """One key binds to one operation; crossing ops is invalid params."""
+    service.create_study(_spec("crossed"))
+    (suggestion,) = service.suggest("crossed", 1, key="shared")
+    with pytest.raises(InvalidParamsError):
+        service.observe(
+            "crossed", suggestion["ticket"],
+            _report(suggestion["ticket"]), key="shared",
+        )
+
+
+def test_dedupe_window_survives_restart(service):
+    """Keys are journaled: a resumed service still replays them."""
+    service.create_study(_spec("durable"))
+    first = service.suggest("durable", 1, key="s1")
+    (suggestion,) = first
+    trial = service.observe(
+        "durable", suggestion["ticket"],
+        _report(suggestion["ticket"]), key="o1",
+    )
+    service.restart()
+    assert service.suggest("durable", 1, key="s1") == first
+    assert service.observe(
+        "durable", suggestion["ticket"],
+        _report(suggestion["ticket"]), key="o1",
+    ) == trial
+    assert service.status("durable")["n_issued"] == 1
+
+
+def test_window_evicts_oldest_key(tmp_path):
+    """The window is bounded: keys past ``dedupe_window`` fall out."""
+    managed = ManagedStudy.create(
+        _spec("window", quota=StudyQuota(dedupe_window=2)),
+        tmp_path / "window",
+    )
+    managed.suggest(1, key="a")
+    managed.suggest(1, key="b")
+    managed.suggest(1, key="c")  # evicts "a"
+    assert managed.suggest(1, key="b") == managed.suggest(1, key="b")
+    issued = managed.study.n_issued
+    managed.suggest(1, key="a")  # a miss now: executes again
+    assert managed.study.n_issued == issued + 1
+    managed.close()
+
+
+def test_window_zero_disables_dedupe(tmp_path):
+    """``dedupe_window=0`` turns keys into plain at-least-once calls."""
+    managed = ManagedStudy.create(
+        _spec("nowindow", quota=StudyQuota(dedupe_window=0)),
+        tmp_path / "nowindow",
+    )
+    (first,) = managed.suggest(1, key="k")
+    (second,) = managed.suggest(1, key="k")
+    assert second["ticket"] != first["ticket"]
+    managed.close()
+
+
+def test_dedupe_hit_does_not_charge_rate_bucket(tmp_path):
+    """A replayed response is free: retry storms cannot starve the bucket."""
+    now = [0.0]
+    managed = ManagedStudy.create(
+        _spec("bucket", quota=StudyQuota(requests_per_s=1.0, request_burst=1)),
+        tmp_path / "bucket",
+        timer=lambda: now[0],
+    )
+    first = managed.suggest(1, key="k")  # consumes the only token
+    for _ in range(5):
+        assert managed.suggest(1, key="k") == first  # replays, free
+    with pytest.raises(QuotaExceededError):
+        managed.suggest(1, key="fresh")  # a real request still pays
+    managed.close()
+
+
+def test_keyless_journal_has_no_key_field(tmp_path):
+    """Keyless calls journal exactly as before keys existed."""
+    store = StudyStore(tmp_path / "plain")
+    store.create_study(_spec("plain"))
+    (suggestion,) = store.suggest("plain", 1)
+    store.observe("plain", suggestion["ticket"], _report(suggestion["ticket"]))
+    store.close()
+    raw = (tmp_path / "plain" / "plain" / "study.jsonl").read_bytes()
+    for line in raw.splitlines():
+        assert b'"key"' not in line
+        assert "key" not in json.loads(line)
+
+
+def test_invalid_keys_are_typed(service):
+    service.create_study(_spec("strictkeys"))
+    with pytest.raises(InvalidParamsError):
+        service.suggest("strictkeys", 1, key="")
+    with pytest.raises(InvalidParamsError):
+        service.suggest("strictkeys", 1, key="x" * 129)
+
+
+# -- the client-side retry policy ----------------------------------------------------
+
+
+def test_retry_policy_backoff_shape():
+    """Exponential growth, hard cap, floor, and bounded jitter."""
+    policy = ClientRetryPolicy(
+        backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=0.5, jitter=0.0
+    )
+    rng = random.Random(0)
+    assert policy.backoff_s(1, rng) == pytest.approx(0.1)
+    assert policy.backoff_s(2, rng) == pytest.approx(0.2)
+    assert policy.backoff_s(4, rng) == pytest.approx(0.5)  # capped
+    assert policy.backoff_s(1, rng, floor_s=0.9) == pytest.approx(0.9)
+    jittered = ClientRetryPolicy(
+        backoff_base_s=0.1, backoff_factor=1.0, jitter=0.5
+    )
+    for _ in range(50):
+        wait = jittered.backoff_s(1, rng)
+        assert 0.1 <= wait <= 0.15
+
+    with pytest.raises(ValueError):
+        ClientRetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        ClientRetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        policy.backoff_s(0, rng)
+
+
+def _read_http_request(conn) -> None:
+    """Consume one HTTP request (headers + Content-Length body)."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = conn.recv(4096)
+        if not chunk:
+            return
+        data += chunk
+    head, body = data.split(b"\r\n\r\n", 1)
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    while len(body) < length:
+        body += conn.recv(4096)
+
+
+def _http_response(result) -> bytes:
+    body = json.dumps({"jsonrpc": "2.0", "id": 1, "result": result}).encode()
+    return (
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+        b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+    )
+
+
+def test_client_reconnects_after_stale_keepalive():
+    """A stale keep-alive socket reconnects transparently (one resend).
+
+    The stub server answers one request on a persistent connection, then
+    closes it — the idle-timeout/restart scenario.  The client's pooled
+    connection hits ``RemoteDisconnected`` on the next call, which
+    :meth:`StudyClient._post` absorbs by reconnecting; the caller never
+    sees a transport error.
+    """
+    listener = socket.create_server(("127.0.0.1", 0))
+    host, port = listener.getsockname()
+
+    def run():
+        conn, _ = listener.accept()
+        _read_http_request(conn)
+        conn.sendall(_http_response(["first"]))
+        conn.close()  # server idles the keep-alive connection out
+        conn, _ = listener.accept()  # the transparent reconnect
+        _read_http_request(conn)
+        conn.sendall(_http_response(["second"]))
+        conn.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    client = StudyClient(host, port, timeout=5)
+    try:
+        assert client.list_studies() == ["first"]
+        assert client.list_studies() == ["second"]  # no raise: resent
+    finally:
+        client.close()
+        listener.close()
+        thread.join(timeout=5)
+
+
+def test_ambiguous_failures_retry_only_safe_calls(tmp_path):
+    """Dead server: read-only calls retry, keyless mutations do not."""
+    sleeps: list[float] = []
+    client = StudyClient(
+        "127.0.0.1", 1,  # nothing listens on port 1
+        timeout=0.2,
+        retry=ClientRetryPolicy(max_attempts=3, backoff_base_s=0.001),
+        sleep=sleeps.append,
+    )
+    with pytest.raises(ConnectionError):
+        client.list_studies()
+    assert len(sleeps) == 2  # read-only: retried to exhaustion
+
+    sleeps.clear()
+    with pytest.raises(ConnectionError):
+        client.suggest("ghost", 1)  # keyless mutation: ambiguous, no retry
+    assert sleeps == []
+
+    sleeps.clear()
+    with pytest.raises(ConnectionError):
+        client.suggest("ghost", 1, key="k")  # keyed: exactly-once, retried
+    assert len(sleeps) == 2
+    client.close()

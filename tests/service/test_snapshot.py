@@ -1,0 +1,289 @@
+"""Snapshot compaction: crash-safe, bit-exact, and O(events-since-snap).
+
+``ManagedStudy.snapshot`` captures the full study state via the two-phase
+temp/fsync/rename dance and truncates the event journal back to its
+header.  The contract under test: a snapshot-resumed study is *bit-exact*
+against full journal replay (same future suggestions, same trials, same
+journal bytes going forward); every crash point of the two-phase dance
+leaves a loadable store; and a torn or corrupt snapshot is either
+absorbed (full journal still present: replay) or reported clearly (the
+journal was compacted past it: the state is genuinely gone).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.study import TrialReport
+from repro.service import (
+    STUDY_SNAPSHOT_FORMAT,
+    ManagedStudy,
+    StudySpec,
+    StudyStore,
+)
+from repro.space.params import ContinuousParameter, IntegerParameter
+from repro.space.space import SearchSpace
+
+pytestmark = pytest.mark.service
+
+
+def _space() -> SearchSpace:
+    return SearchSpace(
+        [
+            IntegerParameter("units", 0, 64),
+            ContinuousParameter("lr", 1e-3, 1.0, log=True),
+        ]
+    )
+
+
+def _spec(name: str, solver: str = "Rand-Walk") -> StudySpec:
+    # Rand-Walk proposals depend on the full observation history, so any
+    # state divergence after resume shows up in the next suggestion.
+    return StudySpec(name=name, space=_space(), solver=solver, seed=11)
+
+
+def _report(ticket: int) -> dict:
+    return TrialReport(
+        error=0.6 - 0.003 * ticket,
+        cost_s=3.0 + ticket % 5,
+        epochs_run=2,
+        power_w=50.0 + ticket % 20,
+        memory_bytes=2 * 10**8,
+    ).to_dict()
+
+
+def _drive(store: StudyStore, name: str, rounds: int) -> None:
+    for _ in range(rounds):
+        (s,) = store.suggest(name, 1)
+        store.observe(name, s["ticket"], _report(s["ticket"]))
+
+
+def _journal_lines(root, name: str) -> list[bytes]:
+    return (root / name / "study.jsonl").read_bytes().splitlines()
+
+
+def test_snapshot_resume_is_bit_exact_vs_full_replay(tmp_path):
+    """Same history, one snapshotted, one replayed: identical futures."""
+    snap_root, replay_root = tmp_path / "snap", tmp_path / "replay"
+    for root in (snap_root, replay_root):
+        store = StudyStore(root)
+        store.create_study(_spec("study-A"))
+        _drive(store, "study-A", 8)
+        store.close()
+
+    snapped = StudyStore(snap_root)
+    event = snapped.get("study-A").snapshot()
+    assert event == 16  # 8 suggests + 8 observes
+    _drive(snapped, "study-A", 2)  # post-snapshot events journal normally
+    snapped.close()
+
+    resumed = StudyStore(snap_root)
+    replayed = StudyStore(replay_root)
+    _drive(replayed, "study-A", 2)
+    assert resumed.status("study-A") == replayed.status("study-A")
+    assert resumed.trials("study-A") == replayed.trials("study-A")
+    # The future proposal stream is identical: snapshot restore lost no
+    # surrogate/RNG state that replay would have rebuilt.
+    for _ in range(3):
+        assert resumed.suggest("study-A", 1) == replayed.suggest("study-A", 1)
+    resumed.close()
+    replayed.close()
+
+
+def test_snapshot_compacts_journal_to_header(tmp_path):
+    """After snapshot the journal holds the header + later events only."""
+    store = StudyStore(tmp_path / "s")
+    store.create_study(_spec("study-B"))
+    _drive(store, "study-B", 5)
+    managed = store.get("study-B")
+    assert len(_journal_lines(tmp_path / "s", "study-B")) == 11
+    managed.snapshot()
+    lines = _journal_lines(tmp_path / "s", "study-B")
+    assert len(lines) == 1  # header only
+    assert json.loads(lines[0])["format"] == "repro-study/1"
+    header = json.loads(
+        (tmp_path / "s" / "study-B" / "study.snap").read_bytes().split(b"\n")[0]
+    )
+    assert header["format"] == STUDY_SNAPSHOT_FORMAT
+    assert header["event"] == 10
+    # Event numbering continues across the compaction point.
+    (s,) = store.suggest("study-B", 1)
+    lines = _journal_lines(tmp_path / "s", "study-B")
+    assert json.loads(lines[1])["event"] == 10
+    store.close()
+
+
+def test_auto_snapshot_every(tmp_path):
+    """``snapshot_every`` compacts automatically as events accumulate."""
+    store = StudyStore(tmp_path / "auto", snapshot_every=4)
+    store.create_study(_spec("study-C"))
+    _drive(store, "study-C", 6)  # 12 events -> 3 auto-snapshots
+    assert (tmp_path / "auto" / "study-C" / "study.snap").exists()
+    # The journal never accumulates more than snapshot_every events.
+    assert len(_journal_lines(tmp_path / "auto", "study-C")) <= 1 + 4
+    store.close()
+
+    # And the compacted store still resumes bit-exactly.
+    resumed = StudyStore(tmp_path / "auto")
+    twin = StudyStore(tmp_path / "twin")
+    twin.create_study(_spec("study-C"))
+    _drive(twin, "study-C", 6)
+    assert resumed.status("study-C") == twin.status("study-C")
+    assert resumed.suggest("study-C", 1) == twin.suggest("study-C", 1)
+    resumed.close()
+    twin.close()
+
+
+def test_crash_between_rename_and_truncate(tmp_path):
+    """The crash window leaves snapshot + stale journal: loader skips it.
+
+    Simulated by restoring the pre-compaction journal bytes after a
+    successful snapshot — exactly what a kill between the atomic rename
+    and the journal truncation leaves on disk.
+    """
+    root = tmp_path / "window"
+    store = StudyStore(root)
+    store.create_study(_spec("study-D"))
+    _drive(store, "study-D", 6)
+    journal = root / "study-D" / "study.jsonl"
+    full = journal.read_bytes()
+    store.get("study-D").snapshot()
+    store.close()
+    journal.write_bytes(full)  # the truncation "never happened"
+
+    resumed = StudyStore(root)
+    twin = StudyStore(tmp_path / "twin")
+    twin.create_study(_spec("study-D"))
+    _drive(twin, "study-D", 6)
+    assert resumed.status("study-D") == twin.status("study-D")
+    assert resumed.suggest("study-D", 1) == twin.suggest("study-D", 1)
+    resumed.close()
+    twin.close()
+
+
+def test_corrupt_snapshot_with_full_journal_falls_back_to_replay(tmp_path):
+    """Before compaction lands, a bad snapshot simply forces full replay."""
+    root = tmp_path / "fallback"
+    store = StudyStore(root)
+    store.create_study(_spec("study-E"))
+    _drive(store, "study-E", 4)
+    store.close()
+    snap = root / "study-E" / "study.snap"
+    snap.write_bytes(b"this is not a snapshot\n\x00\x01")
+
+    resumed = StudyStore(root)
+    assert resumed.status("study-E")["n_trained"] == 4
+    resumed.close()
+
+
+def test_corrupt_snapshot_with_compacted_journal_is_a_clear_error(tmp_path):
+    """Once compacted, the snapshot is load-bearing: corruption is loud."""
+    root = tmp_path / "loud"
+    store = StudyStore(root)
+    store.create_study(_spec("study-F"))
+    _drive(store, "study-F", 4)
+    store.get("study-F").snapshot()
+    _drive(store, "study-F", 1)  # post-compaction events in the journal
+    store.close()
+    (root / "study-F" / "study.snap").write_bytes(b"garbage\n")
+
+    resumed = StudyStore(root)
+    with pytest.raises(ValueError, match="missing or corrupt"):
+        resumed.status("study-F")
+    resumed.close()
+
+
+def test_snapshot_on_poisoned_study_is_typed(tmp_path):
+    """Snapshotting a poisoned study answers a retryable StorageError."""
+    from repro.service import StorageError
+
+    class FailOnce:
+        def __init__(self):
+            self.fired = False
+
+        def plan(self, path, op_index):
+            if op_index == 2 and not self.fired:
+                self.fired = True
+                return "enospc"
+            return None
+
+    managed = ManagedStudy.create(
+        _spec("study-G"), tmp_path / "study-G", chaos=FailOnce()
+    )
+    managed.suggest(1)
+    with pytest.raises(StorageError):
+        managed.suggest(1)
+    assert managed.poisoned
+    with pytest.raises(StorageError) as excinfo:
+        managed.snapshot()
+    assert excinfo.value.data["retryable"] is True
+
+
+# -- torn snapshots, exhaustively ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def snapshotted_study(tmp_path_factory):
+    """A study dir with a snapshot, a full journal, and its twin state.
+
+    The journal bytes are restored post-snapshot (the crash-window
+    layout), so *any* corruption of ``study.snap`` must fall back to
+    full replay.
+    """
+    root = tmp_path_factory.mktemp("pristine")
+    store = StudyStore(root)
+    store.create_study(_spec("study-H"))
+    _drive(store, "study-H", 4)
+    journal = root / "study-H" / "study.jsonl"
+    full = journal.read_bytes()
+    store.get("study-H").snapshot()
+    next_suggestions = store.suggest("study-H", 1)
+    store.close()
+    # Restore the pre-snapshot journal: the crash-window layout, in
+    # which the snapshot is redundant with the journal and may be torn.
+    journal.write_bytes(full)
+    return root / "study-H", full, next_suggestions
+
+
+@settings(max_examples=40, deadline=None)
+@given(cut=st.integers(min_value=0, max_value=10_000))
+def test_torn_snapshot_always_recovers(snapshotted_study, tmp_path_factory, cut):
+    """Truncating ``study.snap`` at any byte never loses the study.
+
+    With the full journal present (the only layout in which a snapshot
+    can legally be torn — compaction happens strictly after the rename
+    is durable), every truncation point must be detected by the header/
+    CRC checks and absorbed via full replay, resuming to the same state.
+    """
+    src, full_journal, next_suggestions = snapshotted_study
+    snap_bytes = (src / "study.snap").read_bytes()
+
+    root = tmp_path_factory.mktemp("torn")
+    dst = root / "study-H"
+    dst.mkdir()
+    (dst / "study.jsonl").write_bytes(full_journal)
+    (dst / "study.snap").write_bytes(snap_bytes[: cut % len(snap_bytes)])
+
+    store = StudyStore(root)
+    assert store.status("study-H")["n_trained"] == 4
+    assert store.suggest("study-H", 1) == next_suggestions
+    store.close()
+
+
+def test_untorn_snapshot_in_crash_window_matches_replay(
+    snapshotted_study, tmp_path_factory
+):
+    """The intact snapshot (cut = full length) takes the fast path and
+    still lands on the identical state."""
+    src, full_journal, next_suggestions = snapshotted_study
+    root = tmp_path_factory.mktemp("intact")
+    shutil.copytree(src, root / "study-H", dirs_exist_ok=True)
+    (root / "study-H" / "study.jsonl").write_bytes(full_journal)
+
+    store = StudyStore(root)
+    assert store.suggest("study-H", 1) == next_suggestions
+    store.close()
