@@ -132,6 +132,27 @@ def _cmd_run(args) -> None:
         raise SystemExit("--scheduler async requires --backend")
     kwargs["scheduler"] = args.scheduler
     kwargs["fantasy"] = args.fantasy
+    if args.rungs < 0:
+        raise SystemExit("--rungs must be >= 0")
+    if args.rungs > 0:
+        if args.scheduler != "async" or args.backend is None:
+            raise SystemExit(
+                "--rungs requires --scheduler async and --backend"
+            )
+        if args.eta < 2:
+            raise SystemExit("--eta must be >= 2")
+        if args.min_epochs < 1:
+            raise SystemExit("--min-epochs must be >= 1")
+        if args.brackets < 1:
+            raise SystemExit("--brackets must be >= 1")
+        kwargs["rungs"] = args.rungs
+        kwargs["eta"] = args.eta
+        kwargs["min_epochs"] = args.min_epochs
+        kwargs["brackets"] = args.brackets
+    if args.scatter_init < 0:
+        raise SystemExit("--scatter-init must be >= 0")
+    if args.scatter_init:
+        kwargs["scatter_init"] = args.scatter_init
     if args.backend is not None:
         if args.workers < 1:
             raise SystemExit("--workers must be >= 1")
@@ -371,6 +392,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "to prior releases; 'async': event-driven scheduler "
                         "refilling workers the moment a trial completes "
                         "(requires --backend)")
+    p.add_argument("--rungs", type=int, default=0,
+                   help="multi-fidelity rung count; 0 (default) trains "
+                        "every trial to the full schedule, N>0 runs "
+                        "successive halving over N geometric epoch rungs "
+                        "(requires --scheduler async and --backend)")
+    p.add_argument("--eta", type=int, default=3,
+                   help="rung promotion ratio: each rung promotes the "
+                        "top 1/eta of its cell (default 3)")
+    p.add_argument("--min-epochs", type=int, default=1,
+                   help="epoch budget of the cheapest rung (default 1)")
+    p.add_argument("--brackets", type=int, default=1,
+                   help="Hyperband brackets assigned round-robin; "
+                        "1 (default) is plain successive halving")
+    p.add_argument("--scatter-init", type=int, default=0,
+                   help="widen the BO solvers' random initial design (and "
+                        "the rung-0 cell under --rungs) to this many "
+                        "trials; 0 keeps the method default")
     p.add_argument("--fantasy", default="cl-min",
                    choices=["cl-min", "cl-mean", "none"],
                    help="constant-liar strategy the BO solvers use for "

@@ -64,10 +64,21 @@ class EarlyTermination:
 
         Returns ``True`` when, at or after the check epoch, the best error
         seen so far has not dropped below the divergence threshold.
+
+        Defers (returns ``False``) on empty or all-NaN curves: rung
+        scheduling can poll the detector at segment boundaries with
+        shorter windows than the full loop would, and a window without a
+        usable observation must never kill — or crash — the run.  NaN
+        entries are masked, so a diverger is still caught from its finite
+        observations.
         """
         if epoch < self.check_epoch:
             return False
-        return float(np.min(curve)) > self.threshold
+        curve = np.asarray(curve, dtype=float)
+        finite = curve[np.isfinite(curve)]
+        if finite.size == 0:
+            return False
+        return float(np.min(finite)) > self.threshold
 
 
 @dataclass(frozen=True)
@@ -106,12 +117,26 @@ class CurveExtrapolationTermination:
             raise ValueError("grid_size must be >= 2")
 
     def predict_final_error(self, curve: np.ndarray) -> float:
-        """Extrapolated error at the horizon from the partial curve."""
+        """Extrapolated error at the horizon from the partial curve.
+
+        NaN/inf observations are masked out of the fit (their epoch
+        positions are kept, so the decay time constant stays calibrated);
+        when fewer than three finite observations remain the prediction
+        is undecidable and ``nan`` is returned — :meth:`should_stop`
+        treats that as "defer".  Fewer than three observations *total* is
+        a caller error and still raises.
+        """
         curve = np.asarray(curve, dtype=float)
         if curve.size < 3:
             raise ValueError("need at least 3 observations")
         epochs = np.arange(1, curve.size + 1, dtype=float)
+        finite = np.isfinite(curve)
+        if int(finite.sum()) < 3:
+            return float("nan")
+        curve = curve[finite]
+        epochs = epochs[finite]
         y1 = curve[0]
+        t0 = epochs[0]
         best_sse = np.inf
         best_prediction = float(curve[-1])
         floor = max(1e-4, float(np.min(curve)) * 0.2)
@@ -122,7 +147,7 @@ class CurveExtrapolationTermination:
                 continue
             # Closed-form least squares for 1/tau on the log-linear form.
             z = np.log(gap / start_gap)
-            t = epochs - 1.0
+            t = epochs - t0
             denominator = float(t @ t)
             if denominator == 0:
                 continue
@@ -134,12 +159,23 @@ class CurveExtrapolationTermination:
             if sse < best_sse:
                 best_sse = sse
                 best_prediction = c + start_gap * np.exp(
-                    -rate * (self.horizon_epochs - 1)
+                    -rate * (self.horizon_epochs - t0)
                 )
         return float(best_prediction)
 
     def should_stop(self, epoch: int, curve: np.ndarray) -> bool:
-        """Stop-callback: kill when the extrapolated error misses target."""
+        """Stop-callback: kill when the extrapolated error misses target.
+
+        Defers on windows the extrapolator cannot fit — fewer than three
+        observations (rung boundaries can poll short prefixes) or a
+        non-finite prediction (all-NaN windows) — rather than raising.
+        """
         if epoch < self.check_epoch:
             return False
-        return self.predict_final_error(curve) > self.target_error
+        curve = np.asarray(curve, dtype=float)
+        if curve.size < 3:
+            return False
+        prediction = self.predict_final_error(curve)
+        if not np.isfinite(prediction):
+            return False
+        return prediction > self.target_error

@@ -1,0 +1,290 @@
+"""Multi-fidelity rung schedules: successive halving and Hyperband.
+
+HyperPower's own runtime wins come from not paying for doomed
+configurations (paper Section 3.2, Figure 3); rung scheduling generalises
+that idea from "kill divergers after a few epochs" to "let *rank* decide
+who trains on".  Epochs become a first-class fidelity: trials train to a
+geometric sequence of cumulative epoch budgets (the *rungs*), pause, and
+are promoted to the next rung or culled by top-``1/eta`` rank once enough
+peers have reached the same rung (a full *cell*).
+
+The pieces here are pure bookkeeping — no clocks, no RNG, no I/O — so the
+asynchronous driver (:meth:`repro.core.hyperpower.HyperPower.run` with
+``fidelity=``) can execute them natively on its event queue:
+
+* :class:`FidelitySchedule` — the rung ladder (cumulative epoch budgets),
+  cell sizes and promotion quotas, including Hyperband-style brackets
+  (bracket ``b`` starts at rung ``b``, trading exploration width for
+  per-trial fidelity).
+* :class:`RungScheduler` — fills rung cells as paused trials arrive and
+  emits deterministic promote/cull decisions.  Ranking is by
+  ``(error, ticket)``, so equal errors break by issue order and the
+  decision is invariant to completion-event arrival order.
+* :func:`segment_seed` — the fault-stream tag for continuation segments:
+  a resumed trial keeps its curve seed fixed (the checkpoint must replay
+  bit-exactly) while each segment still draws independent fault luck.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FidelitySchedule",
+    "RungDecision",
+    "RungScheduler",
+    "SEGMENT_SEED_TAG",
+    "segment_seed",
+]
+
+#: Seed-word tag (ASCII ``RUNG``) mixing a continuation segment's fault
+#: stream away from the rung-0 stream of the same trial seed.
+SEGMENT_SEED_TAG = 0x52554E47
+
+
+def segment_seed(trial_seed: int, start_epoch: int) -> int:
+    """Deterministic fault-stream seed for a continuation segment.
+
+    Rung-0 segments draw faults from the trial seed itself (byte-identical
+    to the classic pool paths); a continuation resuming at ``start_epoch``
+    draws from this derived seed instead, so retrying a continuation
+    re-rolls only the fault luck — never the curve, which is pinned to the
+    checkpointed seed.
+    """
+    return int(
+        np.random.SeedSequence(
+            [int(trial_seed), SEGMENT_SEED_TAG, int(start_epoch)]
+        ).generate_state(1)[0]
+    )
+
+
+@dataclass(frozen=True)
+class FidelitySchedule:
+    """A geometric rung ladder over training epochs.
+
+    ``rungs`` are *cumulative* epoch budgets, strictly increasing; a trial
+    at stage ``k`` has trained ``rungs[k]`` epochs in total.  ``n0`` is the
+    rung-0 cell size — how many trials must reach a rung before it is
+    ranked (the "scatter" width of the cheapest fidelity); promotion keeps
+    the top ``max(1, cell // eta)``.
+
+    ``brackets > 1`` enables Hyperband: bracket ``b`` uses the sub-ladder
+    ``rungs[b:]`` (it starts training straight to a higher fidelity) with
+    a proportionally smaller initial cell, and the driver assigns new
+    trials to brackets round-robin.
+    """
+
+    #: Cumulative epoch budgets, strictly increasing.
+    rungs: tuple[int, ...]
+    #: Rank-promotion ratio: each rung keeps the top ``1/eta``.
+    eta: int = 3
+    #: Rung-0 cell size of bracket 0; defaults to ``eta**(num_rungs-1)``
+    #: (classic SHA: exactly one trial survives to the final rung).
+    n0: int | None = None
+    #: Number of Hyperband brackets (1 = plain successive halving).
+    brackets: int = 1
+
+    def __post_init__(self) -> None:
+        rungs = tuple(int(r) for r in self.rungs)
+        object.__setattr__(self, "rungs", rungs)
+        if not rungs:
+            raise ValueError("need at least one rung")
+        if rungs[0] < 1:
+            raise ValueError("rung budgets must be >= 1 epoch")
+        if any(b >= a for b, a in zip(rungs, rungs[1:])):
+            raise ValueError(f"rungs must be strictly increasing, got {rungs}")
+        if self.eta < 2:
+            raise ValueError("eta must be >= 2")
+        if self.n0 is not None and self.n0 < 1:
+            raise ValueError("n0 must be >= 1")
+        if not (1 <= self.brackets <= len(rungs)):
+            raise ValueError(
+                f"brackets must be in [1, {len(rungs)}], got {self.brackets}"
+            )
+
+    @classmethod
+    def geometric(
+        cls,
+        max_epochs: int,
+        min_epochs: int = 1,
+        eta: int = 3,
+        num_rungs: int | None = None,
+        scatter_init: int | None = None,
+        brackets: int = 1,
+    ) -> "FidelitySchedule":
+        """The standard ladder ``min_epochs * eta**k``, capped at
+        ``max_epochs`` (which always terminates the ladder, so surviving
+        trials train the full schedule).
+
+        ``num_rungs`` truncates/stretches the ladder to exactly that many
+        rungs (the last always ``max_epochs``); ``scatter_init`` overrides
+        the rung-0 cell size.
+        """
+        if max_epochs < 1 or min_epochs < 1:
+            raise ValueError("epoch budgets must be >= 1")
+        if min_epochs > max_epochs:
+            raise ValueError("min_epochs must be <= max_epochs")
+        levels = []
+        budget = int(min_epochs)
+        while budget < max_epochs:
+            levels.append(budget)
+            budget *= int(eta)
+        levels.append(int(max_epochs))
+        if num_rungs is not None:
+            if num_rungs < 1:
+                raise ValueError("num_rungs must be >= 1")
+            if num_rungs < len(levels):
+                # Keep the cheapest rungs and the full-fidelity cap.
+                levels = levels[: num_rungs - 1] + [int(max_epochs)]
+            # A requested ladder longer than the geometric one is left as
+            # is: extra rungs would duplicate budgets.
+        return cls(
+            rungs=tuple(levels),
+            eta=int(eta),
+            n0=scatter_init,
+            brackets=int(brackets),
+        )
+
+    @property
+    def num_rungs(self) -> int:
+        """Stages in the bracket-0 ladder."""
+        return len(self.rungs)
+
+    @property
+    def max_epochs(self) -> int:
+        """The full-fidelity budget (last rung)."""
+        return self.rungs[-1]
+
+    def bracket_rungs(self, bracket: int) -> tuple[int, ...]:
+        """The sub-ladder of one bracket (bracket ``b`` skips the ``b``
+        cheapest rungs, Hyperband style)."""
+        self._check_bracket(bracket)
+        return self.rungs[bracket:]
+
+    def _check_bracket(self, bracket: int) -> None:
+        if not (0 <= bracket < self.brackets):
+            raise ValueError(
+                f"bracket must be in [0, {self.brackets}), got {bracket}"
+            )
+
+    def initial_cell(self, bracket: int) -> int:
+        """Rung-0 cell size of one bracket.
+
+        Bracket 0 uses ``n0`` (default ``eta**(num_rungs-1)``); later
+        brackets scale it down by ``eta**bracket`` and up by the standard
+        Hyperband width correction ``(s+1)/(s_b+1)``, so every bracket
+        spends a comparable epoch budget.
+        """
+        self._check_bracket(bracket)
+        s = self.num_rungs - 1
+        base = self.n0 if self.n0 is not None else self.eta**s
+        if bracket == 0:
+            return max(1, int(base))
+        s_b = s - bracket
+        scaled = math.ceil(base * (s + 1) / ((s_b + 1) * self.eta**bracket))
+        return max(1, int(scaled))
+
+    def cell_size(self, bracket: int, stage: int) -> int:
+        """Trials that must pause at ``(bracket, stage)`` before ranking."""
+        ladder = self.bracket_rungs(bracket)
+        if not (0 <= stage < len(ladder)):
+            raise ValueError(
+                f"stage must be in [0, {len(ladder)}), got {stage}"
+            )
+        return max(1, math.ceil(self.initial_cell(bracket) / self.eta**stage))
+
+    def promote_count(self, bracket: int, stage: int) -> int:
+        """How many of a full cell advance to the next rung (top-1/eta,
+        never fewer than one — a cell too small to rank promotes its
+        best rather than stranding the ladder)."""
+        return max(1, self.cell_size(bracket, stage) // self.eta)
+
+    def is_final(self, bracket: int, stage: int) -> bool:
+        """Whether ``stage`` is the bracket's full-fidelity rung."""
+        return stage == len(self.bracket_rungs(bracket)) - 1
+
+    def target_epochs(self, bracket: int, stage: int) -> int:
+        """Cumulative epoch budget a trial trains to at ``stage``."""
+        ladder = self.bracket_rungs(bracket)
+        return ladder[stage]
+
+    def start_epoch(self, bracket: int, stage: int) -> int:
+        """Epoch a ``stage`` segment resumes from (0 at the first rung)."""
+        ladder = self.bracket_rungs(bracket)
+        return 0 if stage == 0 else ladder[stage - 1]
+
+
+@dataclass(frozen=True)
+class RungDecision:
+    """The outcome of ranking one full rung cell."""
+
+    #: Tickets advancing to the next rung, best first.
+    promoted: tuple[int, ...]
+    #: Tickets terminated at this fidelity, best first.
+    culled: tuple[int, ...]
+
+
+class RungScheduler:
+    """Deterministic promote/cull bookkeeping over rung cells.
+
+    Paused trials :meth:`arrive` at their ``(bracket, stage)`` cell; when
+    the cell reaches :meth:`FidelitySchedule.cell_size` members it is
+    ranked by ``(error, ticket)`` — the issue-order ticket breaks ties, so
+    the decision never depends on completion-event arrival order — and
+    cleared.  Non-finite errors rank last.
+    """
+
+    def __init__(self, schedule: FidelitySchedule):
+        self.schedule = schedule
+        self._cells: dict[tuple[int, int], list[tuple[float, int]]] = {}
+        #: Lifetime decision counters (telemetry reads these).
+        self.pauses = 0
+        self.promotions = 0
+        self.culls = 0
+
+    @property
+    def n_paused(self) -> int:
+        """Trials currently waiting in unfilled cells."""
+        return sum(len(cell) for cell in self._cells.values())
+
+    def arrive(
+        self, bracket: int, stage: int, ticket: int, error: float
+    ) -> RungDecision | None:
+        """Register a paused trial; returns the cell's decision when full.
+
+        ``ticket`` is the study-issue ticket (the rank tiebreaker);
+        ``error`` the trial's best observed error at this fidelity.
+        """
+        rank_error = float(error)
+        if not math.isfinite(rank_error):
+            rank_error = math.inf
+        cell = self._cells.setdefault((bracket, stage), [])
+        cell.append((rank_error, int(ticket)))
+        self.pauses += 1
+        if len(cell) < self.schedule.cell_size(bracket, stage):
+            return None
+        ranked = sorted(cell)
+        del self._cells[(bracket, stage)]
+        keep = self.schedule.promote_count(bracket, stage)
+        promoted = tuple(ticket for _, ticket in ranked[:keep])
+        culled = tuple(ticket for _, ticket in ranked[keep:])
+        self.promotions += len(promoted)
+        self.culls += len(culled)
+        return RungDecision(promoted=promoted, culled=culled)
+
+    def flush(self) -> list[int]:
+        """Drain every unfilled cell at end of run.
+
+        Returns the stranded tickets in deterministic order (cells by
+        ``(bracket, stage)``, members by rank) — the driver resolves them
+        as culled, since no peer cohort will ever rank them.
+        """
+        stranded: list[int] = []
+        for key in sorted(self._cells):
+            stranded.extend(ticket for _, ticket in sorted(self._cells[key]))
+        self._cells.clear()
+        self.culls += len(stranded)
+        return stranded

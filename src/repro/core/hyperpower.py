@@ -25,6 +25,7 @@ scheduler — which are thin loops over ``suggest``/``observe``.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -35,14 +36,16 @@ from ..telemetry.tracer import NOOP_TRACER
 from .acquisition import HWCWEI, HWIECI
 from .clock import DEFAULT_COST_MODEL, CostModel
 from .constraints import ConstraintSpec, GPConstraintModel, ModelConstraintChecker
+from .faults import retry_seed
+from .fidelity import FidelitySchedule, RungScheduler
 from .methods import (
     BayesianOptimizer,
     RandomSearch,
     RandomWalk,
     SearchMethod,
 )
-from .objective import NNObjective
-from .parallel import EvaluationPool
+from .objective import EvaluationOutcome, NNObjective
+from .parallel import EvaluationPool, PoolOutcome
 from .result import RunResult
 from .study import VARIANTS, Study, Suggestion, register_run_metrics
 
@@ -77,6 +80,7 @@ def build_method(
     surrogate: str = "exact",
     surrogate_features: int = 256,
     surrogate_switch_at: int = 1000,
+    scatter_init: int = 0,
 ) -> SearchMethod:
     """Construct one of the eight method variants.
 
@@ -126,6 +130,7 @@ def build_method(
             surrogate=surrogate,
             surrogate_features=surrogate_features,
             surrogate_switch_at=surrogate_switch_at,
+            scatter_init=scatter_init,
         )
 
     # Default (constraint-unaware-a-priori) variants.
@@ -155,7 +160,42 @@ def build_method(
         surrogate=surrogate,
         surrogate_features=surrogate_features,
         surrogate_switch_at=surrogate_switch_at,
+        scatter_init=scatter_init,
     )
+
+
+@dataclass
+class _RungTrial:
+    """Driver-side lifetime record of one logical trial on the rung path.
+
+    One suggestion, many segments: the accumulators merge every segment's
+    provenance into the single :class:`~repro.core.parallel.PoolOutcome`
+    the study observes when the trial finally resolves.
+    """
+
+    suggestion: Suggestion
+    bracket: int
+    #: Last *completed* stage (-1 until the first segment returns).
+    stage: int = -1
+    #: Original rung-0 submission seed (None when rung 0 was a cache hit).
+    seed0: int | None = None
+    #: Effective curve seed — what continuations regenerate the curve from.
+    seed: int | None = None
+    first_dispatch_s: float = 0.0
+    eval_cost_s: float = 0.0
+    attempts: int = 0
+    faults: list = field(default_factory=list)
+    retry_s: float = 0.0
+    backoff_s: float = 0.0
+    all_cached: bool = True
+    #: Latest segment outcome (cumulative curve, so also the best so far).
+    last: EvaluationOutcome | None = None
+    #: Rung-0 deployment results, carried through every later segment.
+    measurement: object = None
+    feasible_meas: bool | None = None
+    measurement_failed: bool = False
+    #: Tracer span id of the latest ``rung`` record (promote/cull parent).
+    last_sid: int | None = None
 
 
 class HyperPower:
@@ -272,6 +312,7 @@ class HyperPower:
         journal=None,
         replay=None,
         scheduler: str = "sync",
+        fidelity: FidelitySchedule | None = None,
     ) -> RunResult:
         """Run the optimization until a budget is exhausted.
 
@@ -311,6 +352,14 @@ class HyperPower:
             the in-flight set (constant-liar fantasies for the BO
             solvers), and one journal round is written per completion
             event.  Requires the pool path.
+        fidelity:
+            Optional :class:`~repro.core.fidelity.FidelitySchedule`.  When
+            given, trials run rung by rung on the event queue (successive
+            halving / Hyperband): each trial trains to its rung's epoch
+            budget, pauses as first-class resumable state, and is promoted
+            or culled by rank once its rung cell fills.  Requires the
+            asynchronous scheduler.  ``None`` (the default) keeps the
+            classic full-fidelity paths byte-identical.
         """
         if max_evaluations is None and max_time_s is None:
             raise ValueError("need max_evaluations and/or max_time_s")
@@ -324,6 +373,10 @@ class HyperPower:
             raise ValueError(
                 "the asynchronous scheduler requires an evaluation pool"
             )
+        if fidelity is not None and scheduler != "async":
+            raise ValueError(
+                "multi-fidelity rungs require the asynchronous scheduler"
+            )
 
         study = self.open_study(rng)
         result = study.result
@@ -336,7 +389,11 @@ class HyperPower:
             device=result.device,
         )
         run_span.__enter__()
-        if scheduler == "async":
+        if fidelity is not None:
+            rounds = self._run_rungs(
+                study, max_evaluations, max_time_s, journal, replay, fidelity
+            )
+        elif scheduler == "async":
             rounds = self._run_async(
                 study, max_evaluations, max_time_s, journal, replay
             )
@@ -542,6 +599,300 @@ class HyperPower:
             self._m_occupancy_gauge = self.metrics.gauge("schedule.occupancy")
         self._m_occupancy_gauge.set(occupancy)
         sched_span.set(events=event_index, occupancy=occupancy)
+        sched_span.__exit__(None, None, None)
+        return event_index
+
+    def _run_rungs(
+        self,
+        study: Study,
+        max_evaluations: int | None,
+        max_time_s: float | None,
+        journal,
+        replay,
+        fidelity: FidelitySchedule,
+    ) -> int:
+        """The multi-fidelity event loop; returns completion events run.
+
+        Successive halving on the event queue: every logical trial runs as
+        a chain of *segments*.  The rung-0 segment trains from scratch to
+        the first rung's epoch budget; each later segment is a seed-pinned
+        continuation that resumes the identical learning curve at the
+        previous rung's epoch count.  A trial that finishes a non-final
+        rung *pauses* — its suggestion stays pending (so BO fantasies lie
+        at the observed partial error) — until its rung cell fills, at
+        which point the top ``1/eta`` by observed error are queued for
+        promotion and the rest are culled, observed as ``CULLED`` trials
+        whose partial errors are real (low-fidelity) observations.  Freed
+        workers redispatch immediately, promotions first.
+
+        Journal/replay mirrors ``_run_async``: one journal round per
+        completion event, carrying the *segment* evaluation (with its
+        ``start_epoch``/``epochs``), keyed for replay substitution by
+        ``(seed, start_epoch)``.  Trials left paused when the run drains
+        (budget exhausted before their cell filled) are culled in a final
+        evaluation-free round.
+        """
+        clock = self.objective.clock
+        state = study.state
+        result = study.result
+        pool = self.pool
+        lookup_s = self.cost_model.cache_lookup_s
+        sched = RungScheduler(fidelity)
+        replay_map = None
+        n_replay_rounds = 0
+        if replay is not None:
+            n_replay_rounds = replay.n_rounds
+            replay_map = {}
+            for i in range(n_replay_rounds):
+                for e in replay.pool_evals(i) or ():
+                    replay_map[(int(e.seed), int(e.start_epoch))] = e
+        #: pool ticket -> (trial, stage being trained, dispatch time).
+        running: dict[int, tuple[_RungTrial, int, float]] = {}
+        #: suggestion ticket -> trial waiting for its rung cell to fill.
+        paused: dict[int, _RungTrial] = {}
+        promo_queue: list[_RungTrial] = []
+        next_bracket = 0
+        event_index = 0
+        busy_s = 0.0
+        t0 = clock.now_s
+        journal_mark = len(result.trials)
+        sched_span = self.tracer.span(
+            "schedule",
+            workers=pool.workers,
+            rungs=fidelity.num_rungs,
+            eta=fidelity.eta,
+        )
+        sched_span.__enter__()
+
+        def flush_event(pool_outcomes) -> None:
+            nonlocal journal_mark, event_index
+            replaying = replay is not None and event_index < n_replay_rounds
+            if replaying:
+                replay.verify_round(event_index, result.trials[journal_mark:])
+            if journal is not None and not (
+                replaying and journal.skip_replay
+            ):
+                journal.append_round(
+                    result.trials[journal_mark:], pool_outcomes
+                )
+            journal_mark = len(result.trials)
+            event_index += 1
+
+        def merged_outcome(rt: _RungTrial, *, culled: bool) -> PoolOutcome:
+            last = rt.last
+            outcome = EvaluationOutcome(
+                error=last.error,
+                final_error=last.final_error,
+                epochs_run=last.epochs_run,
+                stopped_early=last.stopped_early,
+                diverged=last.diverged,
+                measurement=rt.measurement,
+                feasible_meas=rt.feasible_meas,
+                cost_s=rt.eval_cost_s,
+                measurement_failed=rt.measurement_failed,
+            )
+            return PoolOutcome(
+                outcome,
+                cached=rt.all_cached,
+                seed=None if rt.all_cached else rt.seed0,
+                attempts=rt.attempts,
+                faults=tuple(rt.faults),
+                retry_s=rt.retry_s,
+                backoff_s=rt.backoff_s,
+                epochs=fidelity.target_epochs(rt.bracket, rt.stage),
+                rung=rt.stage,
+                culled=culled,
+            )
+
+        def cull(rt: _RungTrial) -> None:
+            study.observe(
+                rt.suggestion,
+                merged_outcome(rt, culled=True),
+                batch_t0=rt.first_dispatch_s,
+            )
+            self.tracer.record(
+                "cull",
+                clock.now_s,
+                clock.now_s,
+                parent=rt.last_sid,
+                ticket=rt.suggestion.ticket,
+                stage=rt.stage,
+            )
+
+        while True:
+            free = pool.n_inflight < pool.workers
+            out_of_time = clock.exceeded(max_time_s)
+            if free and promo_queue and not out_of_time:
+                rt = promo_queue.pop(0)
+                stage = rt.stage + 1
+                ticket = pool.submit_segment(
+                    rt.suggestion.proposal.config,
+                    clock.now_s,
+                    epochs=fidelity.target_epochs(rt.bracket, stage),
+                    start_epoch=fidelity.start_epoch(rt.bracket, stage),
+                    seed=rt.seed,
+                    early_term=self.early_term,
+                    cache_lookup_s=lookup_s,
+                    replay=replay_map,
+                )
+                running[ticket] = (rt, stage, clock.now_s)
+                continue
+            can_start = (
+                free
+                and not out_of_time
+                and (
+                    max_evaluations is None
+                    or state.n_trained + study.n_pending < max_evaluations
+                )
+                and len(state.trials) < study.max_samples
+            )
+            if can_start:
+                (suggestion,) = study.suggest(1)
+                bracket = next_bracket
+                next_bracket = (next_bracket + 1) % fidelity.brackets
+                rt = _RungTrial(suggestion=suggestion, bracket=bracket)
+                rt.first_dispatch_s = clock.now_s
+                ticket = pool.submit_segment(
+                    suggestion.proposal.config,
+                    clock.now_s,
+                    epochs=fidelity.target_epochs(bracket, 0),
+                    start_epoch=0,
+                    early_term=self.early_term,
+                    cache_lookup_s=lookup_s,
+                    replay=replay_map,
+                )
+                running[ticket] = (rt, 0, clock.now_s)
+                continue
+            if pool.n_inflight == 0:
+                break
+            completion = pool.next_completion()
+            rt, stage, dispatched_s = running.pop(completion.ticket)
+            clock.advance(max(0.0, completion.finish_s - clock.now_s))
+            busy_s += completion.busy_s
+            po = completion.outcome
+            rt.stage = stage
+            rt.attempts += po.attempts
+            rt.faults.extend(po.faults)
+            rt.retry_s += po.retry_s
+            rt.backoff_s += po.backoff_s
+            if not po.cached:
+                rt.all_cached = False
+            sid = self.tracer.record(
+                "rung",
+                dispatched_s,
+                completion.finish_s,
+                ticket=rt.suggestion.ticket,
+                bracket=rt.bracket,
+                stage=stage,
+            )
+            self.tracer.record(
+                "dispatch",
+                dispatched_s,
+                dispatched_s,
+                parent=sid,
+                ticket=completion.ticket,
+            )
+            rt.last_sid = sid
+            if stage == 0 and not po.failed:
+                if po.cached:
+                    key = pool.cache.key(
+                        rt.suggestion.proposal.config,
+                        epochs=fidelity.target_epochs(rt.bracket, 0),
+                    )
+                    rt.seed = pool.cache.seed_for(key)
+                    if rt.seed is None:
+                        raise RuntimeError(
+                            "no curve seed recorded for cached rung result"
+                        )
+                else:
+                    rt.seed0 = po.seed
+                    rt.seed = retry_seed(po.seed, po.attempts - 1)
+            if po.failed:
+                failed = PoolOutcome(
+                    None,
+                    cached=False,
+                    seed=rt.seed0 if rt.seed0 is not None else po.seed,
+                    attempts=rt.attempts,
+                    faults=tuple(rt.faults),
+                    failure_kind=po.failure_kind,
+                    retry_s=rt.retry_s,
+                    backoff_s=rt.backoff_s,
+                    rung=stage,
+                )
+                study.observe(
+                    rt.suggestion, failed, batch_t0=rt.first_dispatch_s
+                )
+                flush_event([po])
+                continue
+            rt.last = po.outcome
+            rt.eval_cost_s += lookup_s if po.cached else po.outcome.cost_s
+            if stage == 0:
+                rt.measurement = po.outcome.measurement
+                rt.feasible_meas = po.outcome.feasible_meas
+                rt.measurement_failed = po.outcome.measurement_failed
+            if po.outcome.stopped_early or fidelity.is_final(
+                rt.bracket, stage
+            ):
+                study.observe(
+                    rt.suggestion,
+                    merged_outcome(rt, culled=False),
+                    batch_t0=rt.first_dispatch_s,
+                )
+                flush_event([po])
+                continue
+            # Pause: the suggestion stays pending with its partial error
+            # visible to the method, and the trial waits for rank.
+            rt.suggestion.observed_error = float(po.outcome.error)
+            rt.suggestion.observed_epochs = int(po.outcome.epochs_run)
+            paused[rt.suggestion.ticket] = rt
+            self.tracer.record(
+                "pause",
+                completion.finish_s,
+                completion.finish_s,
+                parent=sid,
+                ticket=rt.suggestion.ticket,
+                stage=stage,
+            )
+            decision = sched.arrive(
+                rt.bracket, stage, rt.suggestion.ticket, po.outcome.error
+            )
+            if decision is not None:
+                for t in decision.promoted:
+                    winner = paused.pop(t)
+                    promo_queue.append(winner)
+                    self.tracer.record(
+                        "promote",
+                        clock.now_s,
+                        clock.now_s,
+                        parent=winner.last_sid,
+                        ticket=t,
+                        stage=stage + 1,
+                    )
+                for t in decision.culled:
+                    cull(paused.pop(t))
+            flush_event([po])
+
+        # Drain: trials stranded mid-ladder when the budget ran out —
+        # paused in unfilled cells, or promoted with no time to run.
+        for t in sched.flush():
+            cull(paused.pop(t))
+        for rt in promo_queue:
+            cull(rt)
+        promo_queue = []
+        if len(result.trials) > journal_mark:
+            flush_event([])
+
+        makespan = clock.now_s - t0
+        occupancy = busy_s / (pool.workers * makespan) if makespan > 0 else 0.0
+        if self._m_occupancy_gauge is None:
+            self._m_occupancy_gauge = self.metrics.gauge("schedule.occupancy")
+        self._m_occupancy_gauge.set(occupancy)
+        self.metrics.counter("rung.pauses").inc(sched.pauses)
+        self.metrics.counter("rung.promotions").inc(sched.promotions)
+        self.metrics.counter("rung.culls").inc(sched.culls)
+        sched_span.set(
+            events=event_index, occupancy=occupancy, paused=sched.n_paused
+        )
         sched_span.__exit__(None, None, None)
         return event_index
 

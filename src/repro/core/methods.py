@@ -50,6 +50,7 @@ __all__ = [
     "SearchState",
     "RejectedProposal",
     "Proposal",
+    "PendingTrial",
     "SearchMethod",
     "RandomSearch",
     "RandomWalk",
@@ -142,12 +143,34 @@ class Proposal:
     feasible_pred: bool | None = None
 
 
-def _config_key(config: Mapping) -> tuple:
-    """Hashable identity of a configuration (pending-set membership)."""
+@dataclass(frozen=True)
+class PendingTrial:
+    """An in-flight trial with a *partial* observation attached.
+
+    The multi-fidelity driver passes these (instead of plain configs) for
+    trials paused at a rung: ``error`` is the best error observed at
+    ``epochs`` cumulative epochs.  Pending-aware methods treat them like
+    any pending configuration for exclusion; the Bayesian optimizer
+    additionally lies at the observed error instead of the generic
+    constant-liar value — the rung already told us roughly where this
+    trial lands.
+    """
+
+    config: Configuration
+    error: float = float("nan")
+    epochs: int = 0
+
+
+def _config_key(config) -> tuple:
+    """Hashable identity of a configuration (pending-set membership).
+
+    Accepts plain mappings and :class:`PendingTrial`-like wrappers.
+    """
+    config = getattr(config, "config", config)
     return tuple(sorted(config.items()))
 
 
-def _pending_keys(pending: Sequence[Mapping]) -> frozenset:
+def _pending_keys(pending: Sequence) -> frozenset:
     return frozenset(_config_key(c) for c in pending)
 
 
@@ -572,6 +595,7 @@ class BayesianOptimizer(SearchMethod):
         surrogate: str = "exact",
         surrogate_features: int = DEFAULT_FEATURES,
         surrogate_switch_at: int = DEFAULT_SWITCH_AT,
+        scatter_init: int = 0,
     ):
         super().__init__(space)
         if model_checker is not None and learned_constraints is not None:
@@ -595,6 +619,8 @@ class BayesianOptimizer(SearchMethod):
             raise ValueError(
                 "surrogate_features and surrogate_switch_at must be >= 1"
             )
+        if scatter_init < 0:
+            raise ValueError("scatter_init must be >= 0")
         self.acquisition = acquisition
         self.model_checker = model_checker
         self.learned_constraints = learned_constraints
@@ -610,6 +636,10 @@ class BayesianOptimizer(SearchMethod):
         self.surrogate = surrogate
         self.surrogate_features = surrogate_features
         self.surrogate_switch_at = surrogate_switch_at
+        #: Widened initial design under rung scheduling: cheap low-fidelity
+        #: scatter trials before the surrogate takes over (0 = classic
+        #: ``n_init`` behaviour).
+        self.scatter_init = scatter_init
         self.name = acquisition.name
         #: Per-stage wall-clock timings of the surrogate hot path.
         self.surrogate_profile = SurrogateProfile()
@@ -801,13 +831,28 @@ class BayesianOptimizer(SearchMethod):
         gp_f = copy.copy(gp)
         with self.tracer.span("fantasy", pending=len(pending), lie=lie):
             for config in pending:
-                gp_f.append(self.space.encode(config), lie)
+                # Fidelity-aware lie: a trial paused at a rung carries a
+                # real partial observation — condition on it instead of
+                # the generic constant-liar value.
+                observed = getattr(config, "error", None)
+                value = (
+                    float(observed)
+                    if observed is not None and np.isfinite(observed)
+                    else lie
+                )
+                gp_f.append(
+                    self.space.encode(getattr(config, "config", config)),
+                    value,
+                )
         return gp_f, len(pending)
 
     def propose(self, state, rng, pending=()):
         pending_keys = _pending_keys(pending)
         # Initial design: random (model-screened in HyperPower variants).
-        if state.n_trained < self.n_init:
+        # Under rung scheduling, `scatter_init` widens it: the extra
+        # designs are cheap low-fidelity scatter trials that seed the rung
+        # ladder before the surrogate takes over.
+        if state.n_trained < max(self.n_init, self.scatter_init):
             config, checks = self._screened_random(
                 rng, pending_keys=pending_keys
             )

@@ -232,3 +232,119 @@ class NNObjective:
             feasible_meas=feasible,
             cost_s=nominal_cost,
         )
+
+    def evaluate_segment(
+        self,
+        config: Mapping,
+        seed: int,
+        start_epoch: int = 0,
+        epochs: int | None = None,
+        early_term: bool = False,
+        fault: FaultPlan | None = None,
+    ) -> EvaluationOutcome:
+        """Seed-pure *partial* evaluation for rung scheduling.
+
+        Trains ``config`` from ``start_epoch`` to the cumulative budget
+        ``epochs`` under the same two-way seed split as
+        :meth:`evaluate_seeded` — the learning curve always regenerates at
+        the dataset's full schedule length and slices its window, so a
+        trial promoted rung by rung reproduces the uninterrupted full-
+        fidelity curve bit-exactly, and ``cost_s`` charges only the
+        incremental epochs.
+
+        Segment 0 deploys and profiles exactly like
+        :meth:`evaluate_seeded` (same fault ladder, same degraded-NVML
+        semantics); continuations skip profiling (the driver carries the
+        rung-0 measurement forward), so their outcomes have
+        ``measurement=None`` *without* being flagged degraded, and an
+        injected NVML fault is a clean no-op for them.
+        """
+        self.space.validate(config)
+        stop_callback = (
+            self.early_termination.should_stop if early_term else None
+        )
+        schedule = self.trainer.dataset.default_epochs
+        if epochs is None:
+            epochs = schedule
+        run_seq, profile_seq = np.random.SeedSequence(int(seed)).spawn(2)
+        result = self.trainer.train(
+            config,
+            np.random.default_rng(run_seq),
+            epochs=epochs,
+            stop_callback=stop_callback,
+            start_epoch=start_epoch,
+            schedule_epochs=max(int(epochs), schedule),
+        )
+
+        if fault is not None and fault.kind == NAN_LOSS:
+            raise TrialFault(NAN_LOSS, cost_s=result.wall_time_s)
+
+        if start_epoch > 0:
+            # Continuation: no deployment, no profiling — the rung-0
+            # measurement already covers this configuration.
+            nominal_cost = result.wall_time_s
+            if fault is not None:
+                if fault.kind in (CRASH, OOM):
+                    raise TrialFault(
+                        fault.kind, cost_s=fault.fraction * nominal_cost
+                    )
+                if fault.kind == HANG:
+                    raise TrialFault(HANG, cost_s=nominal_cost)
+                if fault.kind != NVML:
+                    raise ValueError(f"unknown fault kind {fault.kind!r}")
+            return EvaluationOutcome(
+                error=result.best_error,
+                final_error=result.final_error,
+                epochs_run=result.epochs_run,
+                stopped_early=result.stopped_early,
+                diverged=result.diverged,
+                measurement=None,
+                feasible_meas=None,
+                cost_s=nominal_cost,
+            )
+
+        network = build_network(self.dataset_name, config)
+        profiler = HardwareProfiler(
+            self.profiler.device,
+            np.random.default_rng(profile_seq),
+            batch=self.profiler.batch,
+            duration_s=self.profiler.duration_s,
+            sample_hz=self.profiler.sample_hz,
+        )
+        measurement = profiler.profile(network)
+        nominal_cost = result.wall_time_s + measurement.duration_s
+
+        if fault is not None:
+            if fault.kind in (CRASH, OOM):
+                raise TrialFault(
+                    fault.kind, cost_s=fault.fraction * nominal_cost
+                )
+            if fault.kind == HANG:
+                raise TrialFault(HANG, cost_s=nominal_cost)
+            if fault.kind == NVML:
+                return EvaluationOutcome(
+                    error=result.best_error,
+                    final_error=result.final_error,
+                    epochs_run=result.epochs_run,
+                    stopped_early=result.stopped_early,
+                    diverged=result.diverged,
+                    measurement=None,
+                    feasible_meas=None,
+                    cost_s=nominal_cost,
+                    measurement_failed=True,
+                )
+            raise ValueError(f"unknown fault kind {fault.kind!r}")
+
+        feasible = self.spec.measured_feasible(
+            measurement.power_w, measurement.memory_bytes, measurement.latency_s
+        )
+        return EvaluationOutcome(
+            error=result.best_error,
+            final_error=result.final_error,
+            epochs_run=result.epochs_run,
+            stopped_early=result.stopped_early,
+            diverged=result.diverged,
+            measurement=measurement,
+            feasible_meas=feasible,
+            cost_s=nominal_cost,
+        )

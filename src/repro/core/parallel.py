@@ -46,6 +46,7 @@ from .faults import (
     TrialFault,
     retry_seed,
 )
+from .fidelity import segment_seed
 from .objective import EvaluationOutcome, NNObjective
 
 __all__ = [
@@ -100,6 +101,9 @@ class TrialCache:
             raise ValueError("max_size must be >= 1 (or None for unbounded)")
         self.max_size = max_size
         self._store: dict[str, EvaluationOutcome] = {}
+        #: Effective curve seed per key (rung scheduling resumes a cached
+        #: partial result by regenerating its curve from this seed).
+        self._seeds: dict[str, int] = {}
         #: Lookup counters, surfaced in run results and reports.
         self.hits = 0
         self.misses = 0
@@ -118,9 +122,15 @@ class TrialCache:
         return 0.0 if self.lookups == 0 else self.hits / self.lookups
 
     @staticmethod
-    def key(config: Mapping) -> str:
-        """The canonical hash this cache keys on."""
-        return canonical_config_key(config)
+    def key(config: Mapping, epochs: int | None = None) -> str:
+        """The canonical hash this cache keys on.
+
+        ``epochs`` tags the key with a fidelity (the cumulative epoch
+        budget a rung segment trained to), so partial results never
+        masquerade as full-schedule outcomes — or vice versa.
+        """
+        base = canonical_config_key(config)
+        return base if epochs is None else f"{base}#e{int(epochs)}"
 
     def get(self, key: str) -> EvaluationOutcome | None:
         """Look a key up, counting the hit or miss."""
@@ -156,16 +166,32 @@ class TrialCache:
             )
         if self.max_size is not None and key not in self._store:
             while len(self._store) >= self.max_size:
-                self._store.pop(next(iter(self._store)))
+                evicted = next(iter(self._store))
+                self._store.pop(evicted)
+                self._seeds.pop(evicted, None)
         self._store[key] = outcome
 
     def store(self, config: Mapping, outcome: EvaluationOutcome) -> None:
         """Store a configuration's outcome."""
         self.put(self.key(config), outcome)
 
+    def note_seed(self, key: str, seed: int) -> None:
+        """Record the effective curve seed a cached outcome ran under.
+
+        A rung scheduler resuming a *cached* partial result must regenerate
+        the same curve; the seed travels with the cache entry rather than
+        the outcome so classic entries stay untouched.
+        """
+        self._seeds[key] = int(seed)
+
+    def seed_for(self, key: str) -> int | None:
+        """The noted effective curve seed for ``key`` (None if unknown)."""
+        return self._seeds.get(key)
+
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
         self._store.clear()
+        self._seeds.clear()
         self.hits = 0
         self.misses = 0
 
@@ -193,6 +219,15 @@ class PoolOutcome:
     #: The backoff-wait portion of ``retry_s`` — simulated seconds the
     #: worker slot sat *idle* between attempts, not doing real work.
     backoff_s: float = 0.0
+    #: Cumulative epoch budget this slot trained to (None on the classic
+    #: full-fidelity paths, which leave the journal format untouched).
+    epochs: int | None = None
+    #: Epoch a rung continuation resumed from (0 = trained from scratch).
+    start_epoch: int = 0
+    #: Rung stage the trial terminated at (None off the rung path).
+    rung: int | None = None
+    #: Whether rank-based rung scheduling culled this trial.
+    culled: bool = False
 
     @property
     def failed(self) -> bool:
@@ -240,6 +275,9 @@ class _Inflight:
     result: _FreshResult
     key: str | None
     finish_s: float
+    #: Effective curve seed to note on the cache entry at pop time (rung
+    #: segments only; the classic paths never set it).
+    seed: int | None = None
 
 
 def _evaluate_task(
@@ -259,6 +297,29 @@ def _evaluate_task(
     try:
         return objective.evaluate_seeded(
             config, seed, early_term=early_term, fault=fault
+        )
+    except TrialFault as exc:
+        return FaultEvent(kind=exc.kind, cost_s=exc.cost_s)
+
+
+def _evaluate_segment_task(
+    objective: NNObjective,
+    config: Mapping,
+    seed: int,
+    start_epoch: int,
+    epochs: int,
+    early_term: bool,
+    fault=None,
+) -> EvaluationOutcome | FaultEvent:
+    """Picklable rung-segment counterpart of :func:`_evaluate_task`."""
+    try:
+        return objective.evaluate_segment(
+            config,
+            seed,
+            start_epoch=start_epoch,
+            epochs=epochs,
+            early_term=early_term,
+            fault=fault,
         )
     except TrialFault as exc:
         return FaultEvent(kind=exc.kind, cost_s=exc.cost_s)
@@ -773,6 +834,220 @@ class EvaluationPool:
         )
         return ticket
 
+    def submit_segment(
+        self,
+        config: Mapping,
+        now_s: float,
+        *,
+        epochs: int,
+        start_epoch: int = 0,
+        seed: int | None = None,
+        early_term: bool = False,
+        cache_lookup_s: float = 0.0,
+        replay=None,
+    ) -> int:
+        """Dispatch one rung segment onto a worker slot at ``now_s``.
+
+        The multi-fidelity counterpart of :meth:`submit`: the trial trains
+        from ``start_epoch`` to the cumulative budget ``epochs`` via
+        :meth:`~repro.core.objective.NNObjective.evaluate_segment`.
+
+        Rung-0 segments (``start_epoch == 0``) behave like classic
+        submissions — deterministic seed from the submission counter,
+        fidelity-keyed cache lookups and in-flight duplicate sharing,
+        retries under derived seeds — except the cache key carries the
+        epoch budget so a partial result never masquerades as a final.
+        Continuations (``start_epoch > 0``) must pass the trial's pinned
+        curve ``seed``: retries re-roll only the fault stream (via
+        :func:`~repro.core.fidelity.segment_seed`) while the curve replays
+        the checkpoint bit-exactly, and their results are never cached or
+        shared (they are checkpoint-specific).
+
+        ``replay`` maps ``(trial_seed, start_epoch)`` to journal entries —
+        a trial appears once per rung segment, so the seed alone is not a
+        unique key on this path.  Returns the submission-order ticket.
+        """
+        if self.n_inflight >= self.workers:
+            raise RuntimeError(
+                f"all {self.workers} workers are busy; pop a completion "
+                "before submitting more work"
+            )
+        if start_epoch > 0 and seed is None:
+            raise ValueError("continuations require the pinned trial seed")
+        ticket = self._ticket
+        self._ticket += 1
+        key = None
+        if self.cache is not None and start_epoch == 0:
+            key = self.cache.key(config, epochs=epochs)
+
+        if key is not None and key in self._inflight_by_key:
+            origin = self._inflight_by_key[key]
+            self.cache.hits += 1
+            self.hits += 1
+            self._m_cache_hits.inc()
+            res = origin.result
+            if res.outcome is None:
+                outcome = PoolOutcome(
+                    None,
+                    cached=False,
+                    seed=None,
+                    attempts=0,
+                    faults=tuple(res.faults),
+                    failure_kind=res.failure_kind,
+                    retry_s=0.0,
+                    epochs=int(epochs),
+                )
+            else:
+                outcome = PoolOutcome(
+                    res.outcome,
+                    cached=True,
+                    seed=None,
+                    attempts=0,
+                    epochs=int(epochs),
+                )
+            finish_s = max(origin.finish_s, now_s) + cache_lookup_s
+            self._push_event(ticket, finish_s, outcome, busy_s=cache_lookup_s)
+            return ticket
+
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._m_cache_hits.inc()
+                outcome = PoolOutcome(
+                    cached, cached=True, seed=None, attempts=0,
+                    epochs=int(epochs),
+                )
+                self._push_event(
+                    ticket,
+                    now_s + cache_lookup_s,
+                    outcome,
+                    busy_s=cache_lookup_s,
+                )
+                return ticket
+            self.misses += 1
+            self._m_cache_misses.inc()
+
+        if seed is None:
+            seed = self._next_seed()
+        seed = int(seed)
+        replay_eval = (
+            None if replay is None else replay.get((seed, int(start_epoch)))
+        )
+        if replay_eval is not None:
+            res = _FreshResult(
+                outcome=replay_eval.outcome,
+                attempts=int(replay_eval.attempts),
+                faults=list(replay_eval.faults),
+                failure_kind=replay_eval.failure_kind,
+                retry_s=float(replay_eval.retry_s),
+                backoff_s=float(getattr(replay_eval, "backoff_s", 0.0)),
+            )
+        else:
+            res = self._run_segment(
+                config, seed, int(start_epoch), int(epochs), early_term
+            )
+        outcome = PoolOutcome(
+            res.outcome,
+            cached=False,
+            seed=seed,
+            attempts=res.attempts,
+            faults=tuple(res.faults),
+            failure_kind=res.failure_kind,
+            retry_s=res.retry_s,
+            backoff_s=res.backoff_s,
+            epochs=int(epochs),
+            start_epoch=int(start_epoch),
+        )
+        finish_s = now_s + outcome.total_cost_s
+        entry = _Inflight(result=res, key=key, finish_s=finish_s)
+        if key is not None:
+            # The successful attempt's derived seed is what a resumed
+            # continuation must regenerate the curve from.
+            if res.outcome is not None:
+                entry.seed = retry_seed(seed, res.attempts - 1)
+            self._inflight_by_key[key] = entry
+        self._push_event(
+            ticket,
+            finish_s,
+            outcome,
+            busy_s=outcome.total_cost_s - res.backoff_s,
+            entry=entry,
+        )
+        return ticket
+
+    def _run_segment(
+        self,
+        config: Mapping,
+        seed: int,
+        start_epoch: int,
+        epochs: int,
+        early_term: bool,
+    ) -> _FreshResult:
+        """Run one rung segment under the retry policy.
+
+        Rung-0 segments follow the classic ladder — attempt ``a`` runs
+        under ``retry_seed(seed, a)`` with faults from
+        ``injector.draw(seed, a)``, byte-identical fault luck to a full
+        dispatch of the same trial seed.  Continuations keep the curve
+        seed *fixed* across attempts (the checkpoint must replay exactly)
+        and draw fault luck from the segment-tagged stream instead.
+        """
+        state = _FreshResult()
+        fault_stream = (
+            segment_seed(seed, start_epoch) if start_epoch > 0 else seed
+        )
+        while True:
+            attempt = state.attempts
+            fault = (
+                self.injector.draw(fault_stream, attempt)
+                if self.injector is not None
+                else None
+            )
+            eval_seed = (
+                seed if start_epoch > 0 else retry_seed(seed, attempt)
+            )
+            self._m_dispatched.inc()
+            if self.backend == "serial":
+                raw = _evaluate_segment_task(
+                    self.objective, config, eval_seed,
+                    start_epoch, epochs, early_term, fault,
+                )
+            else:
+                raw = (
+                    self._get_executor()
+                    .submit(
+                        _evaluate_segment_task, self.objective, config,
+                        eval_seed, start_epoch, epochs, early_term, fault,
+                    )
+                    .result()
+                )
+            state.attempts += 1
+            event = None
+            if isinstance(raw, FaultEvent):
+                charge = (
+                    self._hang_charge_s() if raw.kind == HANG else raw.cost_s
+                )
+                event = (raw.kind, charge)
+            elif (
+                self.retry.timeout_s is not None
+                and raw.cost_s > self.retry.timeout_s
+            ):
+                event = (TIMEOUT, self.retry.timeout_s)
+            if event is None:
+                state.outcome = raw
+                return state
+            kind, charge = event
+            state.faults.append(kind)
+            if state.attempts >= self.retry.max_attempts:
+                state.failure_kind = kind
+                state.retry_s += charge
+                return state
+            backoff = self.retry.backoff_s(state.attempts)
+            state.retry_s += charge + backoff
+            state.backoff_s += backoff
+            self._charge_retry_wait(backoff)
+
     def _push_event(
         self, ticket, finish_s, outcome, busy_s, entry=None
     ) -> None:
@@ -810,6 +1085,8 @@ class EvaluationPool:
                 and math.isfinite(res.outcome.error)
             ):
                 self.cache.put(entry.key, res.outcome)
+                if entry.seed is not None:
+                    self.cache.note_seed(entry.key, entry.seed)
         return completion
 
     # -- q-parallel time accounting --------------------------------------------

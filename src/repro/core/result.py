@@ -46,6 +46,10 @@ class TrialStatus(enum.Enum):
     #: but the failed attempts and backoff waits were charged to the
     #: clock and the sample still counts as queried.
     FAILED = "failed"
+    #: Trained at a partial fidelity and terminated by rank when its rung
+    #: cell filled (multi-fidelity scheduling); its low-fidelity error is
+    #: a real observation, only the remaining epochs were never spent.
+    CULLED = "culled"
 
 
 @dataclass(frozen=True)
@@ -94,6 +98,9 @@ class Trial:
     #: Whether the hardware measurement failed and the recorded
     #: power/memory fell back to the predictive models' estimates.
     measurement_degraded: bool = False
+    #: Rung stage the trial terminated at under multi-fidelity scheduling
+    #: (None on classic full-fidelity paths).
+    rung: int | None = None
 
     @property
     def was_trained(self) -> bool:

@@ -33,7 +33,7 @@ import numpy as np
 from ..telemetry.metrics import NOOP_METRICS
 from ..telemetry.tracer import NOOP_TRACER
 from .clock import DEFAULT_COST_MODEL, CostModel, SimClock
-from .methods import Proposal, SearchMethod, SearchState
+from .methods import PendingTrial, Proposal, SearchMethod, SearchState
 from .parallel import PoolOutcome, canonical_config_key
 from .result import RunResult, Trial, TrialStatus
 
@@ -66,6 +66,13 @@ class Suggestion:
     #: configuration, when the method degenerated to a duplicate (tiny or
     #: exhausted spaces).  Callers may share one evaluation across both.
     duplicate_of: int | None = None
+    #: Best error observed at the suggestion's last completed rung (set by
+    #: the multi-fidelity driver while the trial is paused); ``None``
+    #: until a partial observation exists.  Pending-aware BO methods lie
+    #: at this value instead of the generic constant-liar default.
+    observed_error: float | None = None
+    #: Cumulative epochs behind ``observed_error``.
+    observed_epochs: int = 0
 
 
 @dataclass(frozen=True)
@@ -122,9 +129,13 @@ def register_run_metrics(metrics) -> dict:
     the golden suite and must never grow them.
     """
     handles = {
+        # CULLED is excluded: the counter is created lazily on the first
+        # cull (multi-fidelity runs only), so classic runs' pinned metric
+        # snapshots never grow a `trials.culled` key.
         "trials": {
             status: metrics.counter(f"trials.{status.value}")
             for status in TrialStatus
+            if status is not TrialStatus.CULLED
         },
         "rejections": metrics.counter("screen.rejections"),
         "silent_checks": metrics.counter("screen.silent_checks"),
@@ -218,6 +229,27 @@ class Study:
         # the golden suite) never include it.
         self._m_gp_fantasies = None
 
+    def _trial_counter(self, status: TrialStatus):
+        """Per-status trial counter, creating the lazy ones on demand
+        (``trials.culled`` only exists in runs that actually cull)."""
+        counter = self._m_trials.get(status)
+        if counter is None:
+            counter = self.metrics.counter(f"trials.{status.value}")
+            self._m_trials[status] = counter
+        return counter
+
+    def _pending_view(self, suggestion: Suggestion):
+        """What the method should see for one pending suggestion: the
+        plain config, or a :class:`~repro.core.methods.PendingTrial` once
+        a paused rung carries a real partial observation."""
+        if suggestion.observed_error is None:
+            return suggestion.config
+        return PendingTrial(
+            config=suggestion.config,
+            error=suggestion.observed_error,
+            epochs=suggestion.observed_epochs,
+        )
+
     # -- introspection --------------------------------------------------------------
 
     @property
@@ -290,7 +322,7 @@ class Study:
         """
         if n < 1:
             raise ValueError("need n >= 1 suggestions")
-        base_pending = [s.config for s in self._pending.values()]
+        base_pending = [self._pending_view(s) for s in self._pending.values()]
         suggestions: list[Suggestion] = []
         for _ in range(n):
             pending = base_pending
@@ -400,7 +432,7 @@ class Study:
         )
         self.state.trials.append(trial)
         self.result.trials.append(trial)
-        self._m_trials[TrialStatus.REJECTED_MODEL].inc()
+        self._trial_counter(TrialStatus.REJECTED_MODEL).inc()
         self._m_rejections.inc()
 
     # -- tell -----------------------------------------------------------------------
@@ -497,7 +529,7 @@ class Study:
         self.state.trained_configs.append(dict(proposal.config))
         self.state.trained_errors.append(outcome.error)
         self.state.trained_feasible.append(outcome.feasible_meas)
-        self._m_trials[status].inc()
+        self._trial_counter(status).inc()
         self._m_attempts.inc()
         return trial
 
@@ -561,7 +593,7 @@ class Study:
                         attempts=pool_outcome.attempts,
                         faults=list(pool_outcome.faults),
                     )
-                self._m_trials[TrialStatus.FAILED].inc()
+                self._trial_counter(TrialStatus.FAILED).inc()
                 trial = Trial(
                     index=len(state.trials),
                     config=dict(proposal.config),
@@ -575,6 +607,7 @@ class Study:
                     faults=pool_outcome.faults,
                     failure_kind=pool_outcome.failure_kind,
                     retry_s=pool_outcome.retry_s,
+                    rung=getattr(pool_outcome, "rung", None),
                 )
                 state.trials.append(trial)
                 result.trials.append(trial)
@@ -583,6 +616,12 @@ class Study:
                 status = TrialStatus.CACHED
                 cost = self.cost_model.cache_lookup_s
                 epochs_run = 0
+            elif getattr(pool_outcome, "culled", False):
+                # Rank-terminated at a rung: the partial-fidelity error is
+                # a real observation, only the remaining epochs are saved.
+                status = TrialStatus.CULLED
+                cost = outcome.cost_s + pool_outcome.retry_s
+                epochs_run = outcome.epochs_run
             else:
                 status = (
                     TrialStatus.EARLY_TERMINATED
@@ -647,7 +686,7 @@ class Study:
                 )
                 if outcome.measurement is not None:
                     tracer.record("measure", trial_t1 - measure_s, trial_t1, parent=sid)
-            self._m_trials[status].inc()
+            self._trial_counter(status).inc()
             trial = Trial(
                 index=len(state.trials),
                 config=dict(proposal.config),
@@ -668,6 +707,7 @@ class Study:
                 faults=pool_outcome.faults,
                 retry_s=pool_outcome.retry_s,
                 measurement_degraded=degraded,
+                rung=getattr(pool_outcome, "rung", None),
             )
             state.trials.append(trial)
             result.trials.append(trial)
@@ -728,7 +768,7 @@ class Study:
         )
         state.trials.append(trial)
         self.result.trials.append(trial)
-        self._m_trials[status].inc()
+        self._trial_counter(status).inc()
         self._m_attempts.inc()
         if status is not TrialStatus.FAILED:
             state.trained_configs.append(dict(suggestion.config))

@@ -26,7 +26,9 @@ import numpy as np
 
 from ..core.clock import DEFAULT_COST_MODEL, CostModel, SimClock
 from ..core.constraints import GIB, ConstraintSpec
+from ..core.early_term import EarlyTermination
 from ..core.faults import FaultInjector, FaultRates, RetryPolicy
+from ..core.fidelity import FidelitySchedule
 from ..core.hyperpower import HyperPower, build_method
 from ..core.objective import NNObjective
 from ..core.parallel import EvaluationPool, TrialCache
@@ -35,7 +37,7 @@ from ..hwsim.devices import GTX_1070, get_device
 from ..hwsim.profiler import HardwareProfiler
 from ..models.hw_models import fit_hardware_models
 from ..models.profiling import run_profiling_campaign
-from ..space.presets import cifar10_space, mnist_space
+from ..space.presets import cifar10_space, imagenet_space, mnist_space
 from ..trainsim.dataset import get_dataset
 from ..trainsim.surface import ErrorSurface
 from ..trainsim.trainer import TrainingSimulator
@@ -105,7 +107,11 @@ PAPER_PAIRS = {
     "cifar10-tx1": PairSpec("cifar10", "tx1", 12.0, None, 5.0, 50, 12.0),
 }
 
-_SPACES = {"mnist": mnist_space, "cifar10": cifar10_space}
+_SPACES = {
+    "mnist": mnist_space,
+    "cifar10": cifar10_space,
+    "imagenet": imagenet_space,
+}
 
 
 class ExperimentSetup:
@@ -120,6 +126,7 @@ class ExperimentSetup:
         profiling_samples: int = 100,
         fit_intercept: bool = True,
         cost_model: CostModel = DEFAULT_COST_MODEL,
+        early_termination: EarlyTermination | None = None,
     ):
         if dataset_name not in _SPACES:
             raise ValueError(
@@ -131,6 +138,11 @@ class ExperimentSetup:
         self.spec = constraint_spec
         self.seed = int(seed)
         self.cost_model = cost_model
+        #: Divergence-detection policy handed to every objective this setup
+        #: builds.  ``None`` keeps the MNIST-tuned default (check_epoch=3);
+        #: slow-converging benchmarks (ImageNet, tau 10-40 epochs) need a
+        #: later check or every healthy run looks stuck at chance.
+        self.early_termination = early_termination
 
         self.space = _SPACES[dataset_name]()
         self.dataset = get_dataset(dataset_name)
@@ -183,6 +195,7 @@ class ExperimentSetup:
             spec=self.spec,
             clock=SimClock(),
             rng=rng_train,
+            early_termination=self.early_termination,
         )
 
     def open_study(
@@ -241,6 +254,11 @@ class ExperimentSetup:
         resume_from: str | Path | None = None,
         telemetry=None,
         scheduler: str = "sync",
+        rungs: int = 0,
+        eta: int = 3,
+        min_epochs: int = 1,
+        brackets: int = 1,
+        scatter_init: int = 0,
         **method_kwargs,
     ) -> RunResult:
         """Build and run one method variant under the given budget.
@@ -291,7 +309,38 @@ class ExperimentSetup:
         ``surrogate_switch_at`` sizing the sparse tiers) — see
         :func:`~repro.core.hyperpower.build_method`; the default
         ``"exact"`` reproduces the seed trajectories byte-for-byte.
+
+        ``rungs > 0`` switches on multi-fidelity scheduling (async pool
+        path only): trials train to a geometric ladder of ``rungs``
+        cumulative epoch budgets starting at ``min_epochs`` and capped at
+        the dataset's full schedule, pausing at each rung until enough
+        peers arrive, with only the top ``1/eta`` promoted to the next
+        rung (see :class:`~repro.core.fidelity.FidelitySchedule`).
+        ``brackets > 1`` runs Hyperband-style brackets round-robin, and
+        ``scatter_init`` widens both the rung-0 cell and the BO solvers'
+        random initial design (cheap low-fidelity screening before the GP
+        takes over).  ``rungs=0`` (the default) keeps the classic
+        full-fidelity paths byte-identical.
         """
+        if rungs < 0:
+            raise ValueError("rungs must be >= 0")
+        if rungs > 0 and (backend is None or scheduler != "async"):
+            raise ValueError(
+                "multi-fidelity rungs require the asynchronous pool path "
+                "(pass scheduler='async' and a backend)"
+            )
+        if scatter_init:
+            method_kwargs = dict(method_kwargs, scatter_init=scatter_init)
+        fidelity = None
+        if rungs > 0:
+            fidelity = FidelitySchedule.geometric(
+                self.dataset.default_epochs,
+                min_epochs=min_epochs,
+                eta=eta,
+                num_rungs=rungs,
+                scatter_init=scatter_init or None,
+                brackets=brackets,
+            )
         method = build_method(
             solver,
             variant,
@@ -374,6 +423,18 @@ class ExperimentSetup:
                 "fault_seed": None if faults is None else fault_seed,
                 "retry": asdict(RetryPolicy() if retry is None else retry),
                 "scheduler": scheduler,
+                **(
+                    {}
+                    if fidelity is None
+                    else {
+                        "fidelity": {
+                            "rungs": list(fidelity.rungs),
+                            "eta": fidelity.eta,
+                            "n0": fidelity.n0,
+                            "brackets": fidelity.brackets,
+                        }
+                    }
+                ),
             },
         )
         try:
@@ -384,6 +445,7 @@ class ExperimentSetup:
                 journal=run_journal,
                 replay=replay,
                 scheduler=scheduler,
+                fidelity=fidelity,
             )
         finally:
             if run_journal is not None:
@@ -429,6 +491,7 @@ def quick_setup(
     memory_budget_gb: float | None = None,
     seed: int = 0,
     profiling_samples: int = 100,
+    early_termination: EarlyTermination | None = None,
 ) -> ExperimentSetup:
     """Convenience constructor with budgets in natural units."""
     spec = ConstraintSpec(
@@ -438,7 +501,12 @@ def quick_setup(
         ),
     )
     return ExperimentSetup(
-        dataset, device, spec, seed=seed, profiling_samples=profiling_samples
+        dataset,
+        device,
+        spec,
+        seed=seed,
+        profiling_samples=profiling_samples,
+        early_termination=early_termination,
     )
 
 

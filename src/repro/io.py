@@ -59,8 +59,12 @@ def _none_if_nan(value):
 
 
 def trial_to_dict(trial: Trial) -> dict:
-    """JSON-ready dictionary for one trial."""
-    return {
+    """JSON-ready dictionary for one trial.
+
+    The ``rung`` key appears only on multi-fidelity trials, so classic
+    runs serialise byte-identically to the pre-rung format.
+    """
+    data = {
         "index": trial.index,
         "config": trial.config,
         "status": trial.status.value,
@@ -82,11 +86,15 @@ def trial_to_dict(trial: Trial) -> dict:
         "retry_s": trial.retry_s,
         "measurement_degraded": trial.measurement_degraded,
     }
+    if trial.rung is not None:
+        data["rung"] = trial.rung
+    return data
 
 
 def trial_from_dict(data: dict) -> Trial:
     """Inverse of :func:`trial_to_dict`."""
     error = data.get("error")
+    rung = data.get("rung")
     return Trial(
         index=int(data["index"]),
         config=dict(data["config"]),
@@ -108,6 +116,7 @@ def trial_from_dict(data: dict) -> Trial:
         failure_kind=data.get("failure_kind"),
         retry_s=float(data.get("retry_s", 0.0)),
         measurement_degraded=bool(data.get("measurement_degraded", False)),
+        rung=None if rung is None else int(rung),
     )
 
 
@@ -270,8 +279,12 @@ def _scan_journal(path: Path) -> tuple[dict, list[dict], dict | None, int]:
 
 
 def _eval_entry(pool_outcome) -> dict:
-    """Journal entry for one fresh (dispatched) pool evaluation."""
-    return {
+    """Journal entry for one fresh (dispatched) pool evaluation.
+
+    Rung segments add ``start_epoch``/``epochs`` keys; the classic paths
+    (where ``epochs`` is None) keep the pre-rung entry format exactly.
+    """
+    entry = {
         "seed": pool_outcome.seed,
         "attempts": pool_outcome.attempts,
         "faults": list(pool_outcome.faults),
@@ -284,6 +297,10 @@ def _eval_entry(pool_outcome) -> dict:
             else outcome_to_dict(pool_outcome.outcome)
         ),
     }
+    if getattr(pool_outcome, "epochs", None) is not None:
+        entry["start_epoch"] = pool_outcome.start_epoch
+        entry["epochs"] = pool_outcome.epochs
+    return entry
 
 
 class RunJournal:
@@ -399,6 +416,9 @@ class ReplayEval:
     failure_kind: str | None
     retry_s: float
     backoff_s: float = 0.0
+    #: Rung-segment window (None/0 on classic full-fidelity entries).
+    start_epoch: int = 0
+    epochs: int | None = None
 
 
 class JournalReplay:
@@ -426,6 +446,12 @@ class JournalReplay:
                     failure_kind=e["failure_kind"],
                     retry_s=float(e["retry_s"]),
                     backoff_s=float(e.get("backoff_s", 0.0)),
+                    start_epoch=int(e.get("start_epoch", 0)),
+                    epochs=(
+                        None
+                        if e.get("epochs") is None
+                        else int(e["epochs"])
+                    ),
                 )
                 for e in r["evals"]
             ]

@@ -63,7 +63,8 @@ class TrainingResult:
     diverged: bool
     #: Whether the stop callback truncated the run.
     stopped_early: bool
-    #: Wall-clock cost of the run, s (setup + epochs run).
+    #: Wall-clock cost of the run, s (setup + epochs run; a resumed
+    #: segment charges only its incremental epochs, no setup).
     wall_time_s: float
     #: Wall-clock cost of one epoch, s.
     epoch_time_s: float
@@ -129,8 +130,10 @@ class TrainingSimulator:
         rng: np.random.Generator,
         epochs: int | None = None,
         stop_callback: StopCallback | None = None,
+        start_epoch: int = 0,
+        schedule_epochs: int | None = None,
     ) -> TrainingResult:
-        """Run one training job.
+        """Run one training job (or one resumable segment of it).
 
         Parameters
         ----------
@@ -139,31 +142,54 @@ class TrainingSimulator:
         rng:
             Per-run noise source (initialisation/data-order luck).
         epochs:
-            Schedule length; defaults to the dataset's full schedule.
+            Cumulative schedule position to train to; defaults to the
+            dataset's full schedule.
         stop_callback:
             Polled after each epoch with ``(epoch_index, curve_so_far)``;
             returning ``True`` truncates the run (early termination).
+        start_epoch:
+            Resume a checkpointed run at this epoch (0 trains from
+            scratch).  The returned curve/errors stay *cumulative* — the
+            prefix up to ``epochs`` — but ``wall_time_s`` charges only the
+            incremental ``epochs - start_epoch`` epochs, and job setup only
+            on the first segment.
+        schedule_epochs:
+            Length at which the learning curve is generated (defaults to
+            ``epochs``).  Segments of one logical run must share it: each
+            segment regenerates the full curve from the same ``rng`` seed
+            and slices its window, so resuming at epoch ``k`` reproduces
+            the uninterrupted run's tail bit-exactly (the curve model's
+            seed-pure prefix property).
         """
         if epochs is None:
             epochs = self.dataset.default_epochs
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
+        if schedule_epochs is None:
+            schedule_epochs = epochs
+        if schedule_epochs < epochs:
+            raise ValueError("schedule_epochs must be >= epochs")
+        if not (0 <= start_epoch < epochs):
+            raise ValueError(
+                f"start_epoch must be in [0, {epochs}), got {start_epoch}"
+            )
 
         network = build_network(self.dataset.name, config)
         evaluation = self.surface.evaluate(config)
-        full_curve = self.curve_model.curve(evaluation, epochs, rng)
+        full_curve = self.curve_model.curve(evaluation, schedule_epochs, rng)
         epoch_time = self.epoch_time_s(network)
 
         epochs_run = epochs
         stopped_early = False
         if stop_callback is not None:
-            for epoch_index in range(1, epochs + 1):
+            for epoch_index in range(start_epoch + 1, epochs + 1):
                 if stop_callback(epoch_index, full_curve[:epoch_index]):
                     epochs_run = epoch_index
                     stopped_early = epoch_index < epochs
                     break
 
         curve = full_curve[:epochs_run]
+        setup_s = self.job_setup_s if start_epoch == 0 else 0.0
         return TrainingResult(
             config=dict(config),
             curve=curve,
@@ -172,7 +198,7 @@ class TrainingSimulator:
             epochs_run=epochs_run,
             diverged=evaluation.diverges,
             stopped_early=stopped_early,
-            wall_time_s=self.job_setup_s + epochs_run * epoch_time,
+            wall_time_s=setup_s + (epochs_run - start_epoch) * epoch_time,
             epoch_time_s=epoch_time,
             surface=evaluation,
         )

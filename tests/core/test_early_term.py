@@ -116,3 +116,62 @@ class TestAgainstSimulatedCurves:
         curve = model.curve(evaluation(True), 30, rng)
         stop = self._stop_epoch(policy, curve)
         assert stop is not None and stop <= 5
+
+
+class TestDegenerateCurves:
+    """NaN entries and too-short prefixes must *defer* the decision, not
+    raise or (worse) kill a run on garbage arithmetic — a stop verdict
+    terminates a training permanently, so the policies only act on
+    evidence that is actually finite."""
+
+    def test_should_stop_ignores_nan_entries(self):
+        policy = EarlyTermination(chance_error=0.9, check_epoch=3)
+        # The finite entries are improving: no stop, despite the NaN.
+        curve = np.array([0.85, np.nan, 0.40])
+        assert not policy.should_stop(3, curve)
+        # The finite entries are flat at chance: stop.
+        flat = np.array([0.91, np.nan, 0.92])
+        assert policy.should_stop(3, flat)
+
+    def test_should_stop_defers_on_all_nan(self):
+        policy = EarlyTermination(chance_error=0.9, check_epoch=3)
+        assert not policy.should_stop(3, np.array([np.nan] * 3))
+
+    def test_extrapolation_predict_needs_three_finite(self):
+        from repro.core.early_term import CurveExtrapolationTermination
+
+        policy = CurveExtrapolationTermination(
+            target_error=0.1, horizon_epochs=30
+        )
+        # Fewer than 3 observations total keeps raising (API contract)...
+        with pytest.raises(ValueError, match="at least 3"):
+            policy.predict_final_error(np.array([0.5, 0.4]))
+        # ...but 3+ observations with <3 finite defer via NaN.
+        pred = policy.predict_final_error(np.array([0.5, np.nan, np.nan]))
+        assert np.isnan(pred)
+
+    def test_extrapolation_masks_nan_entries(self):
+        from repro.core.early_term import CurveExtrapolationTermination
+
+        policy = CurveExtrapolationTermination(
+            target_error=0.1, horizon_epochs=30
+        )
+        clean = np.array([0.8, 0.6, 0.45, 0.34, 0.26])
+        noisy = np.array([0.8, 0.6, np.nan, 0.45, 0.34, np.nan, 0.26])
+        assert np.isfinite(policy.predict_final_error(clean))
+        assert np.isfinite(policy.predict_final_error(noisy))
+
+    def test_extrapolation_should_stop_defers_not_raises(self):
+        from repro.core.early_term import CurveExtrapolationTermination
+
+        policy = CurveExtrapolationTermination(
+            target_error=0.01, horizon_epochs=30, check_epoch=3
+        )
+        # Short prefix at/after check_epoch: defer rather than raise
+        # (a rung boundary can poll with fewer points than the epoch).
+        assert not policy.should_stop(3, np.array([0.9, 0.9]))
+        # All-NaN prefix: the prediction is NaN, which must defer.
+        assert not policy.should_stop(4, np.array([np.nan] * 4))
+        # Sanity: a flat curve at chance still stops once predictable.
+        flat = np.array([0.9, 0.91, 0.9, 0.91, 0.9])
+        assert policy.should_stop(5, flat)

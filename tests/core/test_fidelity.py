@@ -1,0 +1,174 @@
+"""Tests for the rung-schedule bookkeeping (repro.core.fidelity).
+
+Pure-logic invariants: ladder construction, cell/promotion arithmetic,
+Hyperband bracket scaling, and — the property the async driver leans on —
+promotion decisions that are invariant to the order paused trials arrive
+in, with ties broken deterministically by issue ticket.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fidelity import (
+    FidelitySchedule,
+    RungScheduler,
+    segment_seed,
+)
+
+
+class TestGeometricLadder:
+    def test_standard_ladder(self):
+        sched = FidelitySchedule.geometric(27, min_epochs=1, eta=3)
+        assert sched.rungs == (1, 3, 9, 27)
+        assert sched.num_rungs == 4
+        assert sched.max_epochs == 27
+
+    def test_cap_terminates_ladder(self):
+        sched = FidelitySchedule.geometric(20, min_epochs=1, eta=3)
+        assert sched.rungs == (1, 3, 9, 20)
+
+    def test_num_rungs_keeps_cheap_rungs_and_cap(self):
+        sched = FidelitySchedule.geometric(27, eta=3, num_rungs=3)
+        assert sched.rungs == (1, 3, 27)
+
+    def test_single_rung_is_full_fidelity(self):
+        sched = FidelitySchedule.geometric(20, num_rungs=1)
+        assert sched.rungs == (20,)
+        assert sched.is_final(0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            FidelitySchedule(rungs=(3, 3, 9))
+        with pytest.raises(ValueError, match="eta"):
+            FidelitySchedule(rungs=(1, 3), eta=1)
+        with pytest.raises(ValueError, match="at least one rung"):
+            FidelitySchedule(rungs=())
+        with pytest.raises(ValueError, match="brackets"):
+            FidelitySchedule(rungs=(1, 3), brackets=3)
+        with pytest.raises(ValueError, match=">= 1 epoch"):
+            FidelitySchedule(rungs=(0, 3))
+        with pytest.raises(ValueError, match="min_epochs"):
+            FidelitySchedule.geometric(5, min_epochs=9)
+
+    def test_cell_sizes_shrink_by_eta(self):
+        sched = FidelitySchedule.geometric(27, eta=3)  # 4 rungs
+        assert sched.initial_cell(0) == 27  # eta**(num_rungs-1)
+        assert [sched.cell_size(0, s) for s in range(4)] == [27, 9, 3, 1]
+        assert [sched.promote_count(0, s) for s in range(4)] == [9, 3, 1, 1]
+
+    def test_epoch_targets_and_starts(self):
+        sched = FidelitySchedule.geometric(27, eta=3)
+        assert [sched.target_epochs(0, s) for s in range(4)] == [1, 3, 9, 27]
+        assert [sched.start_epoch(0, s) for s in range(4)] == [0, 1, 3, 9]
+
+    def test_scatter_init_overrides_cell(self):
+        sched = FidelitySchedule.geometric(27, eta=3, scatter_init=12)
+        assert sched.initial_cell(0) == 12
+        assert sched.cell_size(0, 1) == 4
+
+
+class TestHyperbandBrackets:
+    def test_bracket_ladders_skip_cheap_rungs(self):
+        sched = FidelitySchedule.geometric(27, eta=3, brackets=3)
+        assert sched.bracket_rungs(0) == (1, 3, 9, 27)
+        assert sched.bracket_rungs(1) == (3, 9, 27)
+        assert sched.bracket_rungs(2) == (9, 27)
+        # A later bracket's stage-0 segment trains straight to its rung.
+        assert sched.start_epoch(1, 0) == 0
+        assert sched.target_epochs(1, 0) == 3
+        assert sched.start_epoch(1, 1) == 3
+
+    def test_bracket_cells_narrow_with_fidelity(self):
+        sched = FidelitySchedule.geometric(27, eta=3, brackets=3)
+        cells = [sched.initial_cell(b) for b in range(3)]
+        assert cells[0] > cells[1] > cells[2] >= 1
+        # Standard Hyperband width: ceil(n0 * (s+1) / ((s_b+1) * eta**b)).
+        assert cells[1] == math.ceil(27 * 4 / (3 * 3))
+        assert cells[2] == math.ceil(27 * 4 / (2 * 9))
+
+    def test_bracket_bounds_checked(self):
+        sched = FidelitySchedule.geometric(27, eta=3, brackets=2)
+        with pytest.raises(ValueError, match="bracket"):
+            sched.initial_cell(2)
+
+
+class TestRungScheduler:
+    def test_no_decision_until_cell_full(self):
+        sched = RungScheduler(FidelitySchedule((1, 3, 9), n0=3))
+        assert sched.arrive(0, 0, ticket=1, error=0.5) is None
+        assert sched.arrive(0, 0, ticket=2, error=0.3) is None
+        decision = sched.arrive(0, 0, ticket=3, error=0.4)
+        assert decision is not None
+        assert decision.promoted == (2,)
+        assert decision.culled == (3, 1)
+        assert sched.pauses == 3
+        assert sched.promotions == 1 and sched.culls == 2
+
+    def test_nonfinite_errors_rank_last(self):
+        sched = RungScheduler(FidelitySchedule((1, 9), n0=3))
+        sched.arrive(0, 0, ticket=1, error=float("nan"))
+        sched.arrive(0, 0, ticket=2, error=0.9)
+        decision = sched.arrive(0, 0, ticket=3, error=float("inf"))
+        assert decision.promoted == (2,)
+        assert set(decision.culled) == {1, 3}
+
+    def test_equal_errors_break_by_ticket(self):
+        sched = RungScheduler(FidelitySchedule((1, 9), n0=3))
+        sched.arrive(0, 0, ticket=7, error=0.5)
+        sched.arrive(0, 0, ticket=3, error=0.5)
+        decision = sched.arrive(0, 0, ticket=5, error=0.5)
+        assert decision.promoted == (3,)  # lowest ticket wins the tie
+        assert decision.culled == (5, 7)
+
+    def test_flush_drains_unfilled_cells(self):
+        sched = RungScheduler(FidelitySchedule((1, 3, 9), n0=9))
+        sched.arrive(0, 0, ticket=4, error=0.2)
+        sched.arrive(0, 1, ticket=2, error=0.1)
+        assert sched.n_paused == 2
+        assert sched.flush() == [4, 2]  # cells in (bracket, stage) order
+        assert sched.n_paused == 0
+        assert sched.culls == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        errors=st.lists(
+            st.floats(0.0, 1.0, allow_nan=False), min_size=2, max_size=7
+        ),
+        seed=st.integers(0, 2**32 - 1),
+        ties=st.booleans(),
+    )
+    def test_decision_invariant_to_arrival_order(self, errors, seed, ties):
+        """Any permutation of arrivals yields the identical decision —
+        including at equal ranks, where the ticket tiebreaker decides."""
+        if ties:
+            errors = [round(e, 1) for e in errors]  # force collisions
+        n = len(errors)
+        schedule = FidelitySchedule((1, 9), n0=n)
+        arrivals = list(enumerate(errors))  # ticket i, error e
+        perm = np.random.default_rng(seed).permutation(n)
+        baseline = None
+        for order in (range(n), perm):
+            sched = RungScheduler(schedule)
+            decision = None
+            for i in order:
+                ticket, error = arrivals[int(i)]
+                decision = sched.arrive(0, 0, ticket, error) or decision
+            assert decision is not None
+            if baseline is None:
+                baseline = decision
+            else:
+                assert decision == baseline
+
+
+class TestSegmentSeed:
+    def test_deterministic_and_distinct(self):
+        assert segment_seed(123, 3) == segment_seed(123, 3)
+        assert segment_seed(123, 3) != segment_seed(123, 9)
+        assert segment_seed(123, 3) != segment_seed(124, 3)
+        # And distinct from the trial seed itself (the rung-0 stream).
+        assert segment_seed(123, 3) != 123

@@ -181,6 +181,36 @@ def test_async_trace_matches_golden(
     )
 
 
+def test_rungs_trace_matches_golden(
+    setup, golden_dir, regen_golden, telemetry_backend
+):
+    """One async SHA rung cell: rung spans with dispatch/pause children,
+    promote/cull decision records, rung counters and the occupancy gauge
+    replay the committed golden."""
+    result, telemetry, records = _traced_run(
+        setup,
+        "HW-IECI",
+        "hyperpower",
+        max_evaluations=9,
+        backend=telemetry_backend,
+        workers=ASYNC_WORKERS,
+        scheduler="async",
+        rungs=3,
+        eta=3,
+    )
+    names = {s["name"] for s in records}
+    assert {"rung", "dispatch", "pause"} <= names
+    assert "promote" in names or "cull" in names
+    meta = {
+        "cell": f"rungs__HW-IECI__hyperpower__{ASYNC_WORKERS}w",
+        "budget": 9,
+        "metrics": telemetry.metrics.snapshot(),
+    }
+    _check_golden(
+        golden_dir, "rungs__HW-IECI__hyperpower", records, meta, regen_golden
+    )
+
+
 def test_sync_fixtures_byte_identical(golden_dir, regen_golden):
     """The synchronous goldens predating the async scheduler are pinned
     byte-for-byte: the async path may add fixtures, never reshape them."""

@@ -32,6 +32,7 @@ EXPECTED_OUTPUT = {
     "device_variation.py": "re-profiled model",
     "imagenet_future_work.py": "GPU-days",
     "serve_study.py": "bit-exact after restart",
+    "multifidelity_rungs.py": "more configurations in the same simulated budget",
 }
 
 
